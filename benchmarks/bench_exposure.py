@@ -1,0 +1,24 @@
+"""§5 — authoritative name-server exposure.
+
+"For some providers, only a small percentage of domains use delegation,
+which potentially leaves a part of a domain's DNS infrastructure (i.e.,
+the authoritative name server) susceptible to DDoS attacks."
+"""
+
+from repro.core.exposure import analyze_exposure, render_exposure
+
+
+def test_ns_exposure(benchmark, bench_results):
+    reports = benchmark(
+        analyze_exposure, bench_results.detection_gtld
+    )
+    # CloudFlare's free authoritative DNS keeps most customers covered;
+    # Incapsula's CNAME-first model leaves name servers outside.
+    assert reports["Incapsula"].exposure_ratio > 0.9
+    assert reports["CloudFlare"].exposure_ratio < 0.4
+    assert (
+        reports["Incapsula"].exposure_ratio
+        > reports["CloudFlare"].exposure_ratio
+    )
+    print()
+    print(render_exposure(reports))

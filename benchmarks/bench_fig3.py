@@ -1,0 +1,31 @@
+"""Figure 3 — per-provider use and AS/CNAME/NS method breakdown.
+
+Checks the §4.3 method-mix findings (CloudFlare mostly delegated,
+Incapsula almost never) and prints the per-provider series.
+"""
+
+from repro.core.references import RefType
+from repro.reporting.figures import render_figure3
+
+
+def test_fig3_provider_method_breakdown(benchmark, bench_results):
+    detection = bench_results.detection_gtld
+
+    def summarize():
+        shares = {}
+        for name, series in detection.providers.items():
+            total = sum(series.total) or 1
+            ns_series = series.by_ref.get(RefType.NS)
+            shares[name] = (sum(ns_series) if ns_series else 0) / total
+        return shares
+
+    shares = benchmark(summarize)
+    assert shares["CloudFlare"] > 0.6  # ~75% delegated (§4.3)
+    assert shares["Incapsula"] < 0.05  # ~0.02% delegated (§4.3)
+    ends = {
+        name: series.total[-1]
+        for name, series in detection.providers.items()
+    }
+    assert max(ends, key=ends.get) == "CloudFlare"
+    print()
+    print(render_figure3(bench_results))

@@ -1,0 +1,20 @@
+"""Figure 4 — namespace distribution vs DPS-use distribution.
+
+The paper's observation: both distributions are similar and dominated by
+.com (82.47% of names; 85.71% of DPS-using names).
+"""
+
+from repro.reporting.figures import render_figure4
+
+
+def test_fig4_distributions(benchmark, bench_study, bench_results):
+    distribution = benchmark(
+        bench_study._namespace_distribution, bench_results.zone_sizes
+    )
+    assert abs(distribution["com"] - 0.8247) < 0.02
+    dps = bench_results.dps_distribution
+    assert abs(sum(dps.values()) - 1.0) < 1e-9
+    # DPS use skews towards .com, as in the paper.
+    assert dps["com"] >= distribution["com"] - 0.02
+    print()
+    print(render_figure4(bench_results))

@@ -1,0 +1,37 @@
+"""Figure 6 — growth of DPS use in .nl and the Alexa Top-1M list.
+
+Paper: .nl adoption 1.105× vs zone expansion 1.018×; Alexa 1.118× —
+over six months.
+"""
+
+from repro.core.growth import GrowthAnalysis
+from repro.reporting.figures import render_figure6
+from repro.world.timeline import CCTLD_START_DAY
+
+
+def test_fig6_cc_growth(benchmark, bench_results):
+    window = CCTLD_START_DAY
+    nl_adoption = bench_results.detection_nl.any_use_combined[window:]
+    nl_zone = bench_results.zone_sizes["nl"][window:]
+    alexa = bench_results.detection_alexa.any_use_combined[window:]
+    analysis = GrowthAnalysis()
+
+    def compute():
+        return analysis.compare(
+            {
+                "DPS adoption (.nl)": nl_adoption,
+                "Overall expansion (.nl)": nl_zone,
+                "DPS adoption (Alexa)": alexa,
+            }
+        )
+
+    series = benchmark.pedantic(compute, rounds=3, iterations=1)
+    assert 1.02 < series["DPS adoption (.nl)"].growth_factor < 1.20
+    assert 1.00 < series["Overall expansion (.nl)"].growth_factor < 1.05
+    assert 1.02 < series["DPS adoption (Alexa)"].growth_factor < 1.22
+    assert (
+        series["DPS adoption (.nl)"].growth_factor
+        > series["Overall expansion (.nl)"].growth_factor
+    )
+    print()
+    print(render_figure6(bench_results))

@@ -1,0 +1,28 @@
+"""Figure 7 — flux of DPS use per provider (two-week first/last deltas).
+
+Paper take-aways checked here: repeated anomalies trace to the *same*
+domain sets (so influx stays bounded), and CloudFlare's influx is spread
+out where mass-event providers are concentrated.
+"""
+
+from repro.core.flux import FluxAnalysis
+from repro.reporting.figures import render_figure7
+
+
+def test_fig7_flux(benchmark, bench_results):
+    analysis = FluxAnalysis(bench_results.horizon)
+    series = benchmark(analysis.analyze, bench_results.detection_gtld)
+
+    incapsula = series["Incapsula"]
+    wix_scale_pairs = sum(
+        1
+        for (domain, provider) in bench_results.detection_gtld.intervals
+        if provider == "Incapsula"
+    )
+    # Each domain contributes at most once to influx even across many
+    # repeated Wix swings.
+    assert sum(incapsula.influx) <= wix_scale_pairs
+    # CloudFlare's arrivals are spread out; Incapsula's are event-driven.
+    assert series["CloudFlare"].spread() > series["Incapsula"].spread()
+    print()
+    print(render_figure7(bench_results))

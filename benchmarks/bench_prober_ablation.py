@@ -1,0 +1,41 @@
+"""Ablation — fast state-reading prober vs full wire-format prober.
+
+Quantifies what the fast path buys: both produce identical observation
+rows (asserted), but the wire path pays for real iterative resolution —
+message encoding, referrals from the root, CNAME chasing.
+"""
+
+import random
+
+import pytest
+
+from repro.measurement.prober import FastProber, WireProber
+
+SAMPLE = 64
+DAY = 100
+
+
+@pytest.fixture(scope="module")
+def sample_names(bench_world):
+    rng = random.Random(99)
+    alive = [
+        name
+        for name, timeline in bench_world.domains.items()
+        if timeline.alive(DAY) and timeline.tld == "com"
+    ]
+    return rng.sample(alive, min(SAMPLE, len(alive)))
+
+
+def test_fast_prober(benchmark, bench_world, sample_names):
+    prober = FastProber(bench_world)
+    rows = benchmark(prober.observe_day, sample_names, DAY)
+    assert len(rows) == len(sample_names)
+
+
+def test_wire_prober(benchmark, bench_world, sample_names):
+    prober = WireProber(bench_world)
+    rows = benchmark.pedantic(
+        prober.observe_day, args=(sample_names, DAY), rounds=2, iterations=1
+    )
+    fast_rows = FastProber(bench_world).observe_day(sample_names, DAY)
+    assert rows == fast_rows  # same contract, different cost

@@ -1,0 +1,19 @@
+"""Table 1 — data set statistics.
+
+Regenerates the per-source rows (source, start, days, #SLDs, #DPs, size):
+data-point totals from the zone-size series, byte sizes measured on sampled
+days through the columnar store and extrapolated.
+"""
+
+from repro.reporting.figures import render_table1
+
+
+def test_table1_dataset_statistics(benchmark, bench_study, bench_results):
+    rows = benchmark.pedantic(
+        bench_study.build_dataset_table, rounds=3, iterations=1
+    )
+    assert [row.source for row in rows] == [
+        "com", "net", "org", "nl", "alexa",
+    ]
+    print()
+    print(render_table1(bench_results))

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures: one calibrated world + study per session.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (paper counts divided by this;
+default 8000 → ~17k domains). Lower it (e.g. 1000) for a full-size run:
+
+    REPRO_BENCH_SCALE=1000 pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.pipeline import AdoptionStudy
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "8000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_paper_world(
+        ScenarioConfig(scale=BENCH_SCALE, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_world):
+    return AdoptionStudy(bench_world)
+
+
+@pytest.fixture(scope="session")
+def bench_results(bench_study):
+    return bench_study.run()
+
+
+@pytest.fixture(scope="session")
+def bench_segments(bench_study):
+    return bench_study.collect_segments()

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""The paper's §2.1, live: the three DNS-based traffic-diversion methods.
+
+Builds the examples from the paper — ``www.examp.le`` protected via an
+address record, via a CNAME to a DPS-owned name (``foob.ar``), and via
+name-server delegation — as real zones on the simulated network, then
+resolves them with the iterative resolver and prints dig-style output
+matching the listings in the paper.
+
+    python examples/dns_diversion_demo.py
+"""
+
+import ipaddress
+
+from repro.dnscore import (
+    AuthoritativeServer,
+    DomainName,
+    IterativeResolver,
+    RRType,
+    SimulatedNetwork,
+    Zone,
+    decode_message,
+    encode_message,
+)
+from repro.dnscore.records import SOAData
+
+
+def soa() -> SOAData:
+    return SOAData(
+        DomainName.from_text("ns.invalid"),
+        DomainName.from_text("hostmaster.invalid"),
+        serial=1,
+    )
+
+
+def serve(net: SimulatedNetwork, server: AuthoritativeServer, ip: str) -> None:
+    net.register(
+        ipaddress.ip_address(ip),
+        lambda raw: encode_message(server.handle_query(decode_message(raw))),
+    )
+
+
+def build_tree() -> tuple:
+    net = SimulatedNetwork()
+
+    root = Zone(DomainName.root(), soa())
+    root.add(".", RRType.NS, "ns.root-servers.net.")
+    for tld, ns_ip in (("le", "192.0.2.10"), ("ar", "192.0.2.30")):
+        root.add(tld, RRType.NS, f"ns.nic.{tld}.")
+        root.add(f"ns.nic.{tld}", RRType.A, ns_ip)
+    rootsrv = AuthoritativeServer("root")
+    rootsrv.attach_zone(root)
+    serve(net, rootsrv, "192.0.2.1")
+
+    le = Zone(DomainName.from_text("le"), soa())
+    le.add("le", RRType.NS, "ns.nic.le.")
+    # Three domains, one per diversion method.
+    for domain, ns, glue in (
+        ("a-record.examp.le", "ns.registr.ar.", None),
+        ("cname.examp.le", "ns.registr.ar.", None),
+        ("delegated.examp.le", "ns.foob.ar.", None),
+    ):
+        le.add(domain, RRType.NS, ns)
+    lesrv = AuthoritativeServer("le")
+    lesrv.attach_zone(le)
+    serve(net, lesrv, "192.0.2.10")
+
+    ar = Zone(DomainName.from_text("ar"), soa())
+    ar.add("ar", RRType.NS, "ns.nic.ar.")
+    ar.add("registr.ar", RRType.NS, "ns.registr.ar.")
+    ar.add("ns.registr.ar", RRType.A, "192.0.2.20")
+    ar.add("foob.ar", RRType.NS, "ns.foob.ar.")
+    ar.add("ns.foob.ar", RRType.A, "192.0.2.40")
+    arsrv = AuthoritativeServer("ar")
+    arsrv.attach_zone(ar)
+    serve(net, arsrv, "192.0.2.30")
+
+    # The customer's registrar-operated name server. It also serves its
+    # own registr.ar zone so that ns.registr.ar is resolvable.
+    registrar = AuthoritativeServer("registrar")
+    registrar_zone = Zone(DomainName.from_text("registr.ar"), soa())
+    registrar_zone.add("registr.ar", RRType.NS, "ns.registr.ar.")
+    registrar_zone.add("ns.registr.ar", RRType.A, "192.0.2.20")
+    registrar.attach_zone(registrar_zone)
+    # Method 1: address record — the owner points directly at a
+    # DPS-assigned address (10.0.0.1).
+    a_zone = Zone(DomainName.from_text("a-record.examp.le"), soa())
+    a_zone.add("a-record.examp.le", RRType.NS, "ns.registr.ar.")
+    a_zone.add("www.a-record.examp.le", RRType.A, "10.0.0.1")
+    registrar.attach_zone(a_zone)
+    # Method 2: canonical name — www is an alias for a DPS-owned name.
+    c_zone = Zone(DomainName.from_text("cname.examp.le"), soa())
+    c_zone.add("cname.examp.le", RRType.NS, "ns.registr.ar.")
+    c_zone.add("www.cname.examp.le", RRType.CNAME, "customer-17.foob.ar.")
+    registrar.attach_zone(c_zone)
+    serve(net, registrar, "192.0.2.20")
+
+    # The DPS runs foob.ar and, for method 3, the delegated customer zone.
+    dps = AuthoritativeServer("dps")
+    dps_zone = Zone(DomainName.from_text("foob.ar"), soa())
+    dps_zone.add("foob.ar", RRType.NS, "ns.foob.ar.")
+    dps_zone.add("ns.foob.ar", RRType.A, "192.0.2.40")
+    dps_zone.add("customer-17.foob.ar", RRType.A, "10.0.0.2")
+    dps.attach_zone(dps_zone)
+    delegated = Zone(DomainName.from_text("delegated.examp.le"), soa())
+    delegated.add("delegated.examp.le", RRType.NS, "ns.foob.ar.")
+    delegated.add("www.delegated.examp.le", RRType.A, "10.0.0.2")
+    dps.attach_zone(delegated)
+    serve(net, dps, "192.0.2.40")
+
+    return net, ["192.0.2.1"]
+
+
+def main() -> None:
+    net, roots = build_tree()
+    resolver = IterativeResolver(net, roots)
+
+    for title, qname in (
+        ("Address record (owner sets a DPS-assigned IP)",
+         "www.a-record.examp.le"),
+        ("Canonical name (alias into the DPS zone foob.ar)",
+         "www.cname.examp.le"),
+        ("Name server (zone delegated to the DPS's ns.foob.ar)",
+         "www.delegated.examp.le"),
+    ):
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        result = resolver.resolve(DomainName.from_text(qname), RRType.A)
+        print(";; ANSWER SECTION:")
+        for record in result.answers:
+            print(record.to_text())
+        print(";; AUTHORITY SECTION:")
+        for record in result.authority:
+            if record.rrtype == RRType.NS:
+                print(record.to_text())
+        print(f";; ({result.queries_sent} queries, full CNAME expansion: "
+              f"{[str(c) for c in result.cname_chain] or 'none'})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

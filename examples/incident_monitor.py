@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Replay the Sedo incident detection (§4.4.1's measurement-side inference).
+
+    python examples/incident_monitor.py [scale]
+
+The paper distinguishes the 22 Nov 2015 Akamai trough from a protection
+change because "the number of measured domains with a sedoparking.com NS
+SLD also dipped that same day" — a measurement-coverage signal, not a
+DNS-content one. This example replays the days around the incident
+through the platform's quality accounting and prints what an operator
+would have seen.
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_paper_world
+from repro.measurement.prober import FastProber
+from repro.measurement.quality import (
+    IncidentDetector,
+    coverage_of,
+    ns_sld_census,
+)
+from repro.world.timeline import month_label
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
+    world = build_paper_world(ScenarioConfig(scale=scale))
+    prober = FastProber(world)
+    names = list(world.zone_names("com", 260))
+    detector = IncidentDetector(drop_fraction=0.5, min_population=3)
+
+    print(f"Monitoring .com measurement quality, days 263–269 "
+          f"(scale 1:{scale}, {len(names):,} names)\n")
+    print(f"{'day':>4}  {'date':>8}  {'measured':>9}  {'dark':>5}  "
+          f"{'coverage':>8}  incidents")
+    for day in range(263, 270):
+        rows = prober.observe_day(names, day)
+        report = coverage_of("com", day, len(names), rows)
+        incidents = detector.observe_day(day, rows)
+        flags = ", ".join(
+            f"{sld}: {before}→{after}" for sld, before, after in incidents
+        )
+        print(
+            f"{day:>4}  {month_label(day):>8}  {report.measured:>9}  "
+            f"{report.dark:>5}  {report.coverage:>7.1%}  {flags or '—'}"
+        )
+
+    print("\nsedoparking.com census across the window:")
+    for day, count in detector.census_series("sedoparking.com"):
+        print(f"  day {day}: {count} measured domains")
+    print(
+        "\nConclusion (as §4.4.1 infers): the dip is an infrastructure "
+        "incident at the third party, not a protection change — the "
+        "domains were unmeasurable, not re-pointed."
+    )
+
+
+if __name__ == "__main__":
+    main()

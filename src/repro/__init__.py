@@ -1,0 +1,41 @@
+"""repro — a reproduction of *Measuring the Adoption of DDoS Protection
+Services* (Jonker et al., IMC 2016).
+
+The library has three layers:
+
+* **Substrates** — a self-contained DNS implementation
+  (:mod:`repro.dnscore`), a BGP-flavoured routing layer with Routeviews
+  pfx2as snapshots (:mod:`repro.routing`), and a calibrated simulated
+  internet (:mod:`repro.world`) standing in for the zones, providers, and
+  third parties the paper measured.
+* **Measurement** — an OpenINTEL-style active-DNS platform
+  (:mod:`repro.measurement`) and a local MapReduce engine
+  (:mod:`repro.mapreduce`) as the Hadoop stand-in.
+* **Methodology** — the paper's detection, classification, growth, flux,
+  peak, fingerprint, and attribution analyses (:mod:`repro.core`), plus
+  terminal reporting for every table and figure (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro.world import build_paper_world, ScenarioConfig
+    from repro.core import AdoptionStudy
+
+    world = build_paper_world(ScenarioConfig(scale=8000))
+    results = AdoptionStudy(world).run()
+    print(results.provider_growth_factor())   # ≈ 1.24
+"""
+
+from repro.core.pipeline import AdoptionStudy, StudyResults
+from repro.core.references import SignatureCatalog
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdoptionStudy",
+    "ScenarioConfig",
+    "SignatureCatalog",
+    "StudyResults",
+    "__version__",
+    "build_paper_world",
+]

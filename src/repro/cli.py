@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    study        run the full study and print selected artifacts
+    resolve      dig-style resolution against the simulated world on a day
+    zonefile     print a day's zone listing for a TLD (or the Alexa list)
+    pfx2as       dump or query a day's Routeviews-style pfx2as snapshot
+    fingerprint  run the §3.3 bootstrap for one provider
+
+Every command accepts ``--scale`` and ``--seed``; the world is rebuilt
+deterministically from those, so output is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.exposure import analyze_exposure, render_exposure
+from repro.core.pipeline import AdoptionStudy
+from repro.core.references import SignatureCatalog
+from repro.dnscore.name import DomainName
+from repro.dnscore.resolver import IterativeResolver, ResolutionError
+from repro.dnscore.rrtypes import RRType
+from repro.measurement.zonefeed import ZoneFeed
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+DEFAULT_SCALE = 12000
+
+ARTIFACTS = (
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "anomalies", "exposure",
+)
+
+
+def _add_world_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=int, default=DEFAULT_SCALE,
+        help="divide the paper's absolute counts by this "
+             f"(default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2016, help="scenario seed",
+    )
+
+
+def _build_world(args: argparse.Namespace):
+    return build_paper_world(
+        ScenarioConfig(scale=args.scale, seed=args.seed)
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Measuring the Adoption of DDoS Protection "
+            "Services' (IMC 2016)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser(
+        "study", help="run the full study and print artifacts"
+    )
+    _add_world_options(study)
+    study.add_argument(
+        "--artifact", action="append", choices=ARTIFACTS + ("all",),
+        help="artifact(s) to print (default: all)",
+    )
+    study.add_argument(
+        "--output", help="also write artifacts + series.json to this dir",
+    )
+
+    resolve = commands.add_parser(
+        "resolve", help="resolve a name against the world on a given day"
+    )
+    _add_world_options(resolve)
+    resolve.add_argument("name", help="domain name to resolve")
+    resolve.add_argument("--day", type=int, default=0)
+    resolve.add_argument(
+        "--type", dest="rrtype", default="A",
+        choices=["A", "AAAA", "NS", "CNAME"],
+    )
+
+    zonefile = commands.add_parser(
+        "zonefile", help="print a day's zone listing"
+    )
+    _add_world_options(zonefile)
+    zonefile.add_argument("tld", help="com/net/org/nl or 'alexa'")
+    zonefile.add_argument("--day", type=int, default=0)
+    zonefile.add_argument("--limit", type=int, default=20)
+
+    pfx2as = commands.add_parser(
+        "pfx2as", help="dump or query a day's pfx2as snapshot"
+    )
+    _add_world_options(pfx2as)
+    pfx2as.add_argument("--day", type=int, default=0)
+    pfx2as.add_argument(
+        "--lookup", help="address to look up instead of dumping",
+    )
+    pfx2as.add_argument("--limit", type=int, default=30)
+
+    fingerprint = commands.add_parser(
+        "fingerprint", help="derive one provider's Table 2 row (§3.3)"
+    )
+    _add_world_options(fingerprint)
+    fingerprint.add_argument("provider")
+    fingerprint.add_argument("--day", type=int, default=30)
+
+    measure = commands.add_parser(
+        "measure",
+        help="run a day's measurement and store it columnar on disk",
+    )
+    _add_world_options(measure)
+    measure.add_argument("source", help="com/net/org/nl or 'alexa'")
+    measure.add_argument("--day", type=int, default=0)
+    measure.add_argument("--output", required=True,
+                         help="directory for the columnar partition files")
+
+    return parser
+
+
+# -- command implementations ---------------------------------------------------
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.reporting import figures as fig
+
+    wanted = set(args.artifact or ["all"])
+    if "all" in wanted:
+        wanted = set(ARTIFACTS)
+    world = _build_world(args)
+    study = AdoptionStudy(world)
+    results = study.run()
+    renderers = {
+        "table1": lambda: fig.render_table1(results),
+        "table2": lambda: fig.render_table2(
+            study.derive_table2(), reference=SignatureCatalog.paper_table2()
+        ),
+        "fig2": lambda: fig.render_figure2(results),
+        "fig3": lambda: fig.render_figure3(results),
+        "fig4": lambda: fig.render_figure4(results),
+        "fig5": lambda: fig.render_figure5(results),
+        "fig6": lambda: fig.render_figure6(results),
+        "fig7": lambda: fig.render_figure7(results),
+        "fig8": lambda: fig.render_figure8(results),
+        "anomalies": lambda: fig.render_attributions(results, limit=30),
+        "exposure": lambda: render_exposure(
+            analyze_exposure(results.detection_gtld)
+        ),
+    }
+    for name in ARTIFACTS:
+        if name in wanted:
+            print(renderers[name]())
+            print()
+    if args.output:
+        from repro.reporting.export import export_study
+
+        exportable = [
+            name for name in wanted if name != "table2"
+        ]
+        written = export_study(results, args.output, artifacts=exportable)
+        print(f";; wrote {len(written)} files to {args.output}")
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    qname = DomainName.from_text(args.name)
+    apex = qname.sld()
+    target = apex.to_text() if apex is not None else args.name
+    network, roots = world.materialize_dns(args.day, [target])
+    resolver = IterativeResolver(network, roots)
+    try:
+        result = resolver.resolve(qname, RRType.from_text(args.rrtype))
+    except ResolutionError as error:
+        print(f";; resolution failed: {error}")
+        return 1
+    print(f";; day {args.day}, status {result.rcode.name}, "
+          f"{result.queries_sent} queries")
+    print(";; ANSWER SECTION:")
+    for record in result.answers:
+        print(record.to_text())
+    if result.authority:
+        print(";; AUTHORITY SECTION:")
+        for record in result.authority:
+            print(record.to_text())
+    return 0 if result.answers else 1
+
+
+def _cmd_zonefile(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    feed = ZoneFeed(world)
+    if args.tld == "alexa":
+        listing = feed.alexa_listing(args.day)
+    else:
+        try:
+            listing = feed.listing(args.tld, args.day)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    print(f"; zone {listing.tld} day {listing.day}: "
+          f"{len(listing)} names")
+    for name in sorted(listing.names)[: args.limit]:
+        print(name)
+    if len(listing) > args.limit:
+        print(f"; ... {len(listing) - args.limit} more")
+    return 0
+
+
+def _cmd_pfx2as(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    snapshot = world.pfx2as_at(args.day)
+    if args.lookup:
+        origins = snapshot.lookup(args.lookup)
+        prefix = snapshot.lookup_prefix(args.lookup)
+        if not origins:
+            print(f"{args.lookup}: unrouted")
+            return 1
+        names = ", ".join(
+            f"AS{asn} ({world.as_registry.name_of(asn)})"
+            for asn in sorted(origins)
+        )
+        print(f"{args.lookup}: {prefix} → {names}")
+        return 0
+    lines = snapshot.to_text().splitlines()
+    for line in lines[: args.limit]:
+        print(line)
+    if len(lines) > args.limit:
+        print(f"# ... {len(lines) - args.limit} more entries")
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    study = AdoptionStudy(world)
+    try:
+        fingerprints = study.derive_table2(day=args.day)
+        result = fingerprints[args.provider]
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"{result.provider} (after {result.iterations} iterations)")
+    print(f"  ASNs       : {sorted(result.asns)}")
+    print(f"  CNAME SLDs : {sorted(result.cname_slds) or '—'}")
+    print(f"  NS SLDs    : {sorted(result.ns_slds) or '—'}")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.measurement.scheduler import ClusterManager
+
+    world = _build_world(args)
+    manager = ClusterManager(world)
+    try:
+        rows = manager.measure_day(args.source, args.day)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    written = manager.store.save(args.output)
+    stats = manager.store.partition_stats(args.source, args.day)
+    print(
+        f"measured {len(rows)} domains "
+        f"({stats.data_points} data points, "
+        f"{stats.encoded_bytes} encoded bytes); "
+        f"wrote {len(written)} files to {args.output}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "study": _cmd_study,
+    "resolve": _cmd_resolve,
+    "zonefile": _cmd_zonefile,
+    "pfx2as": _cmd_pfx2as,
+    "fingerprint": _cmd_fingerprint,
+    "measure": _cmd_measure,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Tracing mass anomalies to third parties (§4.4.1).
+
+An anomaly is a day on which a provider's use count jumps or drops far
+beyond its smoothed level. The attributor collects the domains whose use
+of that provider starts or stops on the anomaly day and groups them by the
+infrastructure they share — non-provider NS SLDs first (how the paper
+identified Wix, Namecheap, Sedo, Fabulous), then CNAME SLDs, then covering
+address prefixes — and reports the dominant groups.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.detection import DetectionResult
+from repro.core.growth import median_smooth
+from repro.core.references import SignatureCatalog
+from repro.measurement.snapshot import ObservationSegment
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detected mass jump or drop for a provider."""
+
+    provider: str
+    day: int
+    delta: int  # signed change in daily use count vs the previous day
+
+    @property
+    def direction(self) -> str:
+        return "peak" if self.delta > 0 else "trough"
+
+
+@dataclass
+class Attribution:
+    """The dominant shared-infrastructure groups behind an anomaly."""
+
+    event: AnomalyEvent
+    domains_involved: int
+    #: ``(group label, domain count)``, largest group first.
+    groups: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def top_group(self) -> Optional[str]:
+        return self.groups[0][0] if self.groups else None
+
+
+class AnomalyAttributor:
+    """Finds anomalies in detection series and attributes them."""
+
+    def __init__(
+        self,
+        detection: DetectionResult,
+        segments_by_domain: Mapping[str, Sequence[ObservationSegment]],
+        catalog: SignatureCatalog,
+        min_jump: int = 10,
+        relative_jump: float = 0.05,
+    ):
+        self._detection = detection
+        self._segments = segments_by_domain
+        self._catalog = catalog
+        self._min_jump = min_jump
+        self._relative_jump = relative_jump
+        #: SLDs that belong to provider fingerprints — never a third party.
+        self._provider_slds = set()
+        for signature in catalog:
+            self._provider_slds |= signature.cname_slds
+            self._provider_slds |= signature.ns_slds
+
+    # -- anomaly finding ------------------------------------------------------
+
+    def find_anomalies(self, provider: str) -> List[AnomalyEvent]:
+        """Days where *provider*'s count jumps beyond both thresholds."""
+        series = self._detection.providers.get(provider)
+        if series is None:
+            return []
+        totals = series.total
+        smoothed = median_smooth(totals)
+        events: List[AnomalyEvent] = []
+        for day in range(1, len(totals)):
+            delta = totals[day] - totals[day - 1]
+            level = max(smoothed[day - 1], 1.0)
+            if (
+                abs(delta) >= self._min_jump
+                and abs(delta) >= self._relative_jump * level
+            ):
+                events.append(AnomalyEvent(provider, day, delta))
+        return events
+
+    def find_all_anomalies(self) -> List[AnomalyEvent]:
+        events: List[AnomalyEvent] = []
+        for provider in self._detection.providers:
+            events.extend(self.find_anomalies(provider))
+        return sorted(events, key=lambda e: (e.day, e.provider))
+
+    # -- attribution --------------------------------------------------------------
+
+    def _domains_switching(self, event: AnomalyEvent) -> List[str]:
+        """Domains whose use of the provider starts/stops on the day."""
+        switching: List[str] = []
+        for (domain, provider), intervals in self._detection.intervals.items():
+            if provider != event.provider:
+                continue
+            for interval in intervals:
+                if event.delta > 0 and interval.start == event.day:
+                    switching.append(domain)
+                    break
+                if event.delta < 0 and interval.end == event.day:
+                    switching.append(domain)
+                    break
+        return switching
+
+    def _group_key(self, domain: str, day: int) -> str:
+        """The shared-infrastructure label of *domain* around *day*."""
+        segments = self._segments.get(domain, ())
+        observation = None
+        for segment in segments:
+            if segment.start <= day < segment.end:
+                observation = segment.observation
+                break
+        if observation is None and segments:
+            observation = segments[-1].observation
+        if observation is None:
+            return "unknown"
+        third_party_ns = sorted(
+            observation.ns_slds() - self._provider_slds
+        )
+        if third_party_ns:
+            return f"ns:{third_party_ns[0]}"
+        third_party_cname = sorted(
+            observation.cname_slds() - self._provider_slds
+        )
+        if third_party_cname:
+            return f"cname:{third_party_cname[0]}"
+        addresses = observation.all_addresses()
+        if addresses:
+            network = ipaddress.ip_network(addresses[0])
+            covering = network.supernet(
+                new_prefix=max(0, network.prefixlen - 8)
+            )
+            return f"prefix:{covering}"
+        return "dark"
+
+    def attribute(self, event: AnomalyEvent) -> Attribution:
+        """Group the switching domains by shared infrastructure."""
+        switching = self._domains_switching(event)
+        counts: Counter = Counter()
+        for domain in switching:
+            # For a trough, look at the configuration just before the drop.
+            reference_day = event.day if event.delta > 0 else event.day - 1
+            counts[self._group_key(domain, reference_day)] += 1
+        return Attribution(
+            event=event,
+            domains_involved=len(switching),
+            groups=counts.most_common(),
+        )
+
+    def attribute_all(self) -> List[Attribution]:
+        return [self.attribute(event) for event in self.find_all_anomalies()]

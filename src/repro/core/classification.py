@@ -1,0 +1,136 @@
+"""Always-on versus on-demand protection classification (§3.4, §4.4.3).
+
+From a domain's use intervals (and its lifetime), decide how it uses a
+provider. The paper's rules:
+
+* **always-on** — the domain references the DPS "without gap days";
+* **on-demand** — the domain "switches back and forth" between non-DPS and
+  DPS state;
+* a **single period of use** is ambiguous ("could either be a short-lived
+  always-on customer, or brief on-demand use"); for the peak-duration
+  analysis the paper therefore requires **at least three peaks** before
+  calling a domain on-demand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detection import DetectionResult, UseInterval
+
+ON_DEMAND_MIN_PEAKS = 3
+
+
+class UsageClass(enum.Enum):
+    """How a domain uses a provider over the measurement window."""
+
+    ALWAYS_ON = "always-on"
+    #: Continuous use from mid-life to the end of observation: an adopter.
+    ADOPTED = "adopted"
+    #: Continuous use from life start that stops mid-study: a leaver.
+    ABANDONED = "abandoned"
+    #: One bounded period of use — ambiguous per the paper.
+    SINGLE_PEAK = "single-peak"
+    #: Two bounded periods — switching, but below the paper's threshold.
+    INTERMITTENT = "intermittent"
+    #: Three or more peaks — the paper's on-demand criterion.
+    ON_DEMAND = "on-demand"
+
+
+@dataclass(frozen=True)
+class DomainUsage:
+    """Classification outcome for one (domain, provider) pair."""
+
+    domain: str
+    provider: str
+    usage: UsageClass
+    intervals: Tuple[UseInterval, ...]
+
+    @property
+    def total_days(self) -> int:
+        return sum(interval.days for interval in self.intervals)
+
+
+class UsageClassifier:
+    """Classifies (domain, provider) pairs from detection intervals."""
+
+    def __init__(self, horizon: int):
+        self._horizon = horizon
+
+    def classify_intervals(
+        self,
+        intervals: Sequence[UseInterval],
+        life_start: int,
+        life_end: int,
+    ) -> UsageClass:
+        """Classify from use intervals within ``[life_start, life_end)``."""
+        if not intervals:
+            raise ValueError("cannot classify empty interval list")
+        life_end = min(life_end, self._horizon)
+        if len(intervals) == 1:
+            interval = intervals[0]
+            starts_at_birth = interval.start <= life_start
+            right_censored = interval.end >= life_end
+            if starts_at_birth and right_censored:
+                return UsageClass.ALWAYS_ON
+            if right_censored:
+                return UsageClass.ADOPTED
+            if starts_at_birth:
+                return UsageClass.ABANDONED
+            return UsageClass.SINGLE_PEAK
+        if len(intervals) >= ON_DEMAND_MIN_PEAKS:
+            return UsageClass.ON_DEMAND
+        return UsageClass.INTERMITTENT
+
+    def classify_result(
+        self,
+        detection: DetectionResult,
+        lifetimes: Dict[str, Tuple[int, int]],
+    ) -> List[DomainUsage]:
+        """Classify every (domain, provider) pair in a detection result.
+
+        *lifetimes* maps domain → ``(created, end_exclusive)``; pairs whose
+        domain is unknown are classified against the full window.
+        """
+        usages: List[DomainUsage] = []
+        for (domain, provider), intervals in sorted(
+            detection.intervals.items()
+        ):
+            life_start, life_end = lifetimes.get(
+                domain, (0, self._horizon)
+            )
+            usages.append(
+                DomainUsage(
+                    domain=domain,
+                    provider=provider,
+                    usage=self.classify_intervals(
+                        intervals, life_start, life_end
+                    ),
+                    intervals=tuple(intervals),
+                )
+            )
+        return usages
+
+    @staticmethod
+    def summarize(
+        usages: Sequence[DomainUsage],
+    ) -> Dict[str, Dict[UsageClass, int]]:
+        """Per-provider counts of each usage class."""
+        summary: Dict[str, Dict[UsageClass, int]] = {}
+        for usage in usages:
+            bucket = summary.setdefault(usage.provider, {})
+            bucket[usage.usage] = bucket.get(usage.usage, 0) + 1
+        return summary
+
+    @staticmethod
+    def on_demand_domains(
+        usages: Sequence[DomainUsage],
+    ) -> Dict[str, List[DomainUsage]]:
+        """Per-provider on-demand sets (the Fig. 8 populations)."""
+        result: Dict[str, List[DomainUsage]] = {}
+        for usage in usages:
+            if usage.usage == UsageClass.ON_DEMAND:
+                result.setdefault(usage.provider, []).append(usage)
+        return result

@@ -1,0 +1,261 @@
+"""Per-domain, per-day DPS use detection and its aggregation (§3.3, §4.1).
+
+The detector consumes enriched observation segments and produces:
+
+* daily use counts per provider, per reference type, per TLD, and combined
+  (the series behind Figures 2 and 3);
+* per ``(domain, provider)`` **use intervals** — maximal day ranges with at
+  least one reference — which feed the always-on/on-demand classification,
+  the flux analysis, and the peak-duration analysis;
+* per-domain reference-combination tallies (e.g. ``CNAME+AS without NS``),
+  the paper's "how is the domain protected" signal.
+
+Counts are at the second level: "multiple references in the DNS zone of a
+domain are counted as one" (§4.1 footnote 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.references import RefType, SignatureCatalog
+from repro.measurement.snapshot import DomainObservation, ObservationSegment
+
+REF_COMBOS: Tuple[FrozenSet[RefType], ...] = tuple(
+    frozenset(combo)
+    for combo in (
+        {RefType.AS},
+        {RefType.CNAME},
+        {RefType.NS},
+        {RefType.AS, RefType.CNAME},
+        {RefType.AS, RefType.NS},
+        {RefType.CNAME, RefType.NS},
+        {RefType.AS, RefType.CNAME, RefType.NS},
+    )
+)
+
+
+def combo_label(refs: FrozenSet[RefType]) -> str:
+    """A stable label like ``AS+CNAME`` for a reference combination."""
+    order = (RefType.AS, RefType.CNAME, RefType.NS)
+    return "+".join(ref.value for ref in order if ref in refs) or "none"
+
+
+def detect_observation(
+    observation: DomainObservation, catalog: SignatureCatalog
+) -> Dict[str, FrozenSet[RefType]]:
+    """References of a single daily observation (thin wrapper)."""
+    return catalog.match(observation)
+
+
+@dataclass(frozen=True)
+class UseInterval:
+    """A maximal ``[start, end)`` range of continuous DPS use."""
+
+    start: int
+    end: int
+
+    @property
+    def days(self) -> int:
+        return self.end - self.start
+
+
+class _DiffSeries:
+    """A daily count series accumulated as interval differences."""
+
+    __slots__ = ("deltas",)
+
+    def __init__(self, horizon: int):
+        self.deltas = [0] * (horizon + 1)
+
+    def add(self, start: int, end: int) -> None:
+        self.deltas[start] += 1
+        self.deltas[end] -= 1
+
+    def materialize(self) -> List[int]:
+        values: List[int] = []
+        running = 0
+        for delta in self.deltas[:-1]:
+            running += delta
+            values.append(running)
+        return values
+
+
+@dataclass
+class ProviderSeries:
+    """Daily series for one provider: total use and per-method breakdown."""
+
+    provider: str
+    total: List[int]
+    by_ref: Dict[RefType, List[int]]
+
+    def peak_day(self) -> int:
+        """The day with the highest total use."""
+        return max(range(len(self.total)), key=self.total.__getitem__)
+
+
+@dataclass
+class DetectionResult:
+    """Everything the detector aggregates over a study window."""
+
+    horizon: int
+    #: provider → daily distinct-SLD count plus per-RefType breakdown.
+    providers: Dict[str, ProviderSeries]
+    #: tld → daily count of SLDs using *any* studied provider.
+    any_use_by_tld: Dict[str, List[int]]
+    #: Daily count of SLDs using any studied provider, across TLDs.
+    any_use_combined: List[int]
+    #: (domain, provider) → maximal use intervals, chronological.
+    intervals: Dict[Tuple[str, str], List[UseInterval]]
+    #: provider → combo label → domain-days with that reference combination.
+    combo_days: Dict[str, Dict[str, int]]
+    domains_seen: int = 0
+
+    def providers_of(self, domain: str) -> List[str]:
+        return sorted(
+            provider
+            for (name, provider) in self.intervals
+            if name == domain
+        )
+
+    def interval_count(self) -> int:
+        return sum(len(v) for v in self.intervals.values())
+
+
+class SegmentDetector:
+    """Streaming detector over per-domain observation segments."""
+
+    def __init__(self, catalog: SignatureCatalog, horizon: int):
+        self._catalog = catalog
+        self._horizon = horizon
+        self._provider_total: Dict[str, _DiffSeries] = {}
+        self._provider_ref: Dict[Tuple[str, RefType], _DiffSeries] = {}
+        self._tld_any: Dict[str, _DiffSeries] = {}
+        self._combined_any = _DiffSeries(horizon)
+        self._intervals: Dict[Tuple[str, str], List[UseInterval]] = {}
+        self._combo_days: Dict[str, Dict[str, int]] = {}
+        self._domains_seen = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def process_domain(
+        self, domain: str, tld: str, segments: Iterable[ObservationSegment]
+    ) -> None:
+        """Ingest one domain's full (enriched) observation history."""
+        self._domains_seen += 1
+        per_provider_open: Dict[str, Tuple[int, int]] = {}
+        any_open: Optional[Tuple[int, int]] = None
+
+        for segment in sorted(segments, key=lambda s: s.start):
+            matches = self._catalog.match(segment.observation)
+            start, end = segment.start, min(segment.end, self._horizon)
+            if start >= end:
+                continue
+            for provider, refs in matches.items():
+                for ref in refs:
+                    self._ref_series(provider, ref).add(start, end)
+                self._combo(provider, combo_label(refs), end - start)
+            # Interval building: extend or open per provider.
+            for provider in matches:
+                open_range = per_provider_open.get(provider)
+                if open_range is not None and open_range[1] == start:
+                    per_provider_open[provider] = (open_range[0], end)
+                else:
+                    if open_range is not None:
+                        self._close(domain, provider, open_range)
+                    per_provider_open[provider] = (start, end)
+            for provider in list(per_provider_open):
+                if provider not in matches and \
+                        per_provider_open[provider][1] <= start:
+                    self._close(domain, provider, per_provider_open.pop(provider))
+            # Any-provider series per TLD and combined.
+            if matches:
+                if any_open is not None and any_open[1] == start:
+                    any_open = (any_open[0], end)
+                else:
+                    if any_open is not None:
+                        self._flush_any(tld, any_open)
+                    any_open = (start, end)
+            elif any_open is not None and any_open[1] <= start:
+                self._flush_any(tld, any_open)
+                any_open = None
+
+        for provider, open_range in per_provider_open.items():
+            self._close(domain, provider, open_range)
+        if any_open is not None:
+            self._flush_any(tld, any_open)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _ref_series(self, provider: str, ref: RefType) -> _DiffSeries:
+        key = (provider, ref)
+        series = self._provider_ref.get(key)
+        if series is None:
+            series = _DiffSeries(self._horizon)
+            self._provider_ref[key] = series
+        return series
+
+    def _combo(self, provider: str, label: str, days: int) -> None:
+        bucket = self._combo_days.setdefault(provider, {})
+        bucket[label] = bucket.get(label, 0) + days
+
+    def _close(
+        self, domain: str, provider: str, open_range: Tuple[int, int]
+    ) -> None:
+        start, end = open_range
+        series = self._provider_total.get(provider)
+        if series is None:
+            series = _DiffSeries(self._horizon)
+            self._provider_total[provider] = series
+        series.add(start, end)
+        self._intervals.setdefault((domain, provider), []).append(
+            UseInterval(start, end)
+        )
+
+    def _flush_any(self, tld: str, open_range: Tuple[int, int]) -> None:
+        start, end = open_range
+        series = self._tld_any.get(tld)
+        if series is None:
+            series = _DiffSeries(self._horizon)
+            self._tld_any[tld] = series
+        series.add(start, end)
+        self._combined_any.add(start, end)
+
+    # -- result ---------------------------------------------------------------
+
+    def result(self) -> DetectionResult:
+        providers: Dict[str, ProviderSeries] = {}
+        names = set(self._provider_total) | {
+            key[0] for key in self._provider_ref
+        }
+        for name in sorted(names):
+            total_series = self._provider_total.get(name)
+            providers[name] = ProviderSeries(
+                provider=name,
+                total=(
+                    total_series.materialize()
+                    if total_series
+                    else [0] * self._horizon
+                ),
+                by_ref={
+                    ref: self._provider_ref[(name, ref)].materialize()
+                    for ref in RefType
+                    if (name, ref) in self._provider_ref
+                },
+            )
+        return DetectionResult(
+            horizon=self._horizon,
+            providers=providers,
+            any_use_by_tld={
+                tld: series.materialize()
+                for tld, series in self._tld_any.items()
+            },
+            any_use_combined=self._combined_any.materialize(),
+            intervals={
+                key: sorted(values, key=lambda i: i.start)
+                for key, values in self._intervals.items()
+            },
+            combo_days=self._combo_days,
+            domains_seen=self._domains_seen,
+        )

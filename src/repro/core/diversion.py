@@ -1,0 +1,190 @@
+"""Classifying *how* on-demand diversion was effected (§3.4).
+
+"In this case, CNAME, NS, and ASN (non-)references reveal specifically how
+on-demand traffic diversion was effected. For example, a domain for which
+the ASN of an unchanged IP address references a DPS on and off suggests
+BGP-based traffic diversion."
+
+Given a domain's enriched observation segments and its use intervals for a
+provider, the classifier compares the observation just before each
+diversion edge with the one just after it:
+
+* addresses unchanged, ASNs flip        → **BGP** prefix re-origination;
+* NS SLDs flip to the provider          → **NS delegation** switch;
+* a provider CNAME appears              → **CNAME** toggle;
+* addresses flip into provider space    → **A-record** switch.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.detection import DetectionResult, UseInterval
+from repro.core.references import ProviderSignature, SignatureCatalog
+from repro.measurement.snapshot import DomainObservation, ObservationSegment
+
+
+class DiversionMechanism(enum.Enum):
+    """The §2 diversion mechanisms, as inferred from measurement."""
+
+    A_RECORD = "a-record"
+    CNAME = "cname"
+    NS_DELEGATION = "ns-delegation"
+    BGP = "bgp"
+    #: The domain appeared/disappeared entirely (no before/after to compare).
+    UNOBSERVED = "unobserved"
+
+
+@dataclass(frozen=True)
+class DiversionEdge:
+    """One classified on/off switch for a (domain, provider) pair."""
+
+    domain: str
+    provider: str
+    day: int
+    direction: str  # "on" or "off"
+    mechanism: DiversionMechanism
+
+
+class DiversionClassifier:
+    """Infers diversion mechanisms from observation segments."""
+
+    def __init__(self, catalog: SignatureCatalog):
+        self._catalog = catalog
+
+    # -- single-edge classification ------------------------------------------
+
+    def classify_edge(
+        self,
+        signature: ProviderSignature,
+        before: Optional[DomainObservation],
+        after: Optional[DomainObservation],
+    ) -> DiversionMechanism:
+        """Classify one switch given the observation on both sides.
+
+        *before* is the non-diverted side, *after* the diverted side —
+        callers orient them, so "off" edges pass (diverted, restored)
+        reversed.
+        """
+        if before is None or after is None:
+            return DiversionMechanism.UNOBSERVED
+        if signature.ns_slds & after.ns_slds() and not (
+            signature.ns_slds & before.ns_slds()
+        ):
+            return DiversionMechanism.NS_DELEGATION
+        if signature.cname_slds & after.cname_slds() and not (
+            signature.cname_slds & before.cname_slds()
+        ):
+            return DiversionMechanism.CNAME
+        addresses_unchanged = (
+            before.all_addresses() == after.all_addresses()
+            and before.all_addresses()
+        )
+        asns_flipped = bool(signature.asns & after.asns) and not (
+            signature.asns & before.asns
+        )
+        if addresses_unchanged and asns_flipped:
+            return DiversionMechanism.BGP
+        if asns_flipped:
+            return DiversionMechanism.A_RECORD
+        return DiversionMechanism.UNOBSERVED
+
+    # -- per-domain classification -----------------------------------------------
+
+    @staticmethod
+    def _observation_at(
+        segments: Sequence[ObservationSegment], day: int
+    ) -> Optional[DomainObservation]:
+        for segment in segments:
+            if segment.start <= day < segment.end:
+                return segment.observation
+        return None
+
+    def classify_domain(
+        self,
+        domain: str,
+        provider: str,
+        intervals: Sequence[UseInterval],
+        segments: Sequence[ObservationSegment],
+        horizon: int,
+    ) -> List[DiversionEdge]:
+        """Classify every diversion edge of one (domain, provider) pair."""
+        signature = self._catalog.get(provider)
+        if signature is None:
+            raise ValueError(f"unknown provider {provider!r}")
+        edges: List[DiversionEdge] = []
+        for interval in intervals:
+            if interval.start > 0:
+                before = self._observation_at(segments, interval.start - 1)
+                after = self._observation_at(segments, interval.start)
+                edges.append(
+                    DiversionEdge(
+                        domain=domain,
+                        provider=provider,
+                        day=interval.start,
+                        direction="on",
+                        mechanism=self.classify_edge(
+                            signature, before, after
+                        ),
+                    )
+                )
+            if interval.end < horizon:
+                diverted = self._observation_at(segments, interval.end - 1)
+                restored = self._observation_at(segments, interval.end)
+                edges.append(
+                    DiversionEdge(
+                        domain=domain,
+                        provider=provider,
+                        day=interval.end,
+                        direction="off",
+                        mechanism=self.classify_edge(
+                            signature, restored, diverted
+                        ),
+                    )
+                )
+        return edges
+
+    # -- study-level aggregation ------------------------------------------------
+
+    def classify_result(
+        self,
+        detection: DetectionResult,
+        segments_by_domain: Mapping[str, Sequence[ObservationSegment]],
+        min_peaks: int = 1,
+    ) -> List[DiversionEdge]:
+        """All classified edges across a detection result."""
+        edges: List[DiversionEdge] = []
+        for (domain, provider), intervals in sorted(
+            detection.intervals.items()
+        ):
+            if len(intervals) < min_peaks:
+                continue
+            segments = segments_by_domain.get(domain)
+            if not segments:
+                continue
+            edges.extend(
+                self.classify_domain(
+                    domain, provider, intervals, segments,
+                    detection.horizon,
+                )
+            )
+        return edges
+
+    @staticmethod
+    def summarize(
+        edges: Sequence[DiversionEdge],
+    ) -> Dict[str, Dict[DiversionMechanism, int]]:
+        """Per-provider mechanism counts over "on" edges."""
+        summary: Dict[str, Counter] = {}
+        for edge in edges:
+            if edge.direction != "on":
+                continue
+            summary.setdefault(edge.provider, Counter())[
+                edge.mechanism
+            ] += 1
+        return {
+            provider: dict(counts) for provider, counts in summary.items()
+        }

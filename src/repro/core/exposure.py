@@ -1,0 +1,102 @@
+"""Name-server exposure analysis (the paper's §5 conclusion).
+
+"For some providers, only a small percentage of domains use delegation,
+which potentially leaves a part of a domain's DNS infrastructure (i.e.,
+the authoritative name server) susceptible to DDoS attacks."
+
+A domain that diverts traffic to a DPS via CNAME or address records but
+keeps its own (or its hoster's) authoritative name servers is *exposed*:
+an attacker who takes the name servers down denies the domain service
+regardless of the traffic scrubbing. This module quantifies that exposure
+per provider from the detection result's reference combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.detection import DetectionResult
+from repro.core.references import RefType
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """Per-provider exposure of authoritative DNS infrastructure."""
+
+    provider: str
+    #: Domain-days with traffic diversion AND provider name servers.
+    protected_days: int
+    #: Domain-days with traffic diversion but third-party name servers.
+    exposed_days: int
+
+    @property
+    def total_days(self) -> int:
+        return self.protected_days + self.exposed_days
+
+    @property
+    def exposure_ratio(self) -> float:
+        """Fraction of protected domain-days with exposed name servers."""
+        if not self.total_days:
+            return 0.0
+        return self.exposed_days / self.total_days
+
+
+def _has_ns(combo: str) -> bool:
+    return "NS" in combo.split("+")
+
+
+def _has_diversion(combo: str) -> bool:
+    parts = combo.split("+")
+    return "AS" in parts or "CNAME" in parts
+
+
+def analyze_exposure(detection: DetectionResult) -> Dict[str, ExposureReport]:
+    """Exposure reports for every provider in *detection*.
+
+    Combination semantics follow §3.3: an ``AS`` or ``CNAME`` reference
+    without ``NS`` means traffic is diverted but the zone is not delegated
+    to the provider — the name servers remain outside its protection.
+    Pure ``NS`` references (delegation without diversion, e.g. plain
+    managed-DNS use) are not counted as protected *traffic* either way and
+    are excluded from the denominator.
+    """
+    reports: Dict[str, ExposureReport] = {}
+    for provider, combos in detection.combo_days.items():
+        protected = 0
+        exposed = 0
+        for combo, days in combos.items():
+            if not _has_diversion(combo):
+                continue
+            if _has_ns(combo):
+                protected += days
+            else:
+                exposed += days
+        reports[provider] = ExposureReport(
+            provider=provider,
+            protected_days=protected,
+            exposed_days=exposed,
+        )
+    return reports
+
+
+def render_exposure(reports: Mapping[str, ExposureReport]) -> str:
+    """A small table for the §5 observation."""
+    from repro.reporting.tables import render_table
+
+    rows: List[List[str]] = []
+    for provider in sorted(reports):
+        report = reports[provider]
+        rows.append(
+            [
+                provider,
+                str(report.protected_days),
+                str(report.exposed_days),
+                f"{report.exposure_ratio * 100:.1f}%",
+            ]
+        )
+    return render_table(
+        ["Provider", "NS-protected days", "NS-exposed days", "exposed"],
+        rows,
+        title="Authoritative name-server exposure (§5)",
+    )

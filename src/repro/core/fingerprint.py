@@ -1,0 +1,297 @@
+"""Deriving the provider reference catalog from measurement data (§3.3).
+
+"We take the ASNs of a DPS as starting point. Then we find all the domain
+names that reference these ASNs and analyze frequently occurring SLDs in
+CNAME and NS records. The SLDs obtained in this manner are used to find any
+ASNs we may have missed in the first step, or to remove ASNs that do not
+belong to the mitigation infrastructure of a DPS."
+
+The seed comes from AS-to-name data (:class:`repro.routing.asn.ASRegistry`);
+the loop then alternates SLD discovery and ASN discovery until a fixpoint.
+A *purity* test automates the paper's manual vetting: a candidate SLD (or
+ASN) is accepted only if the domains exhibiting it predominantly also
+exhibit the provider's already-accepted references — this is what keeps
+e.g. a registrar's name-server SLD (shared by mostly-unprotected domains)
+out of a provider's fingerprint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.references import ProviderSignature, SignatureCatalog
+from repro.measurement.snapshot import DomainObservation, sld_of
+from repro.routing.asn import ASRegistry
+
+MAX_ITERATIONS = 8
+
+#: Resolves a name-server hostname to the origin ASNs of its addresses.
+#: The measurement platform issues these A lookups anyway; the fingerprint
+#: uses them to decide who *operates* a candidate NS SLD.
+NsHostLookup = Callable[[str], FrozenSet[int]]
+
+
+@dataclass
+class FingerprintResult:
+    """The bootstrap's output for one provider."""
+
+    provider: str
+    asns: FrozenSet[int]
+    cname_slds: FrozenSet[str]
+    ns_slds: FrozenSet[str]
+    iterations: int
+    #: How many observed domains supported each accepted reference.
+    support: Dict[str, int] = field(default_factory=dict)
+
+    def to_signature(self) -> ProviderSignature:
+        return ProviderSignature(
+            name=self.provider,
+            asns=self.asns,
+            cname_slds=self.cname_slds,
+            ns_slds=self.ns_slds,
+        )
+
+
+class FingerprintBootstrap:
+    """Runs the §3.3 procedure over a day's enriched observations."""
+
+    def __init__(
+        self,
+        observations: Sequence[DomainObservation],
+        as_registry: ASRegistry,
+        min_support: int = 3,
+        purity: float = 0.5,
+        ns_host_lookup: Optional[NsHostLookup] = None,
+    ):
+        if not 0.0 < purity <= 1.0:
+            raise ValueError("purity must be in (0, 1]")
+        self._observations = list(observations)
+        self._registry = as_registry
+        self._min_support = min_support
+        self._purity = purity
+        self._ns_host_lookup = ns_host_lookup
+        # Inverted indexes over the observation set.
+        self._by_asn: Dict[int, List[int]] = {}
+        self._by_ns_sld: Dict[str, List[int]] = {}
+        self._by_cname_sld: Dict[str, List[int]] = {}
+        #: NS SLD → the actual name-server hostnames seen under it.
+        self._ns_hosts_by_sld: Dict[str, Set[str]] = {}
+        for index, observation in enumerate(self._observations):
+            for asn in observation.asns:
+                self._by_asn.setdefault(asn, []).append(index)
+            for sld in observation.ns_slds():
+                self._by_ns_sld.setdefault(sld, []).append(index)
+            for hostname in observation.ns_names:
+                sld = sld_of(hostname)
+                if sld is not None:
+                    self._ns_hosts_by_sld.setdefault(sld, set()).add(
+                        hostname
+                    )
+            for sld in observation.cname_slds():
+                self._by_cname_sld.setdefault(sld, []).append(index)
+
+    # -- seed -----------------------------------------------------------------
+
+    def seed_asns(self, provider_name: str) -> FrozenSet[int]:
+        """Seed AS numbers from AS-to-name data."""
+        return frozenset(
+            autonomous_system.number
+            for autonomous_system in self._registry.find_by_name(provider_name)
+        )
+
+    # -- the loop ----------------------------------------------------------------
+
+    def derive(self, provider_name: str) -> FingerprintResult:
+        """Derive the full fingerprint of *provider_name*."""
+        asns: Set[int] = set(self.seed_asns(provider_name))
+        if not asns:
+            raise ValueError(
+                f"no AS registered under a name matching {provider_name!r}"
+            )
+        cname_slds: Set[str] = set()
+        ns_slds: Set[str] = set()
+        support: Dict[str, int] = {}
+
+        iterations = 0
+        for iterations in range(1, MAX_ITERATIONS + 1):
+            referencing = self._domains_referencing(asns, cname_slds, ns_slds)
+            new_cname, new_ns = self._frequent_slds(
+                referencing, asns, support
+            )
+            new_asns = self._asns_from_slds(
+                new_cname | cname_slds, new_ns | ns_slds, provider_name,
+                support,
+            )
+            changed = (
+                not new_cname <= cname_slds
+                or not new_ns <= ns_slds
+                or not new_asns <= asns
+            )
+            cname_slds |= new_cname
+            ns_slds |= new_ns
+            asns |= new_asns
+            if not changed:
+                break
+
+        return FingerprintResult(
+            provider=provider_name,
+            asns=frozenset(asns),
+            cname_slds=frozenset(cname_slds),
+            ns_slds=frozenset(ns_slds),
+            iterations=iterations,
+            support=support,
+        )
+
+    def derive_catalog(
+        self, provider_names: Iterable[str]
+    ) -> SignatureCatalog:
+        """Bootstrap every provider and assemble a detection catalog."""
+        return SignatureCatalog(
+            self.derive(name).to_signature() for name in provider_names
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _domains_referencing(
+        self,
+        asns: Set[int],
+        cname_slds: Set[str],
+        ns_slds: Set[str],
+    ) -> List[int]:
+        indexes: Set[int] = set()
+        for asn in asns:
+            indexes.update(self._by_asn.get(asn, ()))
+        for sld in cname_slds:
+            indexes.update(self._by_cname_sld.get(sld, ()))
+        for sld in ns_slds:
+            indexes.update(self._by_ns_sld.get(sld, ()))
+        return sorted(indexes)
+
+    def _frequent_slds(
+        self,
+        referencing: Sequence[int],
+        asns: Set[int],
+        support: Dict[str, int],
+    ) -> Tuple[Set[str], Set[str]]:
+        """Frequent, *pure* SLDs among the referencing domains."""
+        cname_counts: Counter = Counter()
+        ns_counts: Counter = Counter()
+        for index in referencing:
+            observation = self._observations[index]
+            cname_counts.update(observation.cname_slds())
+            ns_counts.update(observation.ns_slds())
+
+        accepted_cname: Set[str] = set()
+        for sld, count in cname_counts.items():
+            if count < self._min_support:
+                continue
+            if self._sld_purity(self._by_cname_sld.get(sld, ()), asns):
+                accepted_cname.add(sld)
+                support[f"cname:{sld}"] = count
+        accepted_ns: Set[str] = set()
+        for sld, count in ns_counts.items():
+            if count < self._min_support:
+                continue
+            if self._ns_sld_belongs_to_provider(sld, asns):
+                accepted_ns.add(sld)
+                support[f"ns:{sld}"] = count
+        return accepted_cname, accepted_ns
+
+    def _ns_sld_belongs_to_provider(
+        self, sld: str, asns: Set[int]
+    ) -> bool:
+        """Does the provider *operate* the name servers under *sld*?
+
+        With an NS-host lookup (the platform measures name-server
+        addresses too), the decision is direct: some server under the SLD
+        must sit in the provider's address space. This both rejects a
+        parking service whose parked domains all point at the provider
+        (the servers are the parker's own) and accepts a managed-DNS SLD
+        whose customers mostly do not divert (the servers are the
+        provider's even though the customers' addresses are not).
+
+        Without the lookup, fall back to holder purity.
+        """
+        if self._ns_host_lookup is not None:
+            hostnames = self._ns_hosts_by_sld.get(sld, ())
+            return any(
+                self._ns_host_lookup(hostname) & asns
+                for hostname in sorted(hostnames)
+            )
+        return self._sld_purity(self._by_ns_sld.get(sld, ()), asns)
+
+    def _sld_purity(
+        self, holder_indexes: Sequence[int], asns: Set[int]
+    ) -> bool:
+        """Do domains exhibiting this SLD predominantly sit in *asns*?
+
+        This is the automated stand-in for the paper's manual vetting: a
+        hoster's or registrar's SLD is shared mostly by domains outside the
+        provider's address space and fails the test.
+        """
+        if not holder_indexes:
+            return False
+        inside = sum(
+            1
+            for index in holder_indexes
+            if self._observations[index].asns & asns
+        )
+        return inside / len(holder_indexes) >= self._purity
+
+    def _asns_from_slds(
+        self,
+        cname_slds: Set[str],
+        ns_slds: Set[str],
+        provider_name: str,
+        support: Dict[str, int],
+    ) -> Set[int]:
+        """ASNs frequent among SLD-referencing domains, vetted two ways.
+
+        A candidate ASN is accepted when its registered name matches the
+        provider (AS-to-name data) or when a sufficient fraction of *all*
+        domains inside it also carry the provider's SLD references —
+        which rejects hosting ASNs that merely contain a few delegated
+        customers.
+        """
+        holder_indexes: Set[int] = set()
+        for sld in cname_slds:
+            holder_indexes.update(self._by_cname_sld.get(sld, ()))
+        for sld in ns_slds:
+            holder_indexes.update(self._by_ns_sld.get(sld, ()))
+
+        asn_counts: Counter = Counter()
+        for index in holder_indexes:
+            asn_counts.update(self._observations[index].asns)
+
+        accepted: Set[int] = set()
+        needle = provider_name.lower()
+        for asn, count in asn_counts.items():
+            if count < self._min_support:
+                continue
+            registered = self._registry.get(asn)
+            if registered is not None and needle in registered.name.lower():
+                accepted.add(asn)
+                support[f"asn:{asn}"] = count
+                continue
+            population = self._by_asn.get(asn, ())
+            if not population:
+                continue
+            referencing = sum(
+                1 for index in population if index in holder_indexes
+            )
+            if referencing / len(population) >= self._purity:
+                accepted.add(asn)
+                support[f"asn:{asn}"] = count
+        return accepted

@@ -1,0 +1,365 @@
+"""Full-study orchestration: world → measurement → analysis artifacts.
+
+:class:`AdoptionStudy` wires the measurement platform and every analysis
+stage together and produces a :class:`StudyResults` carrying the inputs of
+every table and figure in the paper's evaluation:
+
+* Table 1 — data set statistics (via sampled columnar measurement);
+* Table 2 — the fingerprint bootstrap's derived catalog;
+* Fig. 2  — daily DPS use per TLD and combined;
+* Fig. 3  — per-provider daily use with AS/CNAME/NS breakdown;
+* Fig. 4  — namespace vs DPS-use distribution over the gTLDs;
+* Fig. 5  — growth of DPS use vs zone expansion (gTLDs);
+* Fig. 6  — growth in .nl and the Alexa list;
+* Fig. 7  — per-provider flux (first/last seen deltas);
+* Fig. 8  — on-demand peak-duration CDFs;
+* §4.4.1  — anomaly attribution to third parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.attribution import AnomalyAttributor, Attribution
+from repro.core.classification import DomainUsage, UsageClassifier
+from repro.core.detection import DetectionResult, SegmentDetector
+from repro.core.fingerprint import FingerprintBootstrap, FingerprintResult
+from repro.core.flux import FluxAnalysis, FluxSeries
+from repro.core.growth import GrowthAnalysis, GrowthSeries
+from repro.core.peaks import PeakAnalysis, PeakStats
+from repro.core.references import SignatureCatalog
+from repro.measurement.enrich import AsnEnricher
+from repro.measurement.prober import FastProber
+from repro.measurement.scheduler import ClusterManager
+from repro.measurement.snapshot import (
+    MEASUREMENTS_PER_DOMAIN_DAY,
+    ObservationSegment,
+)
+from repro.measurement.storage import ColumnStore
+from repro.world.timeline import CCTLD_START_DAY
+from repro.world.world import World
+
+GTLDS = ("com", "net", "org")
+
+
+@dataclass
+class DatasetRow:
+    """One Table 1 row."""
+
+    source: str
+    start_day: int
+    days: int
+    slds: int
+    data_points: int
+    estimated_bytes: int
+
+
+@dataclass
+class StudyResults:
+    """Everything the study produces, keyed by paper artifact."""
+
+    horizon: int
+    #: Fig. 2 / Fig. 3 inputs.
+    detection_gtld: DetectionResult
+    detection_nl: DetectionResult
+    detection_alexa: DetectionResult
+    #: Daily zone sizes per TLD.
+    zone_sizes: Dict[str, List[int]]
+    #: Fig. 5 series.
+    growth_gtld: Dict[str, GrowthSeries]
+    #: Fig. 6 series.
+    growth_cc: Dict[str, GrowthSeries]
+    #: Fig. 7.
+    flux: Dict[str, FluxSeries]
+    #: Fig. 8.
+    peaks: Dict[str, PeakStats]
+    #: §3.4 classification.
+    usages: List[DomainUsage]
+    #: Fig. 4 distributions: tld → share.
+    namespace_distribution: Dict[str, float]
+    dps_distribution: Dict[str, float]
+    #: Table 1.
+    dataset_table: List[DatasetRow]
+    #: §4.4.1.
+    attributions: List[Attribution]
+    #: Per-domain enriched segments (kept for follow-up analyses).
+    segments: Dict[str, List[ObservationSegment]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def provider_growth_factor(self) -> float:
+        """The headline number: DPS adoption growth over the gTLD window."""
+        return self.growth_gtld["DPS adoption"].growth_factor
+
+    def expansion_factor(self) -> float:
+        return self.growth_gtld["Overall expansion"].growth_factor
+
+
+class AdoptionStudy:
+    """Runs the full methodology over a world."""
+
+    def __init__(
+        self,
+        world: World,
+        catalog: Optional[SignatureCatalog] = None,
+        growth: Optional[GrowthAnalysis] = None,
+        sample_days_for_storage: int = 2,
+    ):
+        self.world = world
+        self.catalog = catalog or SignatureCatalog.paper_table2()
+        self.growth = growth or GrowthAnalysis()
+        self._sample_days = sample_days_for_storage
+        self.prober = FastProber(world)
+        self.enricher = AsnEnricher(world)
+
+    # -- measurement -----------------------------------------------------------
+
+    def collect_segments(self) -> Dict[str, List[ObservationSegment]]:
+        """Enriched observation segments for every domain in the world."""
+        segments: Dict[str, List[ObservationSegment]] = {}
+        for name in self.world.domains:
+            raw = self.prober.observe_segments(name)
+            segments[name] = self.enricher.enrich_segments(raw)
+        return segments
+
+    def _detect(
+        self,
+        segments: Mapping[str, List[ObservationSegment]],
+        names: Sequence[str],
+    ) -> DetectionResult:
+        detector = SegmentDetector(self.catalog, self.world.horizon)
+        for name in names:
+            domain_segments = segments.get(name)
+            if domain_segments:
+                detector.process_domain(
+                    name, self.world.domains[name].tld, domain_segments
+                )
+        return detector.result()
+
+    def _detect_alexa(
+        self, segments: Mapping[str, List[ObservationSegment]]
+    ) -> DetectionResult:
+        """Detection over the ranking, honouring membership windows.
+
+        A domain only counts on days it is actually on the list, so each
+        segment is clipped to the name's membership windows before
+        detection.
+        """
+        detector = SegmentDetector(self.catalog, self.world.horizon)
+        for name in self.world.alexa_names:
+            domain_segments = segments.get(name)
+            windows = self.world.alexa_membership(name)
+            if not domain_segments or not windows:
+                continue
+            clipped: List[ObservationSegment] = []
+            for segment in domain_segments:
+                for window_start, window_end in windows:
+                    lo = max(segment.start, window_start)
+                    hi = min(segment.end, window_end)
+                    if lo < hi:
+                        clipped.append(
+                            ObservationSegment(lo, hi, segment.observation)
+                        )
+            if clipped:
+                detector.process_domain(
+                    name, self.world.domains[name].tld, clipped
+                )
+        return detector.result()
+
+    # -- the full study -----------------------------------------------------------
+
+    def run(self) -> StudyResults:
+        world = self.world
+        horizon = world.horizon
+        window_start = CCTLD_START_DAY
+
+        segments = self.collect_segments()
+
+        gtld_names = [
+            name for name, timeline in world.domains.items()
+            if timeline.tld in GTLDS
+        ]
+        nl_names = [
+            name for name, timeline in world.domains.items()
+            if timeline.tld == "nl"
+        ]
+        detection_gtld = self._detect(segments, gtld_names)
+        detection_nl = self._detect(segments, nl_names)
+        detection_alexa = self._detect_alexa(segments)
+
+        zone_sizes = {
+            tld: world.zone_size_series(tld)
+            for tld in list(GTLDS) + ["nl"]
+        }
+
+        # Fig. 5: gTLD adoption vs expansion, relative to the window start.
+        expansion = [
+            sum(zone_sizes[tld][day] for tld in GTLDS)
+            for day in range(horizon)
+        ]
+        growth_gtld = self.growth.compare(
+            {
+                "DPS adoption": detection_gtld.any_use_combined,
+                "Overall expansion": expansion,
+            }
+        )
+
+        # Fig. 6: .nl and Alexa over the six-month window.
+        nl_adoption = detection_nl.any_use_combined[window_start:]
+        nl_expansion = zone_sizes["nl"][window_start:]
+        alexa_adoption = detection_alexa.any_use_combined[window_start:]
+        growth_cc = self.growth.compare(
+            {
+                "DPS adoption (.nl)": nl_adoption,
+                "Overall expansion (.nl)": nl_expansion,
+                "DPS adoption (Alexa)": alexa_adoption,
+            }
+        )
+
+        flux = FluxAnalysis(horizon).analyze(detection_gtld)
+        peaks = PeakAnalysis(horizon).analyze(detection_gtld)
+
+        lifetimes = {
+            name: timeline.lifespan(horizon)
+            for name, timeline in world.domains.items()
+        }
+        classifier = UsageClassifier(horizon)
+        usages = classifier.classify_result(detection_gtld, lifetimes)
+
+        namespace_distribution = self._namespace_distribution(zone_sizes)
+        dps_distribution = self._dps_distribution(detection_gtld)
+
+        dataset_table = self.build_dataset_table()
+
+        attributor = AnomalyAttributor(
+            detection_gtld, segments, self.catalog
+        )
+        attributions = attributor.attribute_all()
+
+        return StudyResults(
+            horizon=horizon,
+            detection_gtld=detection_gtld,
+            detection_nl=detection_nl,
+            detection_alexa=detection_alexa,
+            zone_sizes=zone_sizes,
+            growth_gtld=growth_gtld,
+            growth_cc=growth_cc,
+            flux=flux,
+            peaks=peaks,
+            usages=usages,
+            namespace_distribution=namespace_distribution,
+            dps_distribution=dps_distribution,
+            dataset_table=dataset_table,
+            attributions=attributions,
+            segments=segments,
+        )
+
+    # -- Fig. 4 -----------------------------------------------------------------
+
+    def _namespace_distribution(
+        self, zone_sizes: Mapping[str, List[int]]
+    ) -> Dict[str, float]:
+        averages = {
+            tld: sum(zone_sizes[tld]) / max(1, len(zone_sizes[tld]))
+            for tld in GTLDS
+        }
+        total = sum(averages.values())
+        return {tld: value / total for tld, value in averages.items()}
+
+    def _dps_distribution(
+        self, detection: DetectionResult
+    ) -> Dict[str, float]:
+        averages = {}
+        for tld in GTLDS:
+            series = detection.any_use_by_tld.get(tld, [0])
+            averages[tld] = sum(series) / max(1, len(series))
+        total = sum(averages.values()) or 1.0
+        return {tld: value / total for tld, value in averages.items()}
+
+    # -- Table 1 --------------------------------------------------------------------
+
+    def build_dataset_table(self) -> List[DatasetRow]:
+        """Table 1: per-source SLD counts, data points, and storage.
+
+        Data-point totals come from the zone-size series (four measurements
+        per domain-day); byte sizes are measured on sampled days through
+        the real columnar store and extrapolated — the honest equivalent of
+        reporting cluster storage you cannot rerun in full.
+        """
+        world = self.world
+        manager = ClusterManager(world, store=ColumnStore(), enrich=True)
+        rows: List[DatasetRow] = []
+        for source in list(GTLDS) + ["nl", "alexa"]:
+            if source == "alexa":
+                start, days = CCTLD_START_DAY, world.horizon - CCTLD_START_DAY
+                slds = len(world.alexa_names)
+                domain_days = world.alexa_member_days(start, days)
+            else:
+                start, days = world.tld_windows[source]
+                slds = world.unique_slds(source)
+                sizes = world.zone_size_series(source)
+                domain_days = sum(sizes[start : start + days])
+            data_points = domain_days * MEASUREMENTS_PER_DOMAIN_DAY
+            sample_days = [
+                start + offset * max(1, days // (self._sample_days + 1))
+                for offset in range(1, self._sample_days + 1)
+            ]
+            sampled_bytes = 0
+            sampled_points = 0
+            for day in sample_days:
+                manager.measure_day(source, day)
+                stats = manager.store.partition_stats(source, day)
+                sampled_bytes += stats.encoded_bytes
+                sampled_points += stats.data_points
+            bytes_per_point = (
+                sampled_bytes / sampled_points if sampled_points else 0.0
+            )
+            rows.append(
+                DatasetRow(
+                    source=source,
+                    start_day=start,
+                    days=days,
+                    slds=slds,
+                    data_points=data_points,
+                    estimated_bytes=int(data_points * bytes_per_point),
+                )
+            )
+        return rows
+
+    # -- Table 2 ---------------------------------------------------------------------
+
+    def derive_table2(
+        self, day: int = 30, min_support: int = 3, purity: float = 0.5
+    ) -> Dict[str, FingerprintResult]:
+        """Run the §3.3 bootstrap on one day's full measurement.
+
+        The bootstrap additionally gets an NS-host lookup — the platform
+        measures name-server addresses too — so it can decide who
+        *operates* a candidate NS SLD (rejecting e.g. a parking provider
+        whose parked domains all sit in a DPS's address space, and
+        accepting a managed-DNS SLD whose customers mostly don't divert).
+        """
+        manager = ClusterManager(self.world, enrich=True)
+        observations = []
+        for source in GTLDS:
+            observations.extend(manager.measure_day(source, day))
+        pfx2as = self.world.pfx2as_at(day)
+
+        def ns_host_lookup(hostname: str):
+            address = self.world.ns_host_address(hostname)
+            if address is None:
+                return frozenset()
+            return pfx2as.lookup(address)
+
+        bootstrap = FingerprintBootstrap(
+            observations,
+            self.world.as_registry,
+            min_support=min_support,
+            purity=purity,
+            ns_host_lookup=ns_host_lookup,
+        )
+        return {
+            name: bootstrap.derive(name)
+            for name in self.catalog.provider_names
+        }

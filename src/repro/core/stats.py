@@ -1,0 +1,106 @@
+"""Statistical support: uncertainty on the growth estimates.
+
+The paper reports point estimates (1.24×); this module adds a
+moving-block bootstrap over the cleaned daily series so the reproduction
+can state a confidence interval, and a helper for comparing two growth
+estimates (used by the cleaning-validation ablation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.growth import GrowthSeries, median_smooth
+
+
+@dataclass(frozen=True)
+class GrowthEstimate:
+    """A growth factor with a bootstrap confidence interval."""
+
+    factor: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.factor:.3f}x "
+            f"({self.confidence * 100:.0f}% CI "
+            f"{self.low:.3f}–{self.high:.3f})"
+        )
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _log_increments(values: Sequence[float]) -> List[float]:
+    increments = []
+    for left, right in zip(values, values[1:]):
+        if left <= 0 or right <= 0:
+            increments.append(0.0)
+        else:
+            increments.append(math.log(right / left))
+    return increments
+
+
+def growth_confidence_interval(
+    series: GrowthSeries,
+    n_bootstrap: int = 200,
+    block_days: int = 28,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> GrowthEstimate:
+    """Moving-block bootstrap CI for a series' growth factor.
+
+    The cleaned series' daily log-increments are resampled in contiguous
+    blocks (preserving short-range dependence), summed to a bootstrap
+    growth factor, and the empirical quantiles give the interval.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if block_days < 1:
+        raise ValueError("block_days must be positive")
+    increments = _log_increments(series.cleaned)
+    if len(increments) < block_days:
+        block_days = max(1, len(increments))
+    rng = random.Random(seed)
+    blocks_needed = max(1, len(increments) // block_days)
+    # Blocks cover blocks_needed·block_days of the len(increments)-day
+    # horizon; rescale so bootstrap factors span the full period.
+    horizon_scale = len(increments) / max(1, blocks_needed * block_days)
+    factors: List[float] = []
+    max_start = len(increments) - block_days
+    for _ in range(n_bootstrap):
+        total = 0.0
+        for _ in range(blocks_needed):
+            start = rng.randint(0, max(0, max_start))
+            total += sum(increments[start : start + block_days])
+        factors.append(math.exp(total * horizon_scale))
+    # Recentre on the reported (smoothed) factor: the bootstrap resamples
+    # the cleaned series, whose endpoint ratio differs slightly from the
+    # smoothed-endpoint headline number.
+    cleaned_start = series.cleaned[0]
+    cleaned_end = series.cleaned[-1]
+    if cleaned_start > 0 and cleaned_end > 0:
+        centre_shift = series.growth_factor / (cleaned_end / cleaned_start)
+        factors = [factor * centre_shift for factor in factors]
+    factors.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = max(0, int(alpha * len(factors)))
+    hi_index = min(len(factors) - 1, int((1.0 - alpha) * len(factors)))
+    return GrowthEstimate(
+        factor=series.growth_factor,
+        low=factors[lo_index],
+        high=factors[hi_index],
+        confidence=confidence,
+    )
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate − truth| / truth — the cleaning-validation metric."""
+    if truth == 0:
+        raise ValueError("truth must be non-zero")
+    return abs(estimate - truth) / abs(truth)

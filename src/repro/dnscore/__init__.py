@@ -1,0 +1,86 @@
+"""A self-contained DNS substrate.
+
+This package implements the pieces of the Domain Name System that the
+paper's measurement pipeline depends on: domain names, typed resource
+records, RFC 1035 wire-format encoding/decoding (with name compression),
+zones with master-file parsing, the RFC 1034 authoritative-server lookup
+algorithm, and an iterative resolver with CNAME chasing that runs over a
+simulated UDP-like transport.
+
+The substrate is deliberately complete enough that a measurement worker can
+perform a *real* resolution — root referral, TLD referral, authoritative
+answer, cross-zone CNAME expansion — entirely inside the process.
+"""
+
+from repro.dnscore.name import DomainName, InvalidNameError
+from repro.dnscore.rrtypes import RRClass, RRType, Opcode, Rcode
+from repro.dnscore.records import (
+    AData,
+    AAAAData,
+    CNAMEData,
+    MXData,
+    NSData,
+    PTRData,
+    RRset,
+    ResourceRecord,
+    SOAData,
+    TXTData,
+)
+from repro.dnscore.message import (
+    EdnsInfo,
+    Flags,
+    Message,
+    Question,
+    make_query,
+    make_response,
+)
+from repro.dnscore.wire import WireDecodeError, decode_message, encode_message
+from repro.dnscore.zone import Zone, ZoneError, parse_zone_text
+from repro.dnscore.server import AuthoritativeServer
+from repro.dnscore.transport import SimulatedNetwork, TransportError
+from repro.dnscore.resolver import (
+    IterativeResolver,
+    ResolutionError,
+    ResolutionResult,
+    ResolverCache,
+    StubResolver,
+)
+
+__all__ = [
+    "AAAAData",
+    "AData",
+    "AuthoritativeServer",
+    "CNAMEData",
+    "DomainName",
+    "EdnsInfo",
+    "Flags",
+    "InvalidNameError",
+    "IterativeResolver",
+    "MXData",
+    "Message",
+    "NSData",
+    "Opcode",
+    "PTRData",
+    "Question",
+    "RRClass",
+    "RRType",
+    "RRset",
+    "Rcode",
+    "ResolutionError",
+    "ResolutionResult",
+    "ResolverCache",
+    "ResourceRecord",
+    "SOAData",
+    "SimulatedNetwork",
+    "StubResolver",
+    "TXTData",
+    "TransportError",
+    "WireDecodeError",
+    "Zone",
+    "ZoneError",
+    "decode_message",
+    "encode_message",
+    "make_query",
+    "make_response",
+    "parse_zone_text",
+]

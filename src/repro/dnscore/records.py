@@ -1,0 +1,365 @@
+"""Typed resource records and RRsets.
+
+Each record carries a typed ``rdata`` object; rdata classes know how to
+render themselves in master-file presentation format and how to encode and
+decode their wire form. Name-bearing rdata (NS, CNAME, MX, PTR, SOA) expose
+the embedded names so the codec can apply RFC 1035 name compression.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dnscore.name import DomainName
+from repro.dnscore.rrtypes import RRClass, RRType
+
+DEFAULT_TTL = 3600
+
+
+class RData:
+    """Base class for typed record data."""
+
+    rrtype: RRType
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def encode(self, compressor) -> bytes:
+        """Encode to wire form. *compressor* resolves embedded names."""
+        raise NotImplementedError
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "RData":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AData(RData):
+    """IPv4 address record data."""
+
+    address: ipaddress.IPv4Address
+    rrtype = RRType.A
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.address, ipaddress.IPv4Address):
+            object.__setattr__(
+                self, "address", ipaddress.IPv4Address(self.address)
+            )
+
+    def to_text(self) -> str:
+        return str(self.address)
+
+    def encode(self, compressor) -> bytes:
+        return self.address.packed
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "AData":
+        if rdlength != 4:
+            raise ValueError(f"A rdata must be 4 octets, got {rdlength}")
+        return cls(ipaddress.IPv4Address(reader.read(4)))
+
+
+@dataclass(frozen=True)
+class AAAAData(RData):
+    """IPv6 address record data."""
+
+    address: ipaddress.IPv6Address
+    rrtype = RRType.AAAA
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.address, ipaddress.IPv6Address):
+            object.__setattr__(
+                self, "address", ipaddress.IPv6Address(self.address)
+            )
+
+    def to_text(self) -> str:
+        return str(self.address)
+
+    def encode(self, compressor) -> bytes:
+        return self.address.packed
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "AAAAData":
+        if rdlength != 16:
+            raise ValueError(f"AAAA rdata must be 16 octets, got {rdlength}")
+        return cls(ipaddress.IPv6Address(reader.read(16)))
+
+
+@dataclass(frozen=True)
+class NSData(RData):
+    """Name-server record data."""
+
+    nsdname: DomainName
+    rrtype = RRType.NS
+
+    def to_text(self) -> str:
+        return self.nsdname.to_text(trailing_dot=True)
+
+    def encode(self, compressor) -> bytes:
+        return compressor.encode_name(self.nsdname)
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "NSData":
+        return cls(reader.read_name())
+
+
+@dataclass(frozen=True)
+class CNAMEData(RData):
+    """Canonical-name (alias) record data."""
+
+    target: DomainName
+    rrtype = RRType.CNAME
+
+    def to_text(self) -> str:
+        return self.target.to_text(trailing_dot=True)
+
+    def encode(self, compressor) -> bytes:
+        return compressor.encode_name(self.target)
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "CNAMEData":
+        return cls(reader.read_name())
+
+
+@dataclass(frozen=True)
+class PTRData(RData):
+    """Pointer record data (reverse mapping)."""
+
+    ptrdname: DomainName
+    rrtype = RRType.PTR
+
+    def to_text(self) -> str:
+        return self.ptrdname.to_text(trailing_dot=True)
+
+    def encode(self, compressor) -> bytes:
+        return compressor.encode_name(self.ptrdname)
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "PTRData":
+        return cls(reader.read_name())
+
+
+@dataclass(frozen=True)
+class MXData(RData):
+    """Mail-exchange record data."""
+
+    preference: int
+    exchange: DomainName
+    rrtype = RRType.MX
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange.to_text(trailing_dot=True)}"
+
+    def encode(self, compressor) -> bytes:
+        return struct.pack("!H", self.preference) + compressor.encode_name(
+            self.exchange
+        )
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "MXData":
+        (preference,) = struct.unpack("!H", reader.read(2))
+        return cls(preference, reader.read_name())
+
+
+@dataclass(frozen=True)
+class TXTData(RData):
+    """Text record data: one or more character strings."""
+
+    strings: Tuple[bytes, ...]
+    rrtype = RRType.TXT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "strings", tuple(bytes(s) for s in self.strings)
+        )
+        for chunk in self.strings:
+            if len(chunk) > 255:
+                raise ValueError("TXT character-string exceeds 255 octets")
+
+    def to_text(self) -> str:
+        return " ".join(
+            '"' + s.decode("ascii", "backslashreplace") + '"'
+            for s in self.strings
+        )
+
+    def encode(self, compressor) -> bytes:
+        return b"".join(bytes([len(s)]) + s for s in self.strings)
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "TXTData":
+        end = reader.offset + rdlength
+        strings: List[bytes] = []
+        while reader.offset < end:
+            (length,) = reader.read(1)
+            strings.append(reader.read(length))
+        return cls(tuple(strings))
+
+
+@dataclass(frozen=True)
+class SOAData(RData):
+    """Start-of-authority record data."""
+
+    mname: DomainName
+    rname: DomainName
+    serial: int
+    refresh: int = 7200
+    retry: int = 900
+    expire: int = 1209600
+    minimum: int = 86400
+    rrtype = RRType.SOA
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname.to_text(trailing_dot=True)} "
+            f"{self.rname.to_text(trailing_dot=True)} "
+            f"{self.serial} {self.refresh} {self.retry} "
+            f"{self.expire} {self.minimum}"
+        )
+
+    def encode(self, compressor) -> bytes:
+        return (
+            compressor.encode_name(self.mname)
+            + compressor.encode_name(self.rname)
+            + struct.pack(
+                "!IIIII",
+                self.serial,
+                self.refresh,
+                self.retry,
+                self.expire,
+                self.minimum,
+            )
+        )
+
+    @classmethod
+    def decode(cls, reader, rdlength: int) -> "SOAData":
+        mname = reader.read_name()
+        rname = reader.read_name()
+        serial, refresh, retry, expire, minimum = struct.unpack(
+            "!IIIII", reader.read(20)
+        )
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+
+@dataclass(frozen=True)
+class OpaqueData(RData):
+    """Fallback for record types this library does not model natively."""
+
+    type_value: int
+    data: bytes
+
+    @property
+    def rrtype(self) -> int:  # type: ignore[override]
+        return self.type_value
+
+    def to_text(self) -> str:
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+    def encode(self, compressor) -> bytes:
+        return self.data
+
+
+RDATA_CLASSES: Dict[RRType, type] = {
+    RRType.A: AData,
+    RRType.AAAA: AAAAData,
+    RRType.NS: NSData,
+    RRType.CNAME: CNAMEData,
+    RRType.PTR: PTRData,
+    RRType.MX: MXData,
+    RRType.TXT: TXTData,
+    RRType.SOA: SOAData,
+}
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS resource record: owner name, type, class, TTL, rdata."""
+
+    name: DomainName
+    rrtype: RRType
+    rdata: RData
+    ttl: int = DEFAULT_TTL
+    rrclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        if isinstance(self.rdata, OpaqueData):
+            return
+        if self.rdata.rrtype != self.rrtype:
+            raise ValueError(
+                f"rdata type {self.rdata.rrtype} does not match "
+                f"record type {self.rrtype}"
+            )
+
+    def to_text(self) -> str:
+        """Master-file presentation: ``name ttl class type rdata``."""
+        return (
+            f"{self.name.to_text(trailing_dot=True)} {self.ttl} "
+            f"{self.rrclass.name} {RRType(self.rrtype).name} "
+            f"{self.rdata.to_text()}"
+        )
+
+
+@dataclass
+class RRset:
+    """All records sharing an owner name, class, and type."""
+
+    name: DomainName
+    rrtype: RRType
+    records: List[ResourceRecord] = field(default_factory=list)
+
+    def add(self, record: ResourceRecord) -> None:
+        if record.name != self.name or record.rrtype != self.rrtype:
+            raise ValueError("record does not belong to this RRset")
+        if record not in self.records:
+            self.records.append(record)
+
+    def __iter__(self) -> Iterator[ResourceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    @property
+    def ttl(self) -> int:
+        return min((r.ttl for r in self.records), default=DEFAULT_TTL)
+
+    def rdata_texts(self) -> List[str]:
+        return sorted(r.rdata.to_text() for r in self.records)
+
+
+def make_record(
+    name: str,
+    rrtype: RRType,
+    value: str,
+    ttl: int = DEFAULT_TTL,
+) -> ResourceRecord:
+    """Convenience constructor from presentation-ish values.
+
+    >>> make_record("www.example.com", RRType.A, "192.0.2.1").rdata.to_text()
+    '192.0.2.1'
+    """
+    owner = DomainName.from_text(name)
+    rdata: RData
+    if rrtype == RRType.A:
+        rdata = AData(ipaddress.IPv4Address(value))
+    elif rrtype == RRType.AAAA:
+        rdata = AAAAData(ipaddress.IPv6Address(value))
+    elif rrtype == RRType.NS:
+        rdata = NSData(DomainName.from_text(value))
+    elif rrtype == RRType.CNAME:
+        rdata = CNAMEData(DomainName.from_text(value))
+    elif rrtype == RRType.PTR:
+        rdata = PTRData(DomainName.from_text(value))
+    elif rrtype == RRType.TXT:
+        rdata = TXTData((value.encode("ascii"),))
+    elif rrtype == RRType.MX:
+        pref_text, exchange = value.split(None, 1)
+        rdata = MXData(int(pref_text), DomainName.from_text(exchange))
+    else:
+        raise ValueError(f"make_record does not support {rrtype!r}")
+    return ResourceRecord(owner, rrtype, rdata, ttl=ttl)

@@ -1,0 +1,390 @@
+"""Stub and iterative DNS resolvers over the simulated network.
+
+The iterative resolver starts from root hints and follows referrals down the
+delegation tree, resolving out-of-bailiwick name-server names as needed, and
+chases CNAME chains across zones — producing the *full CNAME expansion* that
+the paper's detection methodology consumes (§3.1: "All fields from the
+answer section of a DNS response are stored, which includes CNAMEs and their
+full expansions").
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dnscore.name import DomainName
+from repro.dnscore.message import Flags, Message, make_query
+from repro.dnscore.records import ResourceRecord
+from repro.dnscore.rrtypes import Rcode, RRType
+from repro.dnscore.transport import IPAddress, SimulatedNetwork, TransportError
+from repro.dnscore.wire import decode_message, encode_message
+
+MAX_REFERRALS = 24
+MAX_CNAME_DEPTH = 12
+RETRIES_PER_SERVER = 2
+
+
+class ResolutionError(Exception):
+    """Raised when a name cannot be resolved at all (network failure)."""
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of a resolution: rcode plus the accumulated answer chain."""
+
+    qname: DomainName
+    qtype: RRType
+    rcode: Rcode
+    #: Every answer-section record gathered along the CNAME chain, in order.
+    answers: List[ResourceRecord] = field(default_factory=list)
+    #: Authority-section records from the final authoritative response.
+    authority: List[ResourceRecord] = field(default_factory=list)
+    #: How many queries were sent on the wire for this resolution.
+    queries_sent: int = 0
+
+    @property
+    def cname_chain(self) -> List[DomainName]:
+        """The CNAME targets in expansion order."""
+        return [
+            r.rdata.target  # type: ignore[union-attr]
+            for r in self.answers
+            if r.rrtype == RRType.CNAME
+        ]
+
+    def addresses(self) -> List[str]:
+        """All A/AAAA addresses in the final expansion, as text."""
+        return [
+            r.rdata.to_text()
+            for r in self.answers
+            if r.rrtype in (RRType.A, RRType.AAAA)
+        ]
+
+    def rrs(self, rrtype: RRType) -> List[ResourceRecord]:
+        return [r for r in self.answers if r.rrtype == rrtype]
+
+
+#: Fallback negative-cache TTL when the response carries no SOA (RFC 2308
+#: recommends capping negative TTLs anyway).
+DEFAULT_NEGATIVE_TTL = 300
+
+
+class ResolverCache:
+    """A TTL-aware positive and negative cache keyed by (name, type).
+
+    Negative entries (RFC 2308) remember NXDOMAIN/NODATA outcomes with a
+    TTL taken from the authority SOA. Time is a logical clock advanced by
+    the caller, which keeps resolution fully deterministic in tests and
+    simulations.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[
+            Tuple[DomainName, RRType], Tuple[float, List[ResourceRecord]]
+        ] = {}
+        self._negative: Dict[
+            Tuple[DomainName, RRType], Tuple[float, Rcode]
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+        self.negative_hits = 0
+
+    def get(
+        self, name: DomainName, rrtype: RRType, now: float
+    ) -> Optional[List[ResourceRecord]]:
+        entry = self._entries.get((name, rrtype))
+        if entry is None:
+            self.misses += 1
+            return None
+        expires, records = entry
+        if now >= expires:
+            del self._entries[(name, rrtype)]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return list(records)
+
+    def put(
+        self,
+        name: DomainName,
+        rrtype: RRType,
+        records: Sequence[ResourceRecord],
+        now: float,
+    ) -> None:
+        if not records:
+            return
+        ttl = min(r.ttl for r in records)
+        self._entries[(name, rrtype)] = (now + ttl, list(records))
+
+    def get_negative(
+        self, name: DomainName, rrtype: RRType, now: float
+    ) -> Optional[Rcode]:
+        """The cached negative outcome for (name, type), if unexpired."""
+        entry = self._negative.get((name, rrtype))
+        if entry is None:
+            return None
+        expires, rcode = entry
+        if now >= expires:
+            del self._negative[(name, rrtype)]
+            return None
+        self.negative_hits += 1
+        return rcode
+
+    def put_negative(
+        self,
+        name: DomainName,
+        rrtype: RRType,
+        rcode: Rcode,
+        ttl: int,
+        now: float,
+    ) -> None:
+        if ttl <= 0:
+            return
+        self._negative[(name, rrtype)] = (now + ttl, rcode)
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self._negative.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._negative)
+
+
+class StubResolver:
+    """Sends single queries to a fixed server address, over the wire."""
+
+    def __init__(self, network: SimulatedNetwork, server: IPAddress):
+        self._network = network
+        self._server = ipaddress.ip_address(server)
+        self._msg_ids = itertools.count(1)
+
+    def query(self, qname: DomainName, qtype: RRType) -> Message:
+        """One wire round-trip; raises ResolutionError on network failure."""
+        request = make_query(qname, qtype, msg_id=next(self._msg_ids) & 0xFFFF)
+        payload = encode_message(request)
+        last_error: Optional[Exception] = None
+        for _ in range(RETRIES_PER_SERVER):
+            try:
+                raw = self._network.query(self._server, payload)
+            except TransportError as exc:
+                last_error = exc
+                continue
+            response = decode_message(raw)
+            if response.msg_id != request.msg_id:
+                raise ResolutionError("response id mismatch")
+            return response
+        raise ResolutionError(f"no response from {self._server}: {last_error}")
+
+
+class IterativeResolver:
+    """Full iterative resolution from root hints, with a positive cache."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        root_servers: Sequence[IPAddress],
+        cache: Optional[ResolverCache] = None,
+        edns_payload_size: Optional[int] = None,
+    ):
+        if not root_servers:
+            raise ValueError("at least one root server is required")
+        self._network = network
+        self._roots = [ipaddress.ip_address(a) for a in root_servers]
+        self._cache = cache
+        self._edns_payload_size = edns_payload_size
+        self._msg_ids = itertools.count(1)
+        self.clock = 0.0
+
+    # -- public API ------------------------------------------------------------
+
+    def resolve(
+        self, qname: DomainName, qtype: RRType
+    ) -> ResolutionResult:
+        """Resolve *qname*/*qtype*, chasing CNAMEs across zones."""
+        result = ResolutionResult(qname=qname, qtype=qtype, rcode=Rcode.NOERROR)
+        current = qname
+        seen: set = set()
+        for _ in range(MAX_CNAME_DEPTH):
+            if current in seen:
+                raise ResolutionError(f"CNAME loop at {current}")
+            seen.add(current)
+            response = self._resolve_once(current, qtype, result)
+            result.rcode = response.flags.rcode
+            result.authority = list(response.authority)
+            new_answers = self._chain_answers(response, current, qtype)
+            result.answers.extend(new_answers)
+            terminal = [r for r in new_answers if r.rrtype == qtype]
+            cnames = [r for r in new_answers if r.rrtype == RRType.CNAME]
+            if terminal or not cnames:
+                return result
+            current = cnames[-1].rdata.target  # type: ignore[union-attr]
+        raise ResolutionError(f"CNAME chain exceeds {MAX_CNAME_DEPTH}")
+
+    # -- internals ----------------------------------------------------------------
+
+    def _chain_answers(
+        self, response: Message, qname: DomainName, qtype: RRType
+    ) -> List[ResourceRecord]:
+        """Order answer records along the CNAME chain starting at *qname*."""
+        remaining = list(response.answers)
+        ordered: List[ResourceRecord] = []
+        current = qname
+        progress = True
+        while progress:
+            progress = False
+            matched = [r for r in remaining if r.name == current]
+            for record in matched:
+                remaining.remove(record)
+                ordered.append(record)
+                if record.rrtype == RRType.CNAME:
+                    current = record.rdata.target  # type: ignore[union-attr]
+                    progress = True
+        ordered.extend(remaining)
+        return ordered
+
+    def _resolve_once(
+        self, qname: DomainName, qtype: RRType, result: ResolutionResult
+    ) -> Message:
+        """Resolve one link of the chain by walking down from the roots."""
+        if self._cache is not None:
+            cached = self._cache.get(qname, qtype, self.clock)
+            if cached is None and qtype != RRType.CNAME:
+                cached = self._cache.get(qname, RRType.CNAME, self.clock)
+            if cached is not None:
+                synthetic = Message()
+                synthetic.answers = cached
+                return synthetic
+            negative = self._cache.get_negative(qname, qtype, self.clock)
+            if negative is not None:
+                synthetic = Message()
+                synthetic.flags = Flags(qr=True, rcode=negative)
+                return synthetic
+
+        servers: List[IPAddress] = list(self._roots)
+        for _ in range(MAX_REFERRALS):
+            response = self._ask_any(servers, qname, qtype, result)
+            if response.flags.rcode not in (Rcode.NOERROR, Rcode.NXDOMAIN):
+                return response
+            if response.answers or response.flags.rcode == Rcode.NXDOMAIN:
+                self._cache_response(response)
+                if response.flags.rcode == Rcode.NXDOMAIN:
+                    self._cache_negative(qname, qtype, response)
+                return response
+            if response.is_referral():
+                servers = self._servers_from_referral(response, result)
+                if not servers:
+                    raise ResolutionError(
+                        f"referral for {qname} has no reachable servers"
+                    )
+                continue
+            # Authoritative NODATA.
+            self._cache_negative(qname, qtype, response)
+            return response
+        raise ResolutionError(f"referral chain for {qname} too long")
+
+    def _servers_from_referral(
+        self, response: Message, result: ResolutionResult
+    ) -> List[IPAddress]:
+        ns_records = [
+            r for r in response.authority if r.rrtype == RRType.NS
+        ]
+        glue: Dict[DomainName, List[IPAddress]] = {}
+        for record in response.additional:
+            if record.rrtype in (RRType.A, RRType.AAAA):
+                glue.setdefault(record.name, []).append(
+                    ipaddress.ip_address(record.rdata.to_text())
+                )
+        servers: List[IPAddress] = []
+        unresolved: List[DomainName] = []
+        for record in ns_records:
+            nsdname = record.rdata.nsdname  # type: ignore[union-attr]
+            if nsdname in glue:
+                servers.extend(glue[nsdname])
+            else:
+                unresolved.append(nsdname)
+        if not servers:
+            # Out-of-bailiwick name servers: resolve their addresses.
+            for nsdname in unresolved:
+                try:
+                    sub = self.resolve(nsdname, RRType.A)
+                except ResolutionError:
+                    continue
+                servers.extend(
+                    ipaddress.ip_address(a)
+                    for a in sub.addresses()
+                )
+                result.queries_sent += sub.queries_sent
+                if servers:
+                    break
+        return servers
+
+    def _ask_any(
+        self,
+        servers: Sequence[IPAddress],
+        qname: DomainName,
+        qtype: RRType,
+        result: ResolutionResult,
+    ) -> Message:
+        request = make_query(
+            qname, qtype, msg_id=next(self._msg_ids) & 0xFFFF,
+            recursion_desired=False,
+            edns_payload_size=self._edns_payload_size,
+        )
+        payload = encode_message(request)
+        last_error: Optional[Exception] = None
+        for server in servers:
+            for _ in range(RETRIES_PER_SERVER):
+                result.queries_sent += 1
+                try:
+                    raw = self._network.query(server, payload)
+                except TransportError as exc:
+                    last_error = exc
+                    continue
+                response = decode_message(raw)
+                if response.msg_id != request.msg_id:
+                    raise ResolutionError("response id mismatch")
+                if response.flags.tc:
+                    # Truncated over the datagram channel: retry the same
+                    # server over the stream channel (TCP fallback).
+                    result.queries_sent += 1
+                    try:
+                        raw = self._network.query_stream(server, payload)
+                    except TransportError as exc:
+                        last_error = exc
+                        continue
+                    response = decode_message(raw)
+                    if response.msg_id != request.msg_id:
+                        raise ResolutionError("response id mismatch")
+                return response
+        raise ResolutionError(
+            f"no server answered for {qname}/{qtype.name}: {last_error}"
+        )
+
+    def _cache_negative(
+        self, qname: DomainName, qtype: RRType, response: Message
+    ) -> None:
+        """RFC 2308: remember NXDOMAIN/NODATA for the SOA-derived TTL."""
+        if self._cache is None:
+            return
+        ttl = DEFAULT_NEGATIVE_TTL
+        for record in response.authority:
+            if record.rrtype == RRType.SOA:
+                ttl = min(
+                    record.ttl,
+                    record.rdata.minimum,  # type: ignore[union-attr]
+                )
+                break
+        self._cache.put_negative(
+            qname, qtype, response.flags.rcode, ttl, self.clock
+        )
+
+    def _cache_response(self, response: Message) -> None:
+        if self._cache is None or not response.answers:
+            return
+        by_key: Dict[Tuple[DomainName, RRType], List[ResourceRecord]] = {}
+        for record in response.answers:
+            by_key.setdefault((record.name, record.rrtype), []).append(record)
+        for (name, rrtype), records in by_key.items():
+            self._cache.put(name, rrtype, records, self.clock)

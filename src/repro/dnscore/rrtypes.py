@@ -1,0 +1,59 @@
+"""DNS protocol constants: record types/classes, opcodes, response codes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource-record TYPE values (RFC 1035 §3.2.2 and successors)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41  # EDNS(0) pseudo-RR (RFC 6891)
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR type {text!r}") from None
+
+
+class RRClass(enum.IntEnum):
+    """Resource-record CLASS values; only IN matters in practice."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class Opcode(enum.IntEnum):
+    """Message header OPCODE values."""
+
+    QUERY = 0
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """Message header RCODE values."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+#: Record types the measurement platform queries daily for each name
+#: (the paper's §3.1: A, AAAA, NS; CNAMEs arrive in answers to those).
+MEASURED_TYPES = (RRType.A, RRType.AAAA, RRType.NS)

@@ -1,0 +1,111 @@
+"""A simulated UDP-like datagram network for in-process DNS resolution.
+
+Servers register under IP addresses; clients exchange *wire bytes* with
+them, so the full encode → network → decode path is exercised exactly as it
+would be on a real socket. The network can inject deterministic packet loss
+and accounts for bytes and datagrams carried (used by the measurement
+platform's statistics).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+#: A server endpoint: consumes request wire bytes, returns response bytes.
+WireHandler = Callable[[bytes], bytes]
+
+
+class TransportError(Exception):
+    """Raised when a datagram cannot be delivered."""
+
+
+class HostUnreachable(TransportError):
+    """No server is listening on the destination address."""
+
+
+class Timeout(TransportError):
+    """The (simulated) datagram or its response was lost."""
+
+
+@dataclass
+class NetworkStats:
+    """Counters for traffic carried by the simulated network."""
+
+    datagrams_sent: int = 0
+    datagrams_lost: int = 0
+    streams_opened: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class SimulatedNetwork:
+    """Routes datagrams to registered wire handlers by IP address.
+
+    Two channels exist per address: the lossy datagram channel (UDP-like,
+    size-limited at the server) and an optional stream channel (TCP-like:
+    reliable, no size limit) used for truncation fallback.
+    """
+
+    def __init__(self, loss_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._handlers: Dict[IPAddress, WireHandler] = {}
+        self._stream_handlers: Dict[IPAddress, WireHandler] = {}
+        self._loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.stats = NetworkStats()
+
+    def register(
+        self,
+        address: IPAddress,
+        handler: WireHandler,
+        stream_handler: Optional[WireHandler] = None,
+    ) -> None:
+        """Bind handlers to *address*, replacing any previous binding.
+
+        When *stream_handler* is omitted the datagram handler also serves
+        stream queries.
+        """
+        destination = ipaddress.ip_address(address)
+        self._handlers[destination] = handler
+        self._stream_handlers[destination] = stream_handler or handler
+
+    def unregister(self, address: IPAddress) -> None:
+        destination = ipaddress.ip_address(address)
+        self._handlers.pop(destination, None)
+        self._stream_handlers.pop(destination, None)
+
+    def is_listening(self, address: IPAddress) -> bool:
+        return ipaddress.ip_address(address) in self._handlers
+
+    def query(self, address: IPAddress, payload: bytes) -> bytes:
+        """One datagram exchange (may be lost, may come back truncated)."""
+        destination = ipaddress.ip_address(address)
+        handler = self._handlers.get(destination)
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += len(payload)
+        if handler is None:
+            raise HostUnreachable(f"no server at {destination}")
+        if self._loss_rate and self._rng.random() < self._loss_rate:
+            self.stats.datagrams_lost += 1
+            raise Timeout(f"datagram to {destination} lost")
+        response = handler(payload)
+        self.stats.bytes_received += len(response)
+        return response
+
+    def query_stream(self, address: IPAddress, payload: bytes) -> bytes:
+        """One stream exchange: reliable, unlimited response size."""
+        destination = ipaddress.ip_address(address)
+        handler = self._stream_handlers.get(destination)
+        self.stats.streams_opened += 1
+        self.stats.bytes_sent += len(payload)
+        if handler is None:
+            raise HostUnreachable(f"no server at {destination}")
+        response = handler(payload)
+        self.stats.bytes_received += len(response)
+        return response

@@ -1,0 +1,382 @@
+"""RFC 1035 wire-format encoding and decoding, with name compression.
+
+The encoder maintains a compression table mapping name suffixes to the
+offset where they were first written, emitting 2-octet pointers for repeats.
+The decoder follows pointers with loop protection (a pointer must always
+point strictly backwards) and enforces message bounds throughout.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnscore.name import DomainName, InvalidNameError
+from repro.dnscore.message import EdnsInfo, Flags, Message, Question
+from repro.dnscore.records import (
+    OpaqueData,
+    RDATA_CLASSES,
+    ResourceRecord,
+)
+from repro.dnscore.rrtypes import RRClass, RRType
+
+MAX_UDP_PAYLOAD = 4096
+_POINTER_MASK = 0xC000
+
+
+class WireDecodeError(ValueError):
+    """Raised when a wire message is malformed."""
+
+
+class _Compressor:
+    """Accumulates output bytes and the name-compression table."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._length = 0
+        self._table: Dict[Tuple[bytes, ...], int] = {}
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def write(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def encode_name(self, name: DomainName) -> bytes:
+        """Encode *name*, registering/reusing compression offsets.
+
+        Returns the bytes for the name but does **not** write them; callers
+        embed the result inside rdata or section bodies, then write. Offsets
+        are registered relative to the current output position, so callers
+        must write the returned bytes immediately.
+        """
+        out = bytearray()
+        labels = name.labels
+        for index in range(len(labels)):
+            suffix = labels[index:]
+            offset = self._table.get(suffix)
+            if offset is not None:
+                out += struct.pack("!H", _POINTER_MASK | offset)
+                return bytes(out)
+            position = self._length + len(out)
+            if position < _POINTER_MASK:
+                self._table[suffix] = position
+            label = labels[index]
+            out += bytes([len(label)]) + label
+        out += b"\x00"
+        return bytes(out)
+
+    def write_name(self, name: DomainName) -> None:
+        self.write(self.encode_name(name))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class _Reader:
+    """Bounds-checked reader over a wire message with pointer chasing."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self.offset = 0
+
+    def read(self, count: int) -> bytes:
+        if self.offset + count > len(self._data):
+            raise WireDecodeError("truncated message")
+        chunk = self._data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read(4))[0]
+
+    def read_name(self) -> DomainName:
+        labels, self.offset = self._read_name_at(self.offset)
+        return DomainName(labels)
+
+    def _read_name_at(self, offset: int) -> Tuple[List[bytes], int]:
+        """Read a (possibly compressed) name starting at *offset*.
+
+        Returns the labels and the offset just past the name's in-place
+        representation (pointers count as two octets).
+        """
+        labels: List[bytes] = []
+        jumps = 0
+        cursor = offset
+        end_offset = -1
+        while True:
+            if cursor >= len(self._data):
+                raise WireDecodeError("name runs past end of message")
+            length = self._data[cursor]
+            if length & 0xC0 == 0xC0:
+                if cursor + 1 >= len(self._data):
+                    raise WireDecodeError("truncated compression pointer")
+                pointer = (
+                    struct.unpack("!H", self._data[cursor : cursor + 2])[0]
+                    & ~_POINTER_MASK
+                )
+                if end_offset < 0:
+                    end_offset = cursor + 2
+                if pointer >= cursor:
+                    raise WireDecodeError("forward compression pointer")
+                jumps += 1
+                if jumps > 64:
+                    raise WireDecodeError("compression pointer loop")
+                cursor = pointer
+                continue
+            if length & 0xC0:
+                raise WireDecodeError(f"bad label length octet {length:#x}")
+            cursor += 1
+            if length == 0:
+                break
+            if cursor + length > len(self._data):
+                raise WireDecodeError("label runs past end of message")
+            labels.append(self._data[cursor : cursor + length])
+            cursor += length
+        if end_offset < 0:
+            end_offset = cursor
+        if len(labels) > 127:
+            raise WireDecodeError("too many labels")
+        try:
+            DomainName(labels)
+        except InvalidNameError as exc:
+            raise WireDecodeError(str(exc)) from exc
+        return labels, end_offset
+
+
+def _encode_record(record: ResourceRecord, compressor: _Compressor) -> None:
+    compressor.write_name(record.name)
+    type_value = int(record.rrtype)
+    compressor.write(
+        struct.pack("!HHI", type_value, int(record.rrclass), record.ttl)
+    )
+    # rdata encoding may itself register compression offsets, which are
+    # computed relative to the position *after* the 2-octet RDLENGTH field.
+    # To keep offsets correct we encode rdata against a placeholder position:
+    # write RDLENGTH after encoding by reserving its width up front.
+    placeholder = _RdlengthScope(compressor)
+    rdata_bytes = record.rdata.encode(placeholder)
+    compressor.write(struct.pack("!H", len(rdata_bytes)))
+    compressor.write(rdata_bytes)
+
+
+class _RdlengthScope:
+    """Compressor proxy that offsets positions past a pending RDLENGTH.
+
+    Rdata is encoded before RDLENGTH is written, but its bytes will land two
+    octets later in the output; embedded-name compression offsets must
+    account for that.
+    """
+
+    def __init__(self, compressor: _Compressor) -> None:
+        self._compressor = compressor
+        self._written = 0
+
+    @property
+    def length(self) -> int:
+        return self._compressor.length + 2 + self._written
+
+    def encode_name(self, name: DomainName) -> bytes:
+        encoded = _encode_with_position(
+            self._compressor, name, self.length
+        )
+        self._written += len(encoded)
+        return encoded
+
+
+def _encode_with_position(
+    compressor: _Compressor, name: DomainName, position: int
+) -> bytes:
+    """Encode *name* as if output starts at *position* in the message."""
+    out = bytearray()
+    labels = name.labels
+    for index in range(len(labels)):
+        suffix = labels[index:]
+        offset = compressor._table.get(suffix)
+        if offset is not None:
+            out += struct.pack("!H", _POINTER_MASK | offset)
+            return bytes(out)
+        here = position + len(out)
+        if here < _POINTER_MASK:
+            compressor._table[suffix] = here
+        label = labels[index]
+        out += bytes([len(label)]) + label
+    out += b"\x00"
+    return bytes(out)
+
+
+def encode_message(
+    message: Message, max_size: Optional[int] = None
+) -> bytes:
+    """Encode *message* to its RFC 1035 wire representation.
+
+    With *max_size* (a UDP payload limit), an over-long response is
+    re-encoded with empty record sections and the TC bit set, telling the
+    client to retry over a stream transport.
+    """
+    wire = _encode_once(message)
+    if max_size is not None and len(wire) > max_size:
+        truncated = Message(
+            msg_id=message.msg_id,
+            flags=replace(message.flags, tc=True),
+            question=message.question,
+            edns=message.edns,
+        )
+        wire = _encode_once(truncated)
+    return wire
+
+
+def _encode_once(message: Message) -> bytes:
+    compressor = _Compressor()
+    question_count = 1 if message.question is not None else 0
+    additional_count = len(message.additional)
+    if message.edns is not None:
+        additional_count += 1  # the OPT pseudo-RR
+    compressor.write(
+        struct.pack(
+            "!HHHHHH",
+            message.msg_id & 0xFFFF,
+            message.flags.pack(),
+            question_count,
+            len(message.answers),
+            len(message.authority),
+            additional_count,
+        )
+    )
+    if message.question is not None:
+        compressor.write_name(message.question.qname)
+        compressor.write(
+            struct.pack(
+                "!HH",
+                int(message.question.qtype),
+                int(message.question.qclass),
+            )
+        )
+    for section in (message.answers, message.authority, message.additional):
+        for record in section:
+            _encode_record(record, compressor)
+    if message.edns is not None:
+        _encode_opt(message.edns, compressor)
+    return compressor.getvalue()
+
+
+def _encode_opt(edns, compressor: _Compressor) -> None:
+    """The OPT pseudo-RR: root owner; CLASS = payload size; TTL = flags."""
+    compressor.write(b"\x00")  # root owner name
+    ttl = (edns.version << 16) | (edns.flags & 0xFFFF)
+    compressor.write(
+        struct.pack(
+            "!HHIH",
+            int(RRType.OPT),
+            edns.payload_size,
+            ttl,
+            len(edns.options),
+        )
+    )
+    compressor.write(edns.options)
+
+
+def _decode_record(reader: _Reader):
+    name = reader.read_name()
+    type_value = reader.read_u16()
+    class_value = reader.read_u16()
+    ttl = reader.read_u32()
+    rdlength = reader.read_u16()
+    end = reader.offset + rdlength
+    if end > len(reader._data):
+        raise WireDecodeError("rdata runs past end of message")
+    if type_value == int(RRType.OPT):
+        # EDNS(0): CLASS is the payload size, TTL packs version/flags.
+        if not name.is_root():
+            raise WireDecodeError("OPT owner must be the root name")
+        options = reader.read(rdlength)
+        try:
+            return EdnsInfo(
+                payload_size=max(class_value, 512),
+                version=(ttl >> 16) & 0xFF,
+                flags=ttl & 0xFFFF,
+                options=options,
+            )
+        except ValueError as exc:
+            raise WireDecodeError(f"bad OPT record: {exc}") from exc
+    try:
+        rrtype = RRType(type_value)
+        rdata_cls = RDATA_CLASSES.get(rrtype)
+    except ValueError:
+        rrtype = None
+        rdata_cls = None
+    if rdata_cls is None:
+        rdata = OpaqueData(type_value, reader.read(rdlength))
+        record_type = rrtype if rrtype is not None else type_value
+        record = ResourceRecord(
+            name, record_type, rdata, ttl=ttl, rrclass=RRClass(class_value)
+        )
+    else:
+        try:
+            rdata = rdata_cls.decode(reader, rdlength)
+        except (ValueError, struct.error) as exc:
+            raise WireDecodeError(f"bad {rrtype.name} rdata: {exc}") from exc
+        if reader.offset != end:
+            raise WireDecodeError(
+                f"{rrtype.name} rdata length mismatch "
+                f"(expected end {end}, at {reader.offset})"
+            )
+        record = ResourceRecord(
+            name, rrtype, rdata, ttl=ttl, rrclass=RRClass(class_value)
+        )
+    return record
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode wire *data* into a :class:`Message`.
+
+    Raises :class:`WireDecodeError` on any malformation.
+    """
+    if len(data) < 12:
+        raise WireDecodeError("message shorter than header")
+    reader = _Reader(data)
+    msg_id = reader.read_u16()
+    try:
+        flags = Flags.unpack(reader.read_u16())
+    except ValueError as exc:
+        raise WireDecodeError(f"bad flags: {exc}") from exc
+    qdcount = reader.read_u16()
+    ancount = reader.read_u16()
+    nscount = reader.read_u16()
+    arcount = reader.read_u16()
+    if qdcount > 1:
+        raise WireDecodeError("multiple questions are not supported")
+    question = None
+    if qdcount:
+        qname = reader.read_name()
+        try:
+            qtype = RRType(reader.read_u16())
+            qclass = RRClass(reader.read_u16())
+        except ValueError as exc:
+            raise WireDecodeError(f"bad question: {exc}") from exc
+        question = Question(qname, qtype, qclass)
+    message = Message(msg_id=msg_id, flags=flags, question=question)
+    for count, section in (
+        (ancount, message.answers),
+        (nscount, message.authority),
+        (arcount, message.additional),
+    ):
+        for _ in range(count):
+            decoded = _decode_record(reader)
+            if isinstance(decoded, EdnsInfo):
+                if message.edns is not None:
+                    raise WireDecodeError("multiple OPT records")
+                message.edns = decoded
+            else:
+                section.append(decoded)
+    if reader.offset != len(data):
+        raise WireDecodeError(
+            f"{len(data) - reader.offset} trailing octets after message"
+        )
+    return message

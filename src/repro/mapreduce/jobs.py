@@ -1,0 +1,100 @@
+"""Ready-made MapReduce jobs used by the analysis (the Hadoop-side view).
+
+These express the paper's aggregations in the map/reduce model; the
+streaming :class:`repro.core.detection.SegmentDetector` produces the same
+numbers much faster, and ``tests/integration`` plus an ablation benchmark
+hold the two implementations to agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.references import RefType, SignatureCatalog
+from repro.mapreduce.engine import Job
+from repro.measurement.snapshot import DomainObservation
+
+
+def daily_detection_job(catalog: SignatureCatalog) -> Job:
+    """Counts distinct SLDs per (day, provider) across observations.
+
+    Output records: ``((day, provider), count)``.
+    """
+
+    def mapper(
+        observation: DomainObservation,
+    ) -> Iterable[Tuple[Tuple[int, str], int]]:
+        for provider in catalog.match(observation):
+            yield (observation.day, provider), 1
+
+    def combiner(
+        key: Tuple[int, str], values: List[int]
+    ) -> List[int]:
+        return [sum(values)]
+
+    def reducer(
+        key: Tuple[int, str], values: List[int]
+    ) -> Iterable[Tuple[Tuple[int, str], int]]:
+        yield key, sum(values)
+
+    return Job(
+        name="daily-detection",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+    )
+
+
+def reference_count_job(catalog: SignatureCatalog) -> Job:
+    """Counts per (day, provider, reference type).
+
+    Output records: ``((day, provider, ref.value), count)`` — the Fig. 3
+    method-breakdown aggregation.
+    """
+
+    def mapper(
+        observation: DomainObservation,
+    ) -> Iterable[Tuple[Tuple[int, str, str], int]]:
+        for provider, refs in catalog.match(observation).items():
+            for ref in refs:
+                yield (observation.day, provider, ref.value), 1
+
+    def combiner(key, values: List[int]) -> List[int]:
+        return [sum(values)]
+
+    def reducer(key, values: List[int]):
+        yield key, sum(values)
+
+    return Job(
+        name="reference-count",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+    )
+
+
+def ns_sld_frequency_job(min_count: int = 2) -> Job:
+    """Counts NS SLD occurrences — the §3.3 "frequently occurring SLDs"
+    step as a cluster job. Output: ``(sld, count)`` for counts ≥ min_count.
+    """
+
+    def mapper(
+        observation: DomainObservation,
+    ) -> Iterable[Tuple[str, int]]:
+        for sld in observation.ns_slds():
+            yield sld, 1
+
+    def combiner(key: str, values: List[int]) -> List[int]:
+        return [sum(values)]
+
+    def reducer(key: str, values: List[int]) -> Iterable[Tuple[str, int]]:
+        total = sum(values)
+        if total >= min_count:
+            yield key, total
+
+    return Job(
+        name="ns-sld-frequency",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+    )

@@ -1,0 +1,132 @@
+"""Stage III: supplementing observations with origin AS numbers.
+
+"We supplement each IP address with an autonomous system number on the
+basis of BGP data. The origin AS of the most-specific prefix in which an
+address was contained at measurement time is determined on the basis of
+the Routeviews pfx2as data set. For multi-origin AS we add all the
+involved AS numbers." (§3.2)
+
+Daily enrichment asks the day's pfx2as snapshot for every address. For the
+segment pipeline, :class:`AsnEnricher` also computes an *ASN timeline* per
+address (cheap because only a handful of prefixes ever change origin:
+the diversion episodes of §4.4) and splits observation segments where the
+mapping changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.measurement.snapshot import DomainObservation, ObservationSegment
+from repro.routing.prefixtrie import PrefixTrie
+from repro.world.world import World
+
+
+class AsnEnricher:
+    """Maps observed addresses to origin-AS sets, day-aware."""
+
+    def __init__(self, world: World):
+        self._world = world
+        self._change_days = world.routing_change_days()
+        #: Prefixes whose announcement ever changes after day 0.
+        self._dynamic = PrefixTrie()
+        for day, prefix, _ in world._sorted_routing_events():
+            if day > 0:
+                self._dynamic.insert(prefix, True)
+        #: address → [(start_day, origins)] ascending, deduplicated.
+        self._timeline_cache: Dict[str, List[Tuple[int, FrozenSet[int]]]] = {}
+        self.lookups = 0
+
+    # -- daily enrichment -----------------------------------------------------
+
+    def enrich(self, observation: DomainObservation) -> DomainObservation:
+        """Attach the origin ASNs of every observed address."""
+        pfx2as = self._world.pfx2as_at(observation.day)
+        asns: set = set()
+        for address in observation.all_addresses():
+            self.lookups += 1
+            asns |= pfx2as.lookup(address)
+        return observation.with_asns(frozenset(asns))
+
+    def enrich_day(
+        self, observations: Sequence[DomainObservation]
+    ) -> List[DomainObservation]:
+        return [self.enrich(observation) for observation in observations]
+
+    # -- segment enrichment ------------------------------------------------------
+
+    def address_timeline(
+        self, address: str
+    ) -> List[Tuple[int, FrozenSet[int]]]:
+        """``[(start_day, origins), ...]`` for *address*, compressed.
+
+        Addresses outside every dynamic prefix get a single entry; others
+        are evaluated at each routing change day.
+        """
+        cached = self._timeline_cache.get(address)
+        if cached is not None:
+            return cached
+        self.lookups += 1
+        if self._dynamic.longest_match(address) is None:
+            timeline = [(0, self._world.pfx2as_at(0).lookup(address))]
+        else:
+            timeline = []
+            previous: FrozenSet[int] = frozenset({-1})  # sentinel
+            for day in [0] + [d for d in self._change_days if d > 0]:
+                origins = self._world.pfx2as_at(day).lookup(address)
+                if origins != previous:
+                    timeline.append((day, origins))
+                    previous = origins
+        self._timeline_cache[address] = timeline
+        return timeline
+
+    def asns_over(
+        self, addresses: Sequence[str], start: int, end: int
+    ) -> List[Tuple[int, int, FrozenSet[int]]]:
+        """The combined origin set of *addresses* over ``[start, end)``.
+
+        Returns ``(sub_start, sub_end, origins)`` pieces covering the whole
+        interval, split wherever any address's mapping changes.
+        """
+        boundaries = {start, end}
+        timelines = [self.address_timeline(address) for address in addresses]
+        for timeline in timelines:
+            for day, _ in timeline:
+                if start < day < end:
+                    boundaries.add(day)
+        ordered = sorted(boundaries)
+        pieces: List[Tuple[int, int, FrozenSet[int]]] = []
+        for sub_start, sub_end in zip(ordered, ordered[1:]):
+            origins: set = set()
+            for timeline in timelines:
+                current: FrozenSet[int] = frozenset()
+                for day, value in timeline:
+                    if day <= sub_start:
+                        current = value
+                    else:
+                        break
+                origins |= current
+            pieces.append((sub_start, sub_end, frozenset(origins)))
+        return pieces
+
+    def enrich_segments(
+        self, segments: Sequence[ObservationSegment]
+    ) -> List[ObservationSegment]:
+        """Attach ASNs to segments, splitting at mapping changes."""
+        enriched: List[ObservationSegment] = []
+        for segment in segments:
+            addresses = segment.observation.all_addresses()
+            if not addresses:
+                enriched.append(segment)
+                continue
+            for sub_start, sub_end, origins in self.asns_over(
+                addresses, segment.start, segment.end
+            ):
+                enriched.append(
+                    ObservationSegment(
+                        sub_start,
+                        sub_end,
+                        segment.observation.with_asns(origins),
+                    )
+                )
+        return enriched

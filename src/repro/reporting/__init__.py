@@ -1,0 +1,46 @@
+"""Presentation layer: ASCII tables, time-series charts, and one renderer
+per paper artifact (Table 1, Table 2, Figures 2–8, and the §4.4.1 anomaly
+walk-through). The benchmark harness prints these so each bench regenerates
+the same rows/series the paper reports.
+"""
+
+from repro.reporting.textplot import cdf_chart, line_chart, sparkline
+from repro.reporting.tables import format_count, format_bytes, render_table
+from repro.reporting.figures import (
+    render_attributions,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_peak_cdf,
+    render_provider_detail,
+    render_table1,
+    render_table2,
+)
+from repro.reporting.export import export_study, study_to_dict
+
+__all__ = [
+    "cdf_chart",
+    "format_bytes",
+    "format_count",
+    "line_chart",
+    "render_attributions",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+    "render_peak_cdf",
+    "render_provider_detail",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "export_study",
+    "sparkline",
+    "study_to_dict",
+]

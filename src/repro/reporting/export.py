@@ -1,0 +1,149 @@
+"""Exporting study results: text artifacts and machine-readable JSON.
+
+``export_study`` writes one text file per paper artifact plus a
+``series.json`` with the raw daily series, growth numbers, flux windows,
+and peak statistics — the shape downstream notebooks want.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.core.exposure import analyze_exposure, render_exposure
+from repro.core.pipeline import StudyResults
+from repro.core.references import RefType
+from repro.reporting import figures
+
+
+def study_to_dict(results: StudyResults) -> Dict:
+    """A JSON-serialisable summary of a study's numeric results."""
+    detection = results.detection_gtld
+    return {
+        "horizon": results.horizon,
+        "growth": {
+            label: {
+                "factor": series.growth_factor,
+                "start_level": series.start_level,
+                "end_level": series.end_level,
+                "anomalous_days": len(series.anomalous_days),
+            }
+            for label, series in {
+                **results.growth_gtld,
+                **results.growth_cc,
+            }.items()
+        },
+        "any_use": {
+            "combined": detection.any_use_combined,
+            "by_tld": detection.any_use_by_tld,
+        },
+        "providers": {
+            name: {
+                "total": series.total,
+                "by_ref": {
+                    ref.value: values
+                    for ref, values in series.by_ref.items()
+                },
+            }
+            for name, series in detection.providers.items()
+        },
+        "zone_sizes": results.zone_sizes,
+        "namespace_distribution": results.namespace_distribution,
+        "dps_distribution": results.dps_distribution,
+        "flux": {
+            name: {
+                "window_days": flux.window_days,
+                "influx": flux.influx,
+                "outflux": flux.outflux,
+                "spread": flux.spread(),
+            }
+            for name, flux in results.flux.items()
+        },
+        "peaks": {
+            name: {
+                "domains": stats.domain_count,
+                "completed_peaks": len(stats.durations),
+                "p80": stats.p80 if stats.durations else None,
+            }
+            for name, stats in results.peaks.items()
+        },
+        "dataset": [
+            {
+                "source": row.source,
+                "start_day": row.start_day,
+                "days": row.days,
+                "slds": row.slds,
+                "data_points": row.data_points,
+                "estimated_bytes": row.estimated_bytes,
+            }
+            for row in results.dataset_table
+        ],
+        "anomalies": [
+            {
+                "provider": a.event.provider,
+                "day": a.event.day,
+                "delta": a.event.delta,
+                "domains": a.domains_involved,
+                "top_group": a.top_group,
+            }
+            for a in results.attributions
+        ],
+        "exposure": {
+            provider: {
+                "protected_days": report.protected_days,
+                "exposed_days": report.exposed_days,
+                "exposure_ratio": report.exposure_ratio,
+            }
+            for provider, report in analyze_exposure(
+                results.detection_gtld
+            ).items()
+        },
+    }
+
+
+#: artifact name → renderer; mirrors the benchmark harness.
+_RENDERERS = {
+    "table1": figures.render_table1,
+    "fig2": figures.render_figure2,
+    "fig3": figures.render_figure3,
+    "fig4": figures.render_figure4,
+    "fig5": figures.render_figure5,
+    "fig6": figures.render_figure6,
+    "fig7": figures.render_figure7,
+    "fig8": figures.render_figure8,
+    "anomalies": lambda results: figures.render_attributions(
+        results, limit=40
+    ),
+    "exposure": lambda results: render_exposure(
+        analyze_exposure(results.detection_gtld)
+    ),
+}
+
+
+def export_study(
+    results: StudyResults,
+    directory: str,
+    artifacts: Optional[List[str]] = None,
+) -> List[str]:
+    """Write artifacts and ``series.json`` into *directory*.
+
+    Returns the paths written. Creates the directory if needed.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    wanted = artifacts if artifacts is not None else list(_RENDERERS)
+    for name in wanted:
+        renderer = _RENDERERS.get(name)
+        if renderer is None:
+            raise ValueError(f"unknown artifact {name!r}")
+        path = os.path.join(directory, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(renderer(results))
+            handle.write("\n")
+        written.append(path)
+    json_path = os.path.join(directory, "series.json")
+    with open(json_path, "w") as handle:
+        json.dump(study_to_dict(results), handle, indent=1, sort_keys=True)
+    written.append(json_path)
+    return written

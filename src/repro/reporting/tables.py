@@ -1,0 +1,72 @@
+"""Plain-text table rendering and human-friendly number formatting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_count(value: float) -> str:
+    """Counts in the paper's style: ``161.2M``, ``62.4G``, ``5.9k``.
+
+    >>> format_count(161_200_000)
+    '161.2M'
+    """
+    for threshold, suffix in (
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+    ):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.0f}"
+
+
+def format_bytes(value: float) -> str:
+    """Byte sizes in the paper's style: ``17.5TiB``, ``77.5GiB``."""
+    for threshold, suffix in (
+        (1024**4, "TiB"),
+        (1024**3, "GiB"),
+        (1024**2, "MiB"),
+        (1024, "KiB"),
+    ):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.0f}B"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """A column-aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            f"{str(cell):<{widths[index]}}"
+            for index, cell in enumerate(cells)
+        ).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def render_dict_table(
+    rows: Sequence[Dict[str, str]], title: Optional[str] = None
+) -> str:
+    """A table from uniform dict rows (keys become headers)."""
+    if not rows:
+        return title or "(empty table)"
+    headers = list(rows[0])
+    return render_table(
+        headers, [[row[h] for h in headers] for row in rows], title=title
+    )

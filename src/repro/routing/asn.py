@@ -1,0 +1,81 @@
+"""Autonomous-system registry: numbers, names, and allocation.
+
+The paper's fingerprint bootstrap (§3.3) starts from "AS-to-name data to
+find a DPS's AS numbers"; :meth:`ASRegistry.find_by_name` is that lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """A single AS: its number and registered organisation name."""
+
+    number: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if not 0 < self.number < 2**32:
+            raise ValueError(f"invalid AS number {self.number}")
+
+    def __str__(self) -> str:
+        return f"AS{self.number} ({self.name})"
+
+
+class ASRegistry:
+    """Allocates and indexes autonomous systems."""
+
+    def __init__(self, first_number: int = 64496):
+        # Default range starts in the RFC 5398 documentation ASN block.
+        self._next_number = first_number
+        self._by_number: Dict[int, AutonomousSystem] = {}
+
+    def register(
+        self, name: str, number: Optional[int] = None
+    ) -> AutonomousSystem:
+        """Register an AS, allocating the next free number if unspecified."""
+        if number is None:
+            while self._next_number in self._by_number:
+                self._next_number += 1
+            number = self._next_number
+            self._next_number += 1
+        if number in self._by_number:
+            raise ValueError(f"AS{number} is already registered")
+        autonomous_system = AutonomousSystem(number, name)
+        self._by_number[number] = autonomous_system
+        return autonomous_system
+
+    def get(self, number: int) -> Optional[AutonomousSystem]:
+        return self._by_number.get(number)
+
+    def name_of(self, number: int) -> str:
+        autonomous_system = self._by_number.get(number)
+        return autonomous_system.name if autonomous_system else f"AS{number}"
+
+    def find_by_name(self, fragment: str) -> List[AutonomousSystem]:
+        """All ASes whose name contains *fragment* (case-insensitive).
+
+        This is the "AS-to-name data" step the paper uses to seed a DPS
+        provider's AS number list.
+        """
+        needle = fragment.lower()
+        return sorted(
+            (
+                autonomous_system
+                for autonomous_system in self._by_number.values()
+                if needle in autonomous_system.name.lower()
+            ),
+            key=lambda a: a.number,
+        )
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(sorted(self._by_number.values(), key=lambda a: a.number))
+
+    def __len__(self) -> int:
+        return len(self._by_number)
+
+    def __contains__(self, number: int) -> bool:
+        return number in self._by_number

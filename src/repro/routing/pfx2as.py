@@ -1,0 +1,122 @@
+"""Routeviews-style prefix-to-AS mappings (the CAIDA *pfx2as* format).
+
+The text format is one mapping per line: ``prefix <TAB> length <TAB> asn``,
+where multi-origin prefixes render the origin set joined with ``_``
+(e.g. ``3549_3356``), exactly as in the CAIDA Routeviews data set the paper
+consumes. :meth:`Pfx2As.lookup` returns all origins of the most-specific
+covering prefix, which is the paper's §3.2 supplementation rule.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Union
+
+from repro.routing.prefixtrie import IPAddress, IPNetwork, PrefixTrie
+
+
+@dataclass(frozen=True)
+class Pfx2AsEntry:
+    """One mapping row: a prefix and its origin AS set."""
+
+    prefix: IPNetwork
+    origins: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.origins:
+            raise ValueError("a pfx2as entry needs at least one origin")
+        object.__setattr__(self, "origins", frozenset(self.origins))
+
+    def is_moas(self) -> bool:
+        """True when this prefix has multiple origin ASes."""
+        return len(self.origins) > 1
+
+    def to_line(self) -> str:
+        asn_field = "_".join(str(a) for a in sorted(self.origins))
+        return (
+            f"{self.prefix.network_address}\t{self.prefix.prefixlen}"
+            f"\t{asn_field}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "Pfx2AsEntry":
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) != 3:
+            raise ValueError(f"malformed pfx2as line {line!r}")
+        address, length, asn_field = fields
+        prefix = ipaddress.ip_network(f"{address}/{length}", strict=True)
+        origins = frozenset(int(part) for part in asn_field.split("_"))
+        return cls(prefix, origins)
+
+
+class Pfx2As:
+    """An immutable prefix → origin-AS-set mapping with LPM lookup."""
+
+    def __init__(self, entries: Iterable[Pfx2AsEntry] = ()):
+        self._trie: PrefixTrie[FrozenSet[int]] = PrefixTrie()
+        self._entries: List[Pfx2AsEntry] = []
+        for entry in entries:
+            existing = self._trie.get(entry.prefix)
+            if existing is not None:
+                merged = Pfx2AsEntry(entry.prefix, existing | entry.origins)
+                self._entries = [
+                    e for e in self._entries if e.prefix != entry.prefix
+                ]
+                entry = merged
+            self._trie.insert(entry.prefix, entry.origins)
+            self._entries.append(entry)
+
+    def lookup(
+        self, address: Union[str, IPAddress]
+    ) -> FrozenSet[int]:
+        """Origins of the most-specific prefix containing *address*.
+
+        Returns the empty set for unrouted addresses. Multi-origin prefixes
+        yield every origin (the paper attaches all involved AS numbers).
+        """
+        match = self._trie.longest_match(address)
+        if match is None:
+            return frozenset()
+        return match[1]
+
+    def lookup_prefix(
+        self, address: Union[str, IPAddress]
+    ) -> Optional[IPNetwork]:
+        """The most-specific covering prefix itself, or None."""
+        match = self._trie.longest_match(address)
+        return match[0] if match else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Pfx2AsEntry]:
+        return iter(
+            sorted(
+                self._entries,
+                key=lambda e: (
+                    e.prefix.version,
+                    int(e.prefix.network_address),
+                    e.prefix.prefixlen,
+                ),
+            )
+        )
+
+    def moas_entries(self) -> List[Pfx2AsEntry]:
+        """All multi-origin entries."""
+        return [entry for entry in self if entry.is_moas()]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Serialize to the Routeviews text format."""
+        return "\n".join(entry.to_line() for entry in self) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Pfx2As":
+        entries = [
+            Pfx2AsEntry.from_line(line)
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        return cls(entries)

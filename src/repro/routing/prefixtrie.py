@@ -1,0 +1,180 @@
+"""A binary radix trie over IP prefixes with longest-prefix match.
+
+Keys are :class:`ipaddress.IPv4Network`/``IPv6Network`` objects; IPv4 and
+IPv6 live in separate tries internally (their bit-spaces differ). Lookup
+walks at most ``prefixlen`` nodes, so most-specific-prefix queries — the
+core of pfx2as enrichment — are O(32)/O(128) regardless of table size.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import (
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+def _bits_of(network: IPNetwork) -> Tuple[int, int]:
+    """(address-as-int, prefixlen) for *network*."""
+    return int(network.network_address), network.prefixlen
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IP prefixes to values; supports exact and longest-prefix match."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[int, _Node[V]] = {4: _Node(), 6: _Node()}
+        self._sizes: Dict[int, int] = {4: 0, 6: 0}
+
+    @staticmethod
+    def _coerce(prefix: Union[str, IPNetwork]) -> IPNetwork:
+        if isinstance(prefix, str):
+            return ipaddress.ip_network(prefix, strict=True)
+        return prefix
+
+    def _walk_bits(self, network: IPNetwork) -> Iterator[int]:
+        address, prefixlen = _bits_of(network)
+        width = network.max_prefixlen
+        for position in range(prefixlen):
+            yield (address >> (width - 1 - position)) & 1
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, prefix: Union[str, IPNetwork], value: V) -> None:
+        """Insert or replace the value at *prefix*."""
+        network = self._coerce(prefix)
+        node = self._roots[network.version]
+        for bit in self._walk_bits(network):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._sizes[network.version] += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Union[str, IPNetwork]) -> bool:
+        """Remove the value at exactly *prefix*; True if it existed."""
+        network = self._coerce(prefix)
+        node: Optional[_Node[V]] = self._roots[network.version]
+        path: List[Tuple[_Node[V], int]] = []
+        for bit in self._walk_bits(network):
+            assert node is not None
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        assert node is not None
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._sizes[network.version] -= 1
+        # Prune now-empty leaf chain.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child is None:
+                break
+            if child.has_value or any(child.children):
+                break
+            parent.children[bit] = None
+        return True
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, prefix: Union[str, IPNetwork]) -> Optional[V]:
+        """The value at exactly *prefix*, or None."""
+        network = self._coerce(prefix)
+        node: Optional[_Node[V]] = self._roots[network.version]
+        for bit in self._walk_bits(network):
+            assert node is not None
+            node = node.children[bit]
+            if node is None:
+                return None
+        assert node is not None
+        return node.value if node.has_value else None
+
+    def longest_match(
+        self, address: Union[str, IPAddress]
+    ) -> Optional[Tuple[IPNetwork, V]]:
+        """The most-specific stored prefix containing *address*.
+
+        Returns ``(prefix, value)`` or ``None``. This is the §3.2 operation:
+        "the most-specific prefix in which an address was contained".
+        """
+        if isinstance(address, str):
+            address = ipaddress.ip_address(address)
+        width = address.max_prefixlen
+        bits = int(address)
+        node: Optional[_Node[V]] = self._roots[address.version]
+        best: Optional[Tuple[int, V]] = None
+        assert node is not None
+        if node.has_value:
+            best = (0, node.value)  # a default route
+        for position in range(width):
+            bit = (bits >> (width - 1 - position)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = (position + 1, node.value)
+        if best is None:
+            return None
+        prefixlen, value = best
+        if prefixlen:
+            masked = bits >> (width - prefixlen) << (width - prefixlen)
+        else:
+            masked = 0
+        factory = (
+            ipaddress.IPv4Network
+            if address.version == 4
+            else ipaddress.IPv6Network
+        )
+        return factory((masked, prefixlen)), value
+
+    def __contains__(self, prefix: Union[str, IPNetwork]) -> bool:
+        return self.get(prefix) is not None
+
+    def __len__(self) -> int:
+        return self._sizes[4] + self._sizes[6]
+
+    def items(self) -> Iterator[Tuple[IPNetwork, V]]:
+        """All stored (prefix, value) pairs in trie (prefix) order."""
+        for version, root in self._roots.items():
+            factory = (
+                ipaddress.IPv4Network if version == 4 else ipaddress.IPv6Network
+            )
+            width = 32 if version == 4 else 128
+            stack: List[Tuple[_Node[V], int, int]] = [(root, 0, 0)]
+            while stack:
+                node, bits, depth = stack.pop()
+                if node.has_value:
+                    network = factory((bits << (width - depth), depth))
+                    yield network, node.value  # type: ignore[misc]
+                for bit in (1, 0):
+                    child = node.children[bit]
+                    if child is not None:
+                        stack.append((child, (bits << 1) | bit, depth + 1))

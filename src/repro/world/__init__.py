@@ -1,0 +1,67 @@
+"""A closed-world internet ecosystem simulation.
+
+This package is the stand-in for the real internet the paper measured:
+TLD registries with daily churn, hosting providers, the nine DDoS
+Protection Service providers with their Table 2 fingerprints, and the
+scripted third parties (Web hosters, registrars, domain parkers) whose
+mass protection toggles produce the anomalies of §4.4.
+
+The representation is piecewise-constant: a domain's DNS configuration is a
+timeline of ``(start_day, DnsConfig)`` segments and BGP origin changes are
+day-indexed events, so a 550-day world with >100k domains is cheap to build
+and query, while :meth:`World.materialize_dns` can still instantiate real
+zones and authoritative servers for any single day for full-fidelity
+wire-format resolution.
+"""
+
+from repro.world.timeline import (
+    ALEXA_DAYS,
+    CCTLD_DAYS,
+    CCTLD_START_DAY,
+    GTLD_DAYS,
+    STUDY_START,
+    date_of,
+    day_of,
+    month_label,
+)
+from repro.world.attacks import AttackEpisode, AttackModel, MitigationWindow
+from repro.world.domain import DnsConfig, DomainTimeline, Method
+from repro.world.events import EventLog, MassEvent
+from repro.world.ipam import PrefixAllocator
+from repro.world.entities import HostingProvider, Organization
+from repro.world.namespace import ChurnParameters, TldRegistry
+from repro.world.providers import DPSProvider, build_paper_providers
+from repro.world.thirdparty import DiversionWindow, ThirdParty
+from repro.world.world import World
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+__all__ = [
+    "ALEXA_DAYS",
+    "AttackEpisode",
+    "AttackModel",
+    "CCTLD_DAYS",
+    "CCTLD_START_DAY",
+    "ChurnParameters",
+    "DPSProvider",
+    "DiversionWindow",
+    "DnsConfig",
+    "DomainTimeline",
+    "EventLog",
+    "GTLD_DAYS",
+    "HostingProvider",
+    "MassEvent",
+    "Method",
+    "MitigationWindow",
+    "Organization",
+    "PrefixAllocator",
+    "STUDY_START",
+    "ScenarioConfig",
+    "ThirdParty",
+    "TldRegistry",
+    "World",
+    "build_paper_providers",
+    "build_paper_world",
+    "date_of",
+    "day_of",
+    "month_label",
+]

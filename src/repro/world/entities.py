@@ -1,0 +1,101 @@
+"""Organisations that make up the simulated internet.
+
+An :class:`Organization` owns AS numbers and IP prefixes; a
+:class:`HostingProvider` additionally runs name servers and produces the
+*unprotected* base configuration for the domains it hosts.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.routing.asn import ASRegistry
+from repro.world.domain import DnsConfig
+from repro.world.ipam import PrefixAllocator, address_in, stable_hash
+
+
+@dataclass
+class Organization:
+    """A network organisation: name, AS numbers, announced prefixes."""
+
+    name: str
+    asns: List[int] = field(default_factory=list)
+    prefixes: List[ipaddress.IPv4Network] = field(default_factory=list)
+    prefixes_v6: List[ipaddress.IPv6Network] = field(default_factory=list)
+
+    def primary_asn(self) -> int:
+        if not self.asns:
+            raise ValueError(f"{self.name} has no AS numbers")
+        return self.asns[0]
+
+    def pick_prefix(self, key: str) -> ipaddress.IPv4Network:
+        """A stable prefix choice for *key* among this org's prefixes."""
+        if not self.prefixes:
+            raise ValueError(f"{self.name} has no prefixes")
+        return self.prefixes[stable_hash(key) % len(self.prefixes)]
+
+    def host_address(self, key: str) -> str:
+        """A stable host address for *key* within this org's space."""
+        return address_in(self.pick_prefix(key), key)
+
+
+@dataclass
+class HostingProvider(Organization):
+    """A Web hoster: runs name servers, hosts customer domains.
+
+    ``ns_sld`` is the second-level domain its name-server hostnames live
+    under (e.g. ``hostco-dns.com``); the fingerprint bootstrap uses these
+    SLDs to tell hoster infrastructure from DPS infrastructure.
+    """
+
+    ns_sld: str = ""
+    ns_count: int = 2
+    dual_stack: bool = False
+
+    def ns_names(self, key: str = "") -> Tuple[str, ...]:
+        """The NS hostnames serving a domain hosted here."""
+        return tuple(
+            f"ns{i + 1}.{self.ns_sld}" for i in range(self.ns_count)
+        )
+
+    def ns_address(self, ns_name: str) -> str:
+        """The address a given name-server hostname resolves to."""
+        return self.host_address(ns_name)
+
+    def base_config(self, domain_name: str) -> DnsConfig:
+        """The unprotected configuration for *domain_name* hosted here."""
+        apex = (self.host_address(domain_name),)
+        apex6: Tuple[str, ...] = ()
+        if self.dual_stack and self.prefixes_v6:
+            prefix6 = self.prefixes_v6[
+                stable_hash(domain_name) % len(self.prefixes_v6)
+            ]
+            apex6 = (address_in(prefix6, domain_name),)
+        return DnsConfig(
+            ns_names=self.ns_names(domain_name),
+            apex_ips=apex,
+            www_ips=apex,
+            apex_ips6=apex6,
+            www_ips6=apex6,
+        )
+
+
+def provision_organization(
+    org: Organization,
+    registry: ASRegistry,
+    allocator: PrefixAllocator,
+    prefix_count: int = 1,
+    prefixlen: int = 20,
+    asn: Optional[int] = None,
+    v6: bool = False,
+) -> Organization:
+    """Give *org* an AS number and IPv4 (and optionally IPv6) prefixes."""
+    autonomous_system = registry.register(org.name, asn)
+    org.asns.append(autonomous_system.number)
+    for _ in range(prefix_count):
+        org.prefixes.append(allocator.allocate(prefixlen))
+    if v6:
+        org.prefixes_v6.append(allocator.allocate_v6())
+    return org

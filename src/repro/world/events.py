@@ -1,0 +1,61 @@
+"""Ground-truth event log for the simulated world.
+
+The scenario records every mass behaviour it scripts — third-party
+diversion windows, outages, permanent migrations — as
+:class:`MassEvent` rows. The log is *ground truth*: the methodology never
+reads it; validation tests compare the §4.4.1 anomaly attributions against
+it to measure how completely and correctly the pipeline recovers what
+actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class MassEvent:
+    """One scripted mass behaviour episode."""
+
+    day: int
+    party: str
+    #: Affected DPS provider ("" when none, e.g. a pure outage).
+    provider: str
+    #: "divert-on", "divert-off", "outage", "migration".
+    kind: str
+    domains: int
+    #: The shared-infrastructure label attribution should recover
+    #: (e.g. ``ns:wixdns.net``).
+    group_hint: str = ""
+
+
+class EventLog:
+    """An append-only record of scripted mass events."""
+
+    def __init__(self) -> None:
+        self._events: List[MassEvent] = []
+
+    def record(self, event: MassEvent) -> None:
+        self._events.append(event)
+
+    def __iter__(self) -> Iterator[MassEvent]:
+        return iter(sorted(self._events, key=lambda e: (e.day, e.party)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_for(
+        self,
+        provider: Optional[str] = None,
+        party: Optional[str] = None,
+        min_domains: int = 0,
+    ) -> List[MassEvent]:
+        """Filter the log."""
+        return [
+            event
+            for event in self
+            if (provider is None or event.provider == provider)
+            and (party is None or event.party == party)
+            and event.domains >= min_domains
+        ]

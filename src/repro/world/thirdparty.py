@@ -1,0 +1,186 @@
+"""Third parties that toggle protection for large domain sets at once.
+
+§4.4.1 traces the dataset's mass anomalies to parties like Wix (Web-site
+platform), ENOM and Namecheap (registrars), ZOHO, Sedo (domain parking),
+Fabulous and SiteMatrix (domainers). A :class:`ThirdParty` owns a block of
+domains, defines their *normal* configuration, and carries a list of
+:class:`DiversionWindow` entries describing when — and how — some or all of
+those domains are diverted to a DPS (or, for the Sedo incident, go dark).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.world.domain import DARK_CONFIG, DnsConfig
+from repro.world.ipam import stable_hash
+
+#: Builds the configuration of one domain (by name).
+ConfigBuilder = Callable[[str], DnsConfig]
+
+
+@dataclass
+class DiversionWindow:
+    """One episode of mass behaviour over ``[start, end)`` study days.
+
+    ``diverted`` builds the in-window configuration per domain; ``None``
+    leaves the DNS untouched (a BGP-only diversion, visible solely through
+    the routing table). ``routing`` lists ``(prefix, origins)`` overrides
+    active during the window; outside it the party's base announcements
+    apply. ``fraction`` selects a stable random subset of the party's
+    domains, and ``jitter`` spreads per-domain start/end days by up to that
+    many days, so mass events have realistic ramps.
+    """
+
+    start: int
+    end: Optional[int]
+    diverted: Optional[ConfigBuilder] = None
+    fraction: float = 1.0
+    jitter: int = 0
+    seed: int = 0
+    routing: Tuple[Tuple[str, FrozenSet[int]], ...] = ()
+    #: Ground-truth metadata for the world's event log (not read by the
+    #: methodology): which provider the episode involves, and the
+    #: shared-infrastructure label attribution should recover.
+    provider: str = ""
+    group_hint: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("window end must be after start")
+
+
+@dataclass
+class ThirdParty:
+    """A mass actor: its domains, their base config, and its episodes."""
+
+    name: str
+    base: ConfigBuilder
+    domains: List[str] = field(default_factory=list)
+    windows: List[DiversionWindow] = field(default_factory=list)
+    #: Steady-state announcements: (prefix, origins) active outside windows.
+    base_routing: Tuple[Tuple[str, FrozenSet[int]], ...] = ()
+
+    def select_domains(self, window: DiversionWindow) -> List[str]:
+        """The stable subset of this party's domains a window involves."""
+        if window.fraction >= 1.0:
+            return list(self.domains)
+        rng = random.Random((stable_hash(self.name) ^ window.seed) & 0xFFFFFFFF)
+        count = max(1, int(len(self.domains) * window.fraction))
+        return rng.sample(self.domains, count)
+
+    def apply(self, world, horizon: int) -> None:
+        """Write this party's behaviour into *world*'s timelines.
+
+        Windows are applied in chronological order so overlapping episodes
+        compose the way they unfolded in time.
+        """
+        for prefix, origins in self.base_routing:
+            world.add_routing_event(0, prefix, origins)
+        for window in sorted(self.windows, key=lambda w: w.start):
+            involved = self.select_domains(window)
+            rng = random.Random(
+                (stable_hash(self.name) ^ window.seed ^ 0x5EED) & 0xFFFFFFFF
+            )
+            applied = 0
+            for domain_name in involved:
+                timeline = world.domains.get(domain_name)
+                if timeline is None:
+                    continue
+                start = window.start
+                end = window.end
+                if window.jitter:
+                    start += rng.randint(0, window.jitter)
+                    if end is not None:
+                        end += rng.randint(0, window.jitter)
+                start = max(start, timeline.created)
+                if not timeline.alive(start):
+                    continue
+                if end is not None and end <= start:
+                    # The domain was born after the episode ended.
+                    continue
+                applied += 1
+                if window.diverted is not None:
+                    timeline.set_config(start, window.diverted(domain_name))
+                    if end is not None and timeline.alive(end):
+                        timeline.set_config(end, self.base(domain_name))
+            self._log_window(world, window, applied)
+            for prefix, origins in window.routing:
+                world.add_routing_event(window.start, prefix, origins)
+                if window.end is not None:
+                    restored = self._base_origins(prefix)
+                    if restored is not None:
+                        world.add_routing_event(window.end, prefix, restored)
+        self._apply_dark_days(world)
+
+    def _log_window(self, world, window: DiversionWindow,
+                    applied: int) -> None:
+        from repro.world.events import MassEvent
+
+        if applied == 0:
+            return
+        permanent = window.end is None
+        world.event_log.record(
+            MassEvent(
+                day=window.start,
+                party=self.name,
+                provider=window.provider,
+                kind="migration" if permanent else "divert-on",
+                domains=applied,
+                group_hint=window.group_hint,
+            )
+        )
+        if not permanent:
+            world.event_log.record(
+                MassEvent(
+                    day=window.end,
+                    party=self.name,
+                    provider=window.provider,
+                    kind="divert-off",
+                    domains=applied,
+                    group_hint=window.group_hint,
+                )
+            )
+
+    def _base_origins(self, prefix: str) -> Optional[FrozenSet[int]]:
+        for base_prefix, origins in self.base_routing:
+            if base_prefix == prefix:
+                return origins
+        return None
+
+    # -- outage modelling ---------------------------------------------------
+
+    dark_days: List[Tuple[int, int]] = field(default_factory=list)
+
+    def _apply_dark_days(self, world) -> None:
+        """Model DNS outages: every domain answers nothing for the window.
+
+        This is the Sedo incident of 22 Nov 2015 — the measured domain
+        count under the party's NS SLD dips because resolution fails.
+        """
+        from repro.world.events import MassEvent
+
+        for start, end in self.dark_days:
+            affected = 0
+            for domain_name in self.domains:
+                timeline = world.domains.get(domain_name)
+                if timeline is None or not timeline.alive(start):
+                    continue
+                affected += 1
+                timeline.set_config(start, DARK_CONFIG)
+                if timeline.alive(end):
+                    timeline.set_config(end, self.base(domain_name))
+            if affected:
+                world.event_log.record(
+                    MassEvent(
+                        day=start,
+                        party=self.name,
+                        provider="",
+                        kind="outage",
+                        domains=affected,
+                    )
+                )

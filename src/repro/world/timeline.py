@@ -1,0 +1,39 @@
+"""The study calendar: day indices ↔ dates.
+
+Day 0 is 1 March 2015, the start of the paper's gTLD measurements. The
+gTLD series (.com/.net/.org) runs 550 days; the .nl and Alexa Top-1M
+series start 1 March 2016 (day 366) and run 184 days (Table 1).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+STUDY_START = datetime.date(2015, 3, 1)
+GTLD_DAYS = 550
+CCTLD_START_DAY = 366  # 2016-03-01
+CCTLD_DAYS = 184
+ALEXA_DAYS = 184
+
+TWO_WEEKS = 14
+
+
+def date_of(day: int) -> datetime.date:
+    """The calendar date of study day *day*."""
+    return STUDY_START + datetime.timedelta(days=day)
+
+
+def day_of(date: datetime.date) -> int:
+    """The study day index of *date* (may be negative before the start)."""
+    return (date - STUDY_START).days
+
+
+def month_label(day: int) -> str:
+    """A short axis label like ``Mar '15`` for study day *day*."""
+    date = date_of(day)
+    return date.strftime("%b '%y")
+
+
+def two_week_bucket(day: int) -> int:
+    """The index of the two-week window containing *day* (Fig. 7 grouping)."""
+    return day // TWO_WEEKS

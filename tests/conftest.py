@@ -1,0 +1,31 @@
+"""Shared fixtures: small worlds and study results, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import AdoptionStudy
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+#: Tiny scale for unit-ish tests that need a full world.
+TEST_SCALE = 40000
+#: Small-but-meaningful scale for integration assertions.
+STUDY_SCALE = 12000
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A very small paper world (~3.5k domains)."""
+    return build_paper_world(ScenarioConfig(scale=TEST_SCALE, seed=7))
+
+
+@pytest.fixture(scope="session")
+def study_world():
+    """A mid-size paper world for integration tests (~12k domains)."""
+    return build_paper_world(ScenarioConfig(scale=STUDY_SCALE, seed=3))
+
+
+@pytest.fixture(scope="session")
+def study_results(study_world):
+    """Full study results over the mid-size world."""
+    return AdoptionStudy(study_world).run()

@@ -1,0 +1,127 @@
+"""Tests for anomaly detection and third-party attribution (§4.4.1)."""
+
+import pytest
+
+from repro.core.attribution import AnomalyAttributor
+from repro.core.detection import DetectionResult, ProviderSeries, UseInterval
+from repro.core.references import SignatureCatalog
+from repro.measurement.snapshot import DomainObservation, ObservationSegment
+
+HORIZON = 120
+CATALOG = SignatureCatalog.paper_table2()
+
+
+def observation(domain, ns=(), asns=()):
+    return DomainObservation(
+        day=0,
+        domain=domain,
+        tld="com",
+        ns_names=tuple(ns),
+        apex_addrs=("10.7.0.1",),
+        asns=frozenset(asns),
+    )
+
+
+@pytest.fixture
+def mass_event():
+    """60 wix-style domains jump onto Incapsula on day 50 for 10 days."""
+    total = [5] * HORIZON
+    for day in range(50, 60):
+        total[day] += 60
+    providers = {
+        "Incapsula": ProviderSeries("Incapsula", total, {}),
+    }
+    intervals = {}
+    segments = {}
+    for index in range(60):
+        domain = f"w{index}.com"
+        intervals[(domain, "Incapsula")] = [UseInterval(50, 60)]
+        base = observation(domain, ns=("ns1.wixdns.net",), asns={14618})
+        diverted = observation(domain, ns=("ns1.wixdns.net",), asns={19551})
+        segments[domain] = [
+            ObservationSegment(0, 50, base),
+            ObservationSegment(50, 60, diverted),
+            ObservationSegment(60, HORIZON, base),
+        ]
+    detection = DetectionResult(
+        horizon=HORIZON,
+        providers=providers,
+        any_use_by_tld={},
+        any_use_combined=total,
+        intervals=intervals,
+        combo_days={},
+    )
+    return detection, segments
+
+
+class TestAnomalyFinding:
+    def test_mass_event_found(self, mass_event):
+        detection, segments = mass_event
+        attributor = AnomalyAttributor(detection, segments, CATALOG,
+                                       min_jump=30)
+        events = attributor.find_anomalies("Incapsula")
+        assert [(e.day, e.delta) for e in events] == [(50, 60), (60, -60)]
+        assert events[0].direction == "peak"
+        assert events[1].direction == "trough"
+
+    def test_small_jumps_ignored(self, mass_event):
+        detection, segments = mass_event
+        attributor = AnomalyAttributor(detection, segments, CATALOG,
+                                       min_jump=100)
+        assert attributor.find_anomalies("Incapsula") == []
+
+    def test_unknown_provider_empty(self, mass_event):
+        detection, segments = mass_event
+        attributor = AnomalyAttributor(detection, segments, CATALOG)
+        assert attributor.find_anomalies("Nope") == []
+
+
+class TestAttribution:
+    def test_peak_traced_to_third_party_ns(self, mass_event):
+        detection, segments = mass_event
+        attributor = AnomalyAttributor(detection, segments, CATALOG,
+                                       min_jump=30)
+        peak = attributor.find_anomalies("Incapsula")[0]
+        attribution = attributor.attribute(peak)
+        assert attribution.domains_involved == 60
+        assert attribution.top_group == "ns:wixdns.net"
+
+    def test_trough_uses_config_before_drop(self, mass_event):
+        detection, segments = mass_event
+        attributor = AnomalyAttributor(detection, segments, CATALOG,
+                                       min_jump=30)
+        trough = attributor.find_anomalies("Incapsula")[1]
+        attribution = attributor.attribute(trough)
+        assert attribution.top_group == "ns:wixdns.net"
+
+    def test_attribute_all_sorted_by_day(self, mass_event):
+        detection, segments = mass_event
+        attributor = AnomalyAttributor(detection, segments, CATALOG,
+                                       min_jump=30)
+        attributions = attributor.attribute_all()
+        days = [a.event.day for a in attributions]
+        assert days == sorted(days)
+
+    def test_provider_slds_never_named_as_third_party(self, mass_event):
+        detection, segments = mass_event
+        # Replace NS with a provider-owned SLD: grouping falls to prefix.
+        for domain in list(segments):
+            rows = []
+            for segment in segments[domain]:
+                rows.append(
+                    ObservationSegment(
+                        segment.start,
+                        segment.end,
+                        observation(
+                            domain,
+                            ns=("ns1.incapsecuredns.net",),
+                            asns=segment.observation.asns,
+                        ),
+                    )
+                )
+            segments[domain] = rows
+        attributor = AnomalyAttributor(detection, segments, CATALOG,
+                                       min_jump=30)
+        peak = attributor.find_anomalies("Incapsula")[0]
+        attribution = attributor.attribute(peak)
+        assert attribution.top_group.startswith("prefix:")

@@ -1,0 +1,102 @@
+"""Tests for always-on / on-demand classification (§3.4)."""
+
+import pytest
+
+from repro.core.classification import UsageClass, UsageClassifier
+from repro.core.detection import UseInterval
+
+HORIZON = 100
+
+
+@pytest.fixture
+def classifier():
+    return UsageClassifier(HORIZON)
+
+
+def classify(classifier, intervals, life=(0, HORIZON)):
+    return classifier.classify_intervals(
+        [UseInterval(*i) for i in intervals], *life
+    )
+
+
+class TestSingleInterval:
+    def test_always_on(self, classifier):
+        assert classify(classifier, [(0, HORIZON)]) == UsageClass.ALWAYS_ON
+
+    def test_always_on_for_shorter_lived_domain(self, classifier):
+        assert classify(
+            classifier, [(10, 60)], life=(10, 60)
+        ) == UsageClass.ALWAYS_ON
+
+    def test_adopted(self, classifier):
+        assert classify(classifier, [(40, HORIZON)]) == UsageClass.ADOPTED
+
+    def test_abandoned(self, classifier):
+        assert classify(classifier, [(0, 60)]) == UsageClass.ABANDONED
+
+    def test_single_peak_is_ambiguous(self, classifier):
+        assert classify(classifier, [(40, 60)]) == UsageClass.SINGLE_PEAK
+
+
+class TestMultipleIntervals:
+    def test_two_intervals_intermittent(self, classifier):
+        assert classify(
+            classifier, [(0, 10), (50, 60)]
+        ) == UsageClass.INTERMITTENT
+
+    def test_three_peaks_on_demand(self, classifier):
+        assert classify(
+            classifier, [(0, 10), (30, 40), (60, 70)]
+        ) == UsageClass.ON_DEMAND
+
+    def test_empty_rejected(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.classify_intervals([], 0, HORIZON)
+
+
+class TestResultClassification:
+    def test_classify_result_and_summaries(self, classifier):
+        from repro.core.detection import DetectionResult
+
+        detection = DetectionResult(
+            horizon=HORIZON,
+            providers={},
+            any_use_by_tld={},
+            any_use_combined=[],
+            intervals={
+                ("a.com", "CloudFlare"): [UseInterval(0, HORIZON)],
+                ("b.com", "Neustar"): [
+                    UseInterval(0, 5),
+                    UseInterval(20, 24),
+                    UseInterval(50, 53),
+                ],
+                ("c.com", "Neustar"): [UseInterval(10, 20)],
+            },
+            combo_days={},
+        )
+        usages = classifier.classify_result(
+            detection, {"a.com": (0, HORIZON), "b.com": (0, HORIZON)}
+        )
+        by_key = {(u.domain, u.provider): u.usage for u in usages}
+        assert by_key[("a.com", "CloudFlare")] == UsageClass.ALWAYS_ON
+        assert by_key[("b.com", "Neustar")] == UsageClass.ON_DEMAND
+        assert by_key[("c.com", "Neustar")] == UsageClass.SINGLE_PEAK
+
+        summary = UsageClassifier.summarize(usages)
+        assert summary["Neustar"][UsageClass.ON_DEMAND] == 1
+        assert summary["Neustar"][UsageClass.SINGLE_PEAK] == 1
+
+        on_demand = UsageClassifier.on_demand_domains(usages)
+        assert [u.domain for u in on_demand["Neustar"]] == ["b.com"]
+        assert "CloudFlare" not in on_demand
+
+    def test_total_days(self):
+        from repro.core.classification import DomainUsage
+
+        usage = DomainUsage(
+            domain="a.com",
+            provider="X",
+            usage=UsageClass.ON_DEMAND,
+            intervals=(UseInterval(0, 5), UseInterval(10, 12)),
+        )
+        assert usage.total_days == 7

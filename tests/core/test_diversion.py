@@ -1,0 +1,183 @@
+"""Tests for diversion-mechanism classification (§3.4)."""
+
+import pytest
+
+from repro.core.detection import DetectionResult, ProviderSeries, UseInterval
+from repro.core.diversion import (
+    DiversionClassifier,
+    DiversionMechanism,
+)
+from repro.core.references import SignatureCatalog
+from repro.measurement.snapshot import DomainObservation, ObservationSegment
+
+CATALOG = SignatureCatalog.paper_table2()
+HORIZON = 100
+
+
+def observation(ns=("ns1.hostco-dns.com",), cnames=(), apex=("10.8.0.1",),
+                asns=frozenset({64500})):
+    return DomainObservation(
+        day=0,
+        domain="a.com",
+        tld="com",
+        ns_names=tuple(ns),
+        apex_addrs=tuple(apex),
+        www_addrs=tuple(apex),
+        www_cnames=tuple(cnames),
+        asns=frozenset(asns),
+    )
+
+
+BASE = observation()
+BGP_DIVERTED = observation(asns={26415})  # same addresses, Verisign origin
+A_DIVERTED = observation(apex=("10.99.0.1",), asns={19324})
+CNAME_DIVERTED = observation(
+    cnames=("tok.incapdns.net",), apex=("10.50.0.1",), asns={19551}
+)
+NS_DIVERTED = observation(
+    ns=("kate.ns.cloudflare.com",), apex=("10.60.0.1",), asns={13335}
+)
+
+
+@pytest.fixture
+def classifier():
+    return DiversionClassifier(CATALOG)
+
+
+class TestClassifyEdge:
+    def test_bgp(self, classifier):
+        mechanism = classifier.classify_edge(
+            CATALOG.get("Verisign"), BASE, BGP_DIVERTED
+        )
+        assert mechanism == DiversionMechanism.BGP
+
+    def test_a_record(self, classifier):
+        mechanism = classifier.classify_edge(
+            CATALOG.get("DOSarrest"), BASE, A_DIVERTED
+        )
+        assert mechanism == DiversionMechanism.A_RECORD
+
+    def test_cname(self, classifier):
+        mechanism = classifier.classify_edge(
+            CATALOG.get("Incapsula"), BASE, CNAME_DIVERTED
+        )
+        assert mechanism == DiversionMechanism.CNAME
+
+    def test_ns_delegation(self, classifier):
+        mechanism = classifier.classify_edge(
+            CATALOG.get("CloudFlare"), BASE, NS_DIVERTED
+        )
+        assert mechanism == DiversionMechanism.NS_DELEGATION
+
+    def test_missing_side_is_unobserved(self, classifier):
+        assert classifier.classify_edge(
+            CATALOG.get("Verisign"), None, BGP_DIVERTED
+        ) == DiversionMechanism.UNOBSERVED
+
+
+class TestClassifyDomain:
+    def segments(self):
+        return [
+            ObservationSegment(0, 30, BASE),
+            ObservationSegment(30, 40, BGP_DIVERTED),
+            ObservationSegment(40, HORIZON, BASE),
+        ]
+
+    def test_on_and_off_edges(self, classifier):
+        edges = classifier.classify_domain(
+            "a.com", "Verisign", [UseInterval(30, 40)], self.segments(),
+            HORIZON,
+        )
+        assert [(e.direction, e.day, e.mechanism) for e in edges] == [
+            ("on", 30, DiversionMechanism.BGP),
+            ("off", 40, DiversionMechanism.BGP),
+        ]
+
+    def test_interval_from_day_zero_has_no_on_edge(self, classifier):
+        edges = classifier.classify_domain(
+            "a.com", "Verisign", [UseInterval(0, 40)],
+            [
+                ObservationSegment(0, 40, BGP_DIVERTED),
+                ObservationSegment(40, HORIZON, BASE),
+            ],
+            HORIZON,
+        )
+        assert [e.direction for e in edges] == ["off"]
+
+    def test_censored_interval_has_no_off_edge(self, classifier):
+        edges = classifier.classify_domain(
+            "a.com", "Verisign", [UseInterval(30, HORIZON)],
+            [
+                ObservationSegment(0, 30, BASE),
+                ObservationSegment(30, HORIZON, BGP_DIVERTED),
+            ],
+            HORIZON,
+        )
+        assert [e.direction for e in edges] == ["on"]
+
+    def test_unknown_provider_rejected(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.classify_domain(
+                "a.com", "Nope", [UseInterval(0, 10)], [], HORIZON
+            )
+
+
+class TestStudyLevel:
+    def test_classify_result_and_summary(self, classifier):
+        detection = DetectionResult(
+            horizon=HORIZON,
+            providers={"Verisign": ProviderSeries("Verisign",
+                                                  [0] * HORIZON, {})},
+            any_use_by_tld={},
+            any_use_combined=[0] * HORIZON,
+            intervals={("a.com", "Verisign"): [UseInterval(30, 40)]},
+            combo_days={},
+        )
+        segments = {
+            "a.com": [
+                ObservationSegment(0, 30, BASE),
+                ObservationSegment(30, 40, BGP_DIVERTED),
+                ObservationSegment(40, HORIZON, BASE),
+            ]
+        }
+        edges = classifier.classify_result(detection, segments)
+        summary = DiversionClassifier.summarize(edges)
+        assert summary["Verisign"][DiversionMechanism.BGP] == 1
+
+
+class TestOnRealWorld:
+    def test_enom_classified_as_bgp(self, study_world, study_results):
+        """ENOM's diversion keeps the DNS untouched — pure BGP (§4.4.1)."""
+        classifier = DiversionClassifier(CATALOG)
+        name = study_world.thirdparties["ENOM"].domains[0]
+        intervals = study_results.detection_gtld.intervals[
+            (name, "Verisign")
+        ]
+        edges = classifier.classify_domain(
+            name, "Verisign", intervals,
+            study_results.segments[name], study_world.horizon,
+        )
+        on_edges = [e for e in edges if e.direction == "on"]
+        assert on_edges
+        assert all(
+            e.mechanism == DiversionMechanism.BGP for e in on_edges
+        )
+
+    def test_namecheap_classified_as_a_record(
+        self, study_world, study_results
+    ):
+        """Namecheap's registrar NS answers new addresses — A-record."""
+        classifier = DiversionClassifier(CATALOG)
+        name = study_world.thirdparties["Namecheap"].domains[0]
+        intervals = study_results.detection_gtld.intervals[
+            (name, "CloudFlare")
+        ]
+        edges = classifier.classify_domain(
+            name, "CloudFlare", intervals,
+            study_results.segments[name], study_world.horizon,
+        )
+        on_edges = [e for e in edges if e.direction == "on"]
+        assert on_edges
+        assert all(
+            e.mechanism == DiversionMechanism.A_RECORD for e in on_edges
+        )

@@ -1,0 +1,69 @@
+"""Tests for the name-server exposure analysis (§5)."""
+
+import pytest
+
+from repro.core.detection import DetectionResult
+from repro.core.exposure import ExposureReport, analyze_exposure, render_exposure
+
+
+def detection_with_combos(combo_days):
+    return DetectionResult(
+        horizon=100,
+        providers={},
+        any_use_by_tld={},
+        any_use_combined=[],
+        intervals={},
+        combo_days=combo_days,
+    )
+
+
+class TestExposureReport:
+    def test_ratio(self):
+        report = ExposureReport("X", protected_days=25, exposed_days=75)
+        assert report.exposure_ratio == 0.75
+        assert report.total_days == 100
+
+    def test_empty_ratio(self):
+        assert ExposureReport("X", 0, 0).exposure_ratio == 0.0
+
+
+class TestAnalyze:
+    def test_combo_partitioning(self):
+        detection = detection_with_combos(
+            {
+                "P": {
+                    "AS+NS": 40,        # diverted + delegated: protected
+                    "AS+CNAME+NS": 10,  # protected
+                    "AS+CNAME": 30,     # diverted, own NS: exposed
+                    "AS": 15,           # exposed
+                    "NS": 99,           # delegation only: excluded
+                }
+            }
+        )
+        report = analyze_exposure(detection)["P"]
+        assert report.protected_days == 50
+        assert report.exposed_days == 45
+        assert report.exposure_ratio == pytest.approx(45 / 95)
+
+    def test_cname_only_counts_as_diversion(self):
+        detection = detection_with_combos({"P": {"CNAME": 7}})
+        assert analyze_exposure(detection)["P"].exposed_days == 7
+
+
+class TestOnStudy:
+    def test_incapsula_more_exposed_than_cloudflare(self, study_results):
+        """The paper's §5 point, quantified: Incapsula customers rarely
+        delegate, CloudFlare customers mostly do."""
+        reports = analyze_exposure(study_results.detection_gtld)
+        assert (
+            reports["Incapsula"].exposure_ratio
+            > reports["CloudFlare"].exposure_ratio
+        )
+        assert reports["Incapsula"].exposure_ratio > 0.9
+        assert reports["CloudFlare"].exposure_ratio < 0.4
+
+    def test_render(self, study_results):
+        reports = analyze_exposure(study_results.detection_gtld)
+        text = render_exposure(reports)
+        assert "exposed" in text
+        assert "CloudFlare" in text

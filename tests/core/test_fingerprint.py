@@ -1,0 +1,195 @@
+"""Tests for the §3.3 fingerprint bootstrap on synthetic observations."""
+
+import pytest
+
+from repro.core.fingerprint import FingerprintBootstrap
+from repro.measurement.snapshot import DomainObservation
+from repro.routing.asn import ASRegistry
+
+
+def observation(domain, ns=(), cnames=(), asns=()):
+    return DomainObservation(
+        day=0,
+        domain=domain,
+        tld="com",
+        ns_names=tuple(ns),
+        apex_addrs=("10.0.0.1",),
+        www_cnames=tuple(cnames),
+        asns=frozenset(asns),
+    )
+
+
+@pytest.fixture
+def registry():
+    registry = ASRegistry()
+    registry.register("ExampleDPS, Inc.", 65001)
+    registry.register("ExampleDPS, Inc.", 65002)
+    registry.register("BigHoster", 64999)
+    registry.register("SomeRegistrar", 64998)
+    return registry
+
+
+def synthetic_rows():
+    rows = []
+    # 20 customers at the DPS via CNAME redirection (AS+CNAME).
+    for index in range(20):
+        rows.append(
+            observation(
+                f"c{index}.com",
+                ns=("ns1.bighoster-dns.com",),
+                cnames=(f"tok{index}.exampledps.net",),
+                asns={65001},
+            )
+        )
+    # 10 customers with delegated zones (AS+NS).
+    for index in range(10):
+        rows.append(
+            observation(
+                f"n{index}.com",
+                ns=("ns1.exampledps-dns.com",),
+                asns={65002},
+            )
+        )
+    # 300 plain hoster domains sharing the hoster's NS SLD.
+    for index in range(300):
+        rows.append(
+            observation(
+                f"p{index}.com",
+                ns=("ns1.bighoster-dns.com",),
+                asns={64999},
+            )
+        )
+    # 50 registrar-hosted domains, a handful of which sit at the DPS
+    # (the Namecheap pattern) — the registrar SLD must NOT be absorbed.
+    for index in range(50):
+        at_dps = index < 3
+        rows.append(
+            observation(
+                f"r{index}.com",
+                ns=("dns1.someregistrar.com",),
+                asns={65001} if at_dps else {64998},
+            )
+        )
+    return rows
+
+
+class TestBootstrap:
+    def test_seed_from_as_name_data(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        assert bootstrap.seed_asns("ExampleDPS") == frozenset({65001, 65002})
+
+    def test_unknown_provider_rejected(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        with pytest.raises(ValueError):
+            bootstrap.derive("NoSuchProvider")
+
+    def test_derives_cname_and_ns_slds(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        result = bootstrap.derive("ExampleDPS")
+        assert "exampledps.net" in result.cname_slds
+        assert "exampledps-dns.com" in result.ns_slds
+
+    def test_rejects_shared_hoster_and_registrar_slds(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        result = bootstrap.derive("ExampleDPS")
+        assert "bighoster-dns.com" not in result.ns_slds
+        assert "someregistrar.com" not in result.ns_slds
+
+    def test_keeps_seed_asns(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        result = bootstrap.derive("ExampleDPS")
+        assert result.asns >= frozenset({65001, 65002})
+        assert 64999 not in result.asns
+        assert 64998 not in result.asns
+
+    def test_support_counts_recorded(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        result = bootstrap.derive("ExampleDPS")
+        assert result.support["cname:exampledps.net"] == 20
+
+    def test_terminates_within_max_iterations(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        result = bootstrap.derive("ExampleDPS")
+        assert result.iterations <= 8
+
+    def test_to_signature(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        signature = bootstrap.derive("ExampleDPS").to_signature()
+        assert signature.name == "ExampleDPS"
+
+    def test_derive_catalog(self, registry):
+        bootstrap = FingerprintBootstrap(synthetic_rows(), registry)
+        catalog = bootstrap.derive_catalog(["ExampleDPS"])
+        matches = catalog.match(
+            observation("x.com", cnames=("t.exampledps.net",))
+        )
+        assert "ExampleDPS" in matches
+
+    def test_purity_validation(self, registry):
+        with pytest.raises(ValueError):
+            FingerprintBootstrap([], registry, purity=0.0)
+
+
+class TestNsHostLookup:
+    """The NS-host refinement: decide by who operates the servers."""
+
+    @staticmethod
+    def lookup(hostname):
+        table = {
+            "ns1.exampledps-dns.com": frozenset({65002}),
+            "ns1.parkit.com": frozenset({64997}),  # the parker's own AS
+            "ns1.managed-dps.com": frozenset({65001}),
+        }
+        return table.get(hostname, frozenset())
+
+    def rows_with_parker(self):
+        rows = synthetic_rows()
+        # A parking service: 40 domains, all parked *inside* the DPS's
+        # address space, but served by the parker's own name servers.
+        for index in range(40):
+            rows.append(
+                observation(
+                    f"park{index}.com",
+                    ns=("ns1.parkit.com",),
+                    asns={65001},
+                )
+            )
+        # A managed-DNS service operated by the DPS whose customers
+        # mostly do NOT divert traffic (the Verisign pattern): holder
+        # purity is 4/12 < 0.5, but the servers are the provider's.
+        for index in range(12):
+            rows.append(
+                observation(
+                    f"m{index}.com",
+                    ns=("ns1.managed-dps.com",),
+                    asns={65001} if index < 4 else {64999},
+                )
+            )
+        return rows
+
+    def test_parker_sld_rejected_despite_purity(self, registry):
+        bootstrap = FingerprintBootstrap(
+            self.rows_with_parker(), registry, ns_host_lookup=self.lookup
+        )
+        result = bootstrap.derive("ExampleDPS")
+        assert "parkit.com" not in result.ns_slds
+
+    def test_parker_sld_absorbed_without_lookup(self, registry):
+        """Documents the hazard the lookup exists to fix."""
+        bootstrap = FingerprintBootstrap(self.rows_with_parker(), registry)
+        result = bootstrap.derive("ExampleDPS")
+        assert "parkit.com" in result.ns_slds
+
+    def test_managed_dns_sld_accepted_despite_low_purity(self, registry):
+        bootstrap = FingerprintBootstrap(
+            self.rows_with_parker(), registry, ns_host_lookup=self.lookup
+        )
+        result = bootstrap.derive("ExampleDPS")
+        assert "managed-dps.com" in result.ns_slds
+
+    def test_lookup_keeps_true_positives(self, registry):
+        bootstrap = FingerprintBootstrap(
+            self.rows_with_parker(), registry, ns_host_lookup=self.lookup
+        )
+        result = bootstrap.derive("ExampleDPS")
+        assert "exampledps-dns.com" in result.ns_slds

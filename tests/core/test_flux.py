@@ -1,0 +1,98 @@
+"""Tests for first-seen/last-seen flux analysis (§4.4.2)."""
+
+import pytest
+
+from repro.core.detection import DetectionResult, ProviderSeries, UseInterval
+from repro.core.flux import FluxAnalysis, FluxSeries
+
+HORIZON = 112  # 8 two-week windows
+
+
+def detection_with(intervals):
+    providers = {
+        provider: ProviderSeries(provider, [0] * HORIZON, {})
+        for _, provider in intervals
+    }
+    return DetectionResult(
+        horizon=HORIZON,
+        providers=providers,
+        any_use_by_tld={},
+        any_use_combined=[0] * HORIZON,
+        intervals={
+            key: [UseInterval(*pair) for pair in pairs]
+            for key, pairs in intervals.items()
+        },
+        combo_days={},
+    )
+
+
+class TestFirstLastSeen:
+    def test_simple(self):
+        flux = FluxAnalysis(HORIZON)
+        first, (last, censored) = flux.first_last_seen(
+            [UseInterval(10, 20), UseInterval(40, 50)]
+        )
+        assert first == 10
+        assert last == 49
+        assert not censored
+
+    def test_censored_at_horizon(self):
+        flux = FluxAnalysis(HORIZON)
+        _, (_, censored) = flux.first_last_seen([UseInterval(10, HORIZON)])
+        assert censored
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FluxAnalysis(HORIZON).first_last_seen([])
+
+
+class TestAnalyze:
+    def test_influx_outflux_buckets(self):
+        detection = detection_with(
+            {
+                ("a.com", "X"): [(0, 10)],
+                ("b.com", "X"): [(15, 20), (30, 40)],
+                ("c.com", "X"): [(20, HORIZON)],
+            }
+        )
+        series = FluxAnalysis(HORIZON).analyze(detection)["X"]
+        # Windows are day // 14: a first seen day 0 (w0); b day 15 (w1);
+        # c day 20 (w1).
+        assert series.influx == [1, 2, 0, 0, 0, 0, 0, 0]
+        # a last seen day 9 (w0); b last seen day 39 (w2); c censored.
+        assert series.outflux == [1, 0, 1, 0, 0, 0, 0, 0]
+        assert series.delta == [0, 2, -1, 0, 0, 0, 0, 0]
+
+    def test_domain_with_many_peaks_counts_once(self):
+        """The paper's key flux property."""
+        detection = detection_with(
+            {("a.com", "X"): [(0, 5), (20, 25), (40, 45), (60, 65)]}
+        )
+        series = FluxAnalysis(HORIZON).analyze(detection)["X"]
+        assert sum(series.influx) == 1
+        assert sum(series.outflux) == 1
+
+    def test_spread_metric(self):
+        # Window 0 (the pre-existing base) is excluded from the metric.
+        concentrated = FluxSeries("X", 14, [5, 10, 0, 0, 0], [0] * 5)
+        spread_out = FluxSeries("Y", 14, [5, 3, 4, 3, 3], [0] * 5)
+        assert concentrated.spread() == 0.0
+        assert spread_out.spread() > 0.5
+
+    def test_spread_of_empty_is_zero(self):
+        assert FluxSeries("X", 14, [0, 0], [0, 0]).spread() == 0.0
+        assert FluxSeries("X", 14, [9, 0], [0, 0]).spread() == 0.0
+
+    def test_largest_inflow_window(self):
+        series = FluxSeries("X", 14, [1, 7, 2], [0, 0, 0])
+        assert series.largest_inflow_window() == 1
+
+    def test_providers_without_intervals_get_empty_series(self):
+        detection = detection_with({("a.com", "X"): [(0, 10)]})
+        detection.providers["Y"] = ProviderSeries("Y", [0] * HORIZON, {})
+        series = FluxAnalysis(HORIZON).analyze(detection)
+        assert sum(series["Y"].influx) == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FluxAnalysis(HORIZON, window_days=0)

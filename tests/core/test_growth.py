@@ -1,0 +1,112 @@
+"""Tests for median smoothing, anomaly cleaning, and growth factors."""
+
+import pytest
+
+from repro.core.growth import (
+    GrowthAnalysis,
+    GrowthSeries,
+    median_smooth,
+)
+
+
+class TestMedianSmooth:
+    def test_flat_series_unchanged(self):
+        assert median_smooth([5.0] * 10, window=3) == [5.0] * 10
+
+    def test_single_spike_removed(self):
+        values = [1.0] * 10
+        values[5] = 100.0
+        smoothed = median_smooth(values, window=5)
+        assert smoothed[5] == 1.0
+
+    def test_even_window_rounded_up(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert median_smooth(values, window=2) == median_smooth(values, 3)
+
+    def test_monotone_preserved(self):
+        values = list(range(20))
+        smoothed = median_smooth([float(v) for v in values], window=5)
+        assert smoothed == sorted(smoothed)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            median_smooth([1.0], window=0)
+
+
+class TestCleaning:
+    def test_spike_is_cleaned_and_logged(self):
+        analysis = GrowthAnalysis(window=5, clean_window=21)
+        values = [100.0] * 60
+        values[30] = 500.0
+        cleaned, anomalies = analysis.clean(values)
+        assert cleaned[30] == 100.0
+        assert len(anomalies) == 1
+        assert anomalies[0].day == 30
+        assert anomalies[0].raw == 500.0
+        assert anomalies[0].deviation == pytest.approx(4.0)
+
+    def test_trough_is_cleaned(self):
+        analysis = GrowthAnalysis(window=5, clean_window=21)
+        values = [100.0] * 60
+        values[30] = 10.0
+        cleaned, anomalies = analysis.clean(values)
+        assert cleaned[30] == 100.0
+        assert anomalies
+
+    def test_multiweek_plateau_cleaned_with_long_window(self):
+        analysis = GrowthAnalysis(window=21, clean_window=91)
+        values = [100.0] * 200
+        for day in range(80, 120):  # a 40-day plateau
+            values[day] = 250.0
+        cleaned, anomalies = analysis.clean(values)
+        assert max(cleaned) == 100.0
+        assert len(anomalies) == 40
+
+    def test_slow_trend_not_cleaned(self):
+        analysis = GrowthAnalysis()
+        values = [100.0 + 0.05 * day for day in range(550)]
+        _, anomalies = analysis.clean(values)
+        assert anomalies == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GrowthAnalysis(deviation_threshold=0)
+
+
+class TestGrowthSeries:
+    def test_growth_factor(self):
+        analysis = GrowthAnalysis(window=3, clean_window=7)
+        values = [float(100 + day) for day in range(50)]
+        series = analysis.analyze("test", values)
+        assert series.growth_factor == pytest.approx(149 / 100, abs=0.02)
+
+    def test_relative_starts_at_one(self):
+        analysis = GrowthAnalysis(window=3, clean_window=7)
+        series = analysis.analyze("t", [50.0 + d for d in range(30)])
+        assert series.relative()[0] == pytest.approx(1.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            GrowthAnalysis().analyze("t", [])
+
+    def test_zero_start_rejected(self):
+        analysis = GrowthAnalysis(window=3, clean_window=7)
+        series = analysis.analyze("t", [0.0] * 20)
+        with pytest.raises(ValueError):
+            series.growth_factor
+
+    def test_anomalous_growth_excluded_from_factor(self):
+        """The paper's point: the 1.24x excludes anomalous peaks."""
+        analysis = GrowthAnalysis(window=5, clean_window=41)
+        values = [float(100 + day // 10) for day in range(100)]
+        values[-1] = 10_000.0  # a mass event on the last day
+        series = analysis.analyze("t", values)
+        assert series.growth_factor < 1.2
+
+    def test_compare_labels(self):
+        analysis = GrowthAnalysis(window=3, clean_window=7)
+        result = analysis.compare(
+            {"a": [1.0] * 20, "b": [2.0] * 20}
+        )
+        assert set(result) == {"a", "b"}
+        assert result["a"].label == "a"

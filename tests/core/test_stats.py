@@ -1,0 +1,120 @@
+"""Tests for growth-uncertainty statistics."""
+
+import pytest
+
+from repro.core.growth import GrowthAnalysis
+from repro.core.stats import (
+    GrowthEstimate,
+    growth_confidence_interval,
+    relative_error,
+)
+
+
+def make_series(values):
+    return GrowthAnalysis(window=5, clean_window=21).analyze("t", values)
+
+
+class TestGrowthEstimate:
+    def test_str_and_contains(self):
+        estimate = GrowthEstimate(1.24, 1.20, 1.28, 0.95)
+        assert "1.240x" in str(estimate)
+        assert estimate.contains(1.24)
+        assert not estimate.contains(1.5)
+
+
+class TestConfidenceInterval:
+    def test_interval_brackets_trend(self):
+        values = [100.0 * (1.0 + 0.0004) ** day for day in range(550)]
+        series = make_series(values)
+        estimate = growth_confidence_interval(series, seed=1)
+        assert estimate.low <= series.growth_factor <= estimate.high
+
+    def test_flat_series_tight_interval(self):
+        series = make_series([100.0] * 200)
+        estimate = growth_confidence_interval(series, seed=1)
+        assert estimate.low == pytest.approx(1.0)
+        assert estimate.high == pytest.approx(1.0)
+
+    def test_noisier_series_wider_interval(self):
+        import random
+
+        rng = random.Random(3)
+        smooth = [100.0 + 0.05 * day for day in range(300)]
+        noisy = [v + rng.uniform(-8, 8) for v in smooth]
+        tight = growth_confidence_interval(make_series(smooth), seed=1)
+        wide = growth_confidence_interval(make_series(noisy), seed=1)
+        assert (wide.high - wide.low) > (tight.high - tight.low)
+
+    def test_deterministic_for_seed(self):
+        series = make_series([100.0 + d for d in range(100)])
+        a = growth_confidence_interval(series, seed=9)
+        b = growth_confidence_interval(series, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        series = make_series([100.0] * 50)
+        with pytest.raises(ValueError):
+            growth_confidence_interval(series, confidence=1.0)
+        with pytest.raises(ValueError):
+            growth_confidence_interval(series, block_days=0)
+
+    def test_short_series_handled(self):
+        series = make_series([100.0, 101.0, 102.0])
+        estimate = growth_confidence_interval(series, block_days=28, seed=1)
+        assert estimate.low <= estimate.high
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.23, 1.25) == pytest.approx(0.016)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestCalmWorldFlag:
+    def test_calm_world_has_no_transient_events(self):
+        from repro.world.scenario import ScenarioConfig, build_paper_world
+
+        calm = build_paper_world(
+            ScenarioConfig(
+                scale=60000, seed=7, include_transient_anomalies=False
+            )
+        )
+        kinds = {event.kind for event in calm.event_log}
+        assert "divert-on" not in kinds
+        assert "outage" not in kinds
+        assert "migration" in kinds  # permanent behaviour kept
+
+    def test_calm_world_shares_organic_trend(self):
+        """Same seed → identical organic adoption in both worlds."""
+        from repro.world.scenario import ScenarioConfig, build_paper_world
+
+        full = build_paper_world(ScenarioConfig(scale=60000, seed=7))
+        calm = build_paper_world(
+            ScenarioConfig(
+                scale=60000, seed=7, include_transient_anomalies=False
+            )
+        )
+        # Every domain protected in the calm world at day 0 is also
+        # protected (identically) in the full world.
+        cloudflare_full = {
+            name
+            for name, timeline in full.domains.items()
+            if timeline.alive(0)
+            and any(
+                "cloudflare" in ns
+                for ns in timeline.config_at(0).ns_names
+            )
+        }
+        cloudflare_calm = {
+            name
+            for name, timeline in calm.domains.items()
+            if timeline.alive(0)
+            and any(
+                "cloudflare" in ns
+                for ns in timeline.config_at(0).ns_names
+            )
+        }
+        assert cloudflare_calm == cloudflare_full

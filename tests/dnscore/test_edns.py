@@ -1,0 +1,138 @@
+"""Tests for EDNS(0): OPT pseudo-RR, payload sizes, resolver behaviour."""
+
+import pytest
+
+from repro.dnscore.message import EdnsInfo, make_query
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import SOAData
+from repro.dnscore.resolver import IterativeResolver
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.server import AuthoritativeServer, make_wire_handlers
+from repro.dnscore.transport import SimulatedNetwork
+from repro.dnscore.wire import WireDecodeError, decode_message, encode_message
+from repro.dnscore.zone import Zone
+
+
+def name(text):
+    return DomainName.from_text(text)
+
+
+class TestEdnsInfo:
+    def test_defaults(self):
+        edns = EdnsInfo()
+        assert edns.payload_size == 1232
+        assert edns.version == 0
+
+    def test_payload_bounds(self):
+        with pytest.raises(ValueError):
+            EdnsInfo(payload_size=100)
+        with pytest.raises(ValueError):
+            EdnsInfo(payload_size=70_000)
+
+    def test_only_version_zero(self):
+        with pytest.raises(ValueError):
+            EdnsInfo(version=1)
+
+
+class TestWire:
+    def test_opt_roundtrip(self):
+        query = make_query(
+            name("a.com"), RRType.A, msg_id=3, edns_payload_size=4096
+        )
+        decoded = decode_message(encode_message(query))
+        assert decoded.edns is not None
+        assert decoded.edns.payload_size == 4096
+        assert decoded.additional == []
+
+    def test_no_edns_by_default(self):
+        query = make_query(name("a.com"), RRType.A)
+        assert decode_message(encode_message(query)).edns is None
+
+    def test_options_preserved(self):
+        query = make_query(name("a.com"), RRType.A, edns_payload_size=1232)
+        object.__setattr__(query.edns, "options", b"\x00\x0a\x00\x00")
+        decoded = decode_message(encode_message(query))
+        assert decoded.edns.options == b"\x00\x0a\x00\x00"
+
+    def test_truncated_response_keeps_opt(self):
+        from repro.dnscore.message import Message, Flags
+
+        message = Message(
+            msg_id=1,
+            question=make_query(name("a.com"), RRType.A).question,
+            edns=EdnsInfo(payload_size=1232),
+        )
+        from repro.dnscore.records import make_record
+
+        for index in range(40):
+            message.answers.append(
+                make_record("a.com", RRType.TXT, "x" * 100 + str(index))
+            )
+        wire = encode_message(message, max_size=512)
+        decoded = decode_message(wire)
+        assert decoded.flags.tc
+        assert decoded.edns is not None
+
+
+@pytest.fixture
+def edns_tree():
+    """A root + one zone whose bulk answer is ~1.1 kB."""
+    net = SimulatedNetwork()
+    soa = SOAData(name("ns.invalid"), name("h.invalid"), 1)
+
+    root = Zone(DomainName.root(), soa)
+    root.add(".", RRType.NS, "ns.root.invalid.")
+    root.add("example", RRType.NS, "ns1.zone.example.")
+    root.add("ns1.zone.example", RRType.A, "192.0.2.53")
+    rootsrv = AuthoritativeServer("root")
+    rootsrv.attach_zone(root)
+    net.register("192.0.2.1", *make_wire_handlers(rootsrv))
+
+    zone = Zone(name("zone.example"), soa)
+    zone.add("zone.example", RRType.NS, "ns1.zone.example.")
+    zone.add("ns1.zone.example", RRType.A, "192.0.2.53")
+    for index in range(10):
+        zone.add("bulk.zone.example", RRType.TXT, f"r{index}-" + "x" * 80)
+    server = AuthoritativeServer("zone")
+    server.attach_zone(zone)
+    net.register("192.0.2.53", *make_wire_handlers(server))
+    return net
+
+
+class TestResolverWithEdns:
+    def test_edns_avoids_stream_fallback(self, edns_tree):
+        resolver = IterativeResolver(
+            edns_tree, ["192.0.2.1"], edns_payload_size=4096
+        )
+        result = resolver.resolve(name("bulk.zone.example"), RRType.TXT)
+        assert len(result.rrs(RRType.TXT)) == 10
+        assert edns_tree.stats.streams_opened == 0
+
+    def test_plain_resolver_needs_stream(self, edns_tree):
+        resolver = IterativeResolver(edns_tree, ["192.0.2.1"])
+        result = resolver.resolve(name("bulk.zone.example"), RRType.TXT)
+        assert len(result.rrs(RRType.TXT)) == 10
+        assert edns_tree.stats.streams_opened >= 1
+
+    def test_server_caps_at_its_edns_max(self, edns_tree):
+        """A giant client advertisement still caps at the server's limit."""
+        resolver = IterativeResolver(
+            edns_tree, ["192.0.2.1"], edns_payload_size=65000
+        )
+        result = resolver.resolve(name("bulk.zone.example"), RRType.TXT)
+        # Response is ~1.1 kB < 1232 server cap, so it still fits.
+        assert len(result.rrs(RRType.TXT)) == 10
+
+
+class TestServerEdnsEcho:
+    def test_response_carries_opt_when_query_did(self, edns_tree):
+        query = make_query(
+            name("example"), RRType.NS, msg_id=8, edns_payload_size=1232
+        )
+        raw = edns_tree.query("192.0.2.1", encode_message(query))
+        assert decode_message(raw).edns is not None
+
+    def test_response_has_no_opt_for_plain_query(self, edns_tree):
+        query = make_query(name("example"), RRType.NS, msg_id=9)
+        raw = edns_tree.query("192.0.2.1", encode_message(query))
+        assert decode_message(raw).edns is None

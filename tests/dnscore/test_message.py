@@ -1,0 +1,99 @@
+"""Tests for the DNS message model."""
+
+import pytest
+
+from repro.dnscore.message import Flags, Message, Question, make_query, make_response
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import make_record
+from repro.dnscore.rrtypes import Opcode, Rcode, RRType
+
+
+def qname(text="www.example.com"):
+    return DomainName.from_text(text)
+
+
+class TestFlags:
+    def test_pack_unpack_roundtrip(self):
+        flags = Flags(qr=True, aa=True, rd=True, ra=True, rcode=Rcode.NXDOMAIN)
+        assert Flags.unpack(flags.pack()) == flags
+
+    def test_default_query_flags(self):
+        flags = Flags()
+        assert not flags.qr
+        assert flags.rd
+
+    @pytest.mark.parametrize("rcode", list(Rcode))
+    def test_all_rcodes_roundtrip(self, rcode):
+        assert Flags.unpack(Flags(rcode=rcode).pack()).rcode == rcode
+
+    def test_opcode_bits(self):
+        flags = Flags(opcode=Opcode.UPDATE)
+        assert Flags.unpack(flags.pack()).opcode == Opcode.UPDATE
+
+
+class TestMakeQuery:
+    def test_question_set(self):
+        query = make_query(qname(), RRType.A, msg_id=7)
+        assert query.question == Question(qname(), RRType.A)
+        assert query.msg_id == 7
+        assert not query.is_response()
+
+    def test_recursion_desired_flag(self):
+        assert not make_query(
+            qname(), RRType.A, recursion_desired=False
+        ).flags.rd
+
+
+class TestMakeResponse:
+    def test_mirrors_question_and_id(self):
+        query = make_query(qname(), RRType.A, msg_id=9)
+        response = make_response(query, authoritative=True)
+        assert response.msg_id == 9
+        assert response.question == query.question
+        assert response.flags.aa
+        assert response.is_response()
+
+    def test_requires_question(self):
+        with pytest.raises(ValueError):
+            make_response(Message())
+
+    def test_rcode_propagates(self):
+        query = make_query(qname(), RRType.A)
+        assert make_response(query, rcode=Rcode.SERVFAIL).rcode == Rcode.SERVFAIL
+
+
+class TestMessageAccessors:
+    def test_answer_rrs_filters_by_type(self):
+        query = make_query(qname("a.com"), RRType.A)
+        response = make_response(query)
+        response.answers.append(make_record("a.com", RRType.A, "192.0.2.1"))
+        response.answers.append(
+            make_record("a.com", RRType.CNAME, "alias.b.com.")
+        )
+        assert len(response.answer_rrs(RRType.A)) == 1
+        assert len(response.answer_rrs(RRType.CNAME)) == 1
+
+    def test_is_referral(self):
+        query = make_query(qname("x.a.com"), RRType.A)
+        response = make_response(query)
+        response.authority.append(
+            make_record("a.com", RRType.NS, "ns1.a.com.")
+        )
+        assert response.is_referral()
+
+    def test_authoritative_answer_is_not_referral(self):
+        query = make_query(qname("a.com"), RRType.A)
+        response = make_response(query, authoritative=True)
+        response.authority.append(
+            make_record("a.com", RRType.NS, "ns1.a.com.")
+        )
+        assert not response.is_referral()
+
+    def test_to_text_contains_sections(self):
+        query = make_query(qname("a.com"), RRType.A)
+        response = make_response(query)
+        response.answers.append(make_record("a.com", RRType.A, "192.0.2.1"))
+        text = response.to_text()
+        assert "QUESTION SECTION" in text
+        assert "ANSWER SECTION" in text
+        assert "192.0.2.1" in text

@@ -1,0 +1,194 @@
+"""Tests for domain-name handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnscore.name import (
+    DEFAULT_PUBLIC_SUFFIXES,
+    DomainName,
+    InvalidNameError,
+    MAX_LABEL_LENGTH,
+)
+
+
+def name(text: str) -> DomainName:
+    return DomainName.from_text(text)
+
+
+class TestParsing:
+    def test_simple_name(self):
+        assert name("www.example.com").labels == (b"www", b"example", b"com")
+
+    def test_case_is_folded(self):
+        assert name("WWW.Example.COM") == name("www.example.com")
+
+    def test_trailing_dot_is_absolute_form(self):
+        assert name("example.com.") == name("example.com")
+
+    def test_root_from_dot(self):
+        assert name(".").is_root()
+
+    def test_root_from_empty(self):
+        assert name("").is_root()
+
+    def test_root_singleton(self):
+        assert DomainName.root() == name(".")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(InvalidNameError):
+            name("a..b")
+
+    def test_leading_dot_rejected(self):
+        with pytest.raises(InvalidNameError):
+            name(".example.com")
+
+    def test_oversized_label_rejected(self):
+        with pytest.raises(InvalidNameError):
+            name("a" * (MAX_LABEL_LENGTH + 1) + ".com")
+
+    def test_max_label_accepted(self):
+        assert len(name("a" * MAX_LABEL_LENGTH + ".com").labels[0]) == 63
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(InvalidNameError):
+            name("exämple.com")
+
+    def test_oversized_name_rejected(self):
+        label = "a" * 63
+        with pytest.raises(InvalidNameError):
+            name(".".join([label] * 5))
+
+
+class TestRendering:
+    def test_to_text(self):
+        assert name("www.example.com").to_text() == "www.example.com"
+
+    def test_to_text_trailing_dot(self):
+        assert name("a.b").to_text(trailing_dot=True) == "a.b."
+
+    def test_root_renders_as_dot(self):
+        assert DomainName.root().to_text() == "."
+
+    def test_repr_roundtrip_text(self):
+        assert "www.example.com" in repr(name("www.example.com"))
+
+    def test_str(self):
+        assert str(name("a.com")) == "a.com"
+
+
+class TestStructure:
+    def test_parent(self):
+        assert name("www.example.com").parent() == name("example.com")
+
+    def test_parent_of_root_fails(self):
+        with pytest.raises(InvalidNameError):
+            DomainName.root().parent()
+
+    def test_prepend(self):
+        assert name("example.com").prepend("www") == name("www.example.com")
+
+    def test_concat(self):
+        assert name("www").concat(name("example.com")) == name(
+            "www.example.com"
+        )
+
+    def test_is_subdomain_of_self(self):
+        assert name("a.com").is_subdomain_of(name("a.com"))
+
+    def test_is_subdomain_of_parent(self):
+        assert name("www.a.com").is_subdomain_of(name("a.com"))
+
+    def test_not_subdomain_of_sibling(self):
+        assert not name("www.a.com").is_subdomain_of(name("b.com"))
+
+    def test_everything_is_subdomain_of_root(self):
+        assert name("x.y.z").is_subdomain_of(DomainName.root())
+
+    def test_partial_label_is_not_subdomain(self):
+        # notexample.com must NOT count as a subdomain of example.com.
+        assert not name("notexample.com").is_subdomain_of(name("example.com"))
+
+    def test_relativize(self):
+        assert name("www.a.com").relativize(name("a.com")) == name("www")
+
+    def test_relativize_outside_fails(self):
+        with pytest.raises(InvalidNameError):
+            name("www.a.com").relativize(name("b.com"))
+
+    def test_split(self):
+        prefix, suffix = name("www.a.com").split(2)
+        assert prefix == name("www")
+        assert suffix == name("a.com")
+
+    def test_split_bad_depth(self):
+        with pytest.raises(InvalidNameError):
+            name("a.com").split(5)
+
+    def test_ordering_is_rightmost_first(self):
+        assert name("a.com") < name("b.com")
+        assert name("z.a.com") < name("a.b.com")
+
+    def test_hashable_and_equal(self):
+        assert hash(name("A.com")) == hash(name("a.com"))
+
+    def test_len_and_iter(self):
+        n = name("a.b.c")
+        assert len(n) == 3
+        assert list(n) == [b"a", b"b", b"c"]
+
+
+class TestSld:
+    def test_simple_sld(self):
+        assert name("www.example.com").sld() == name("example.com")
+
+    def test_sld_of_sld_is_itself(self):
+        assert name("example.com").sld() == name("example.com")
+
+    def test_multi_label_public_suffix(self):
+        assert name("www.shop.example.co.uk").sld() == name("example.co.uk")
+
+    def test_public_suffix_itself_has_no_sld(self):
+        assert name("com").sld() is None
+
+    def test_unknown_tld_has_no_sld(self):
+        assert name("foo.unknowntld").sld() is None
+
+    def test_public_suffix_lookup(self):
+        assert name("a.co.uk").public_suffix() == name("co.uk")
+
+    def test_incapsula_style_sld(self):
+        assert name("tok-123.incapdns.net").sld() == name("incapdns.net")
+
+    def test_cloudflare_ns_sld(self):
+        assert name("kate.ns.cloudflare.com").sld() == name("cloudflare.com")
+
+
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+            min_size=1,
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_text_roundtrip_property(labels):
+    text = ".".join(labels)
+    parsed = DomainName.from_text(text)
+    assert DomainName.from_text(parsed.to_text()) == parsed
+    assert parsed.to_text() == text.lower()
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdefg", min_size=1, max_size=5),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_parent_drops_one_label_property(labels):
+    n = DomainName.from_text(".".join(labels))
+    assert len(n.parent()) == len(n) - 1
+    assert n.is_subdomain_of(n.parent())

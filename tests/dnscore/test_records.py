@@ -1,0 +1,132 @@
+"""Tests for typed resource records and RRsets."""
+
+import ipaddress
+
+import pytest
+
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import (
+    AData,
+    AAAAData,
+    CNAMEData,
+    MXData,
+    NSData,
+    RRset,
+    ResourceRecord,
+    SOAData,
+    TXTData,
+    make_record,
+)
+from repro.dnscore.rrtypes import RRType
+
+
+class TestRdata:
+    def test_a_from_string(self):
+        assert AData("192.0.2.1").to_text() == "192.0.2.1"
+
+    def test_a_from_object(self):
+        addr = ipaddress.IPv4Address("192.0.2.9")
+        assert AData(addr).address == addr
+
+    def test_aaaa(self):
+        assert AAAAData("2001:db8::1").to_text() == "2001:db8::1"
+
+    def test_ns_renders_absolute(self):
+        data = NSData(DomainName.from_text("ns1.example.com"))
+        assert data.to_text() == "ns1.example.com."
+
+    def test_cname(self):
+        data = CNAMEData(DomainName.from_text("target.example.net"))
+        assert data.to_text() == "target.example.net."
+
+    def test_mx(self):
+        data = MXData(10, DomainName.from_text("mail.example.com"))
+        assert data.to_text() == "10 mail.example.com."
+
+    def test_txt(self):
+        data = TXTData((b"hello",))
+        assert data.to_text() == '"hello"'
+
+    def test_txt_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            TXTData((b"x" * 256,))
+
+    def test_soa_fields(self):
+        soa = SOAData(
+            DomainName.from_text("ns.example.com"),
+            DomainName.from_text("admin.example.com"),
+            serial=42,
+        )
+        assert "42" in soa.to_text()
+        assert soa.refresh == 7200
+
+
+class TestResourceRecord:
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(
+                DomainName.from_text("a.com"),
+                RRType.NS,
+                AData("192.0.2.1"),
+            )
+
+    def test_to_text_master_format(self):
+        record = make_record("www.a.com", RRType.A, "192.0.2.1", ttl=60)
+        assert record.to_text() == "www.a.com. 60 IN A 192.0.2.1"
+
+    def test_records_are_frozen_and_hashable(self):
+        a = make_record("a.com", RRType.A, "192.0.2.1")
+        b = make_record("a.com", RRType.A, "192.0.2.1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMakeRecord:
+    @pytest.mark.parametrize(
+        "rrtype,value",
+        [
+            (RRType.A, "192.0.2.1"),
+            (RRType.AAAA, "2001:db8::1"),
+            (RRType.NS, "ns1.example.com."),
+            (RRType.CNAME, "alias.example.net."),
+            (RRType.TXT, "v=spf1 -all"),
+            (RRType.MX, "10 mail.example.com."),
+            (RRType.PTR, "host.example.com."),
+        ],
+    )
+    def test_supported_types(self, rrtype, value):
+        record = make_record("name.example.com", rrtype, value)
+        assert record.rrtype == rrtype
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_record("a.com", RRType.SOA, "not supported here")
+
+
+class TestRRset:
+    def test_add_and_iterate(self):
+        rrset = RRset(DomainName.from_text("a.com"), RRType.A)
+        rrset.add(make_record("a.com", RRType.A, "192.0.2.1"))
+        rrset.add(make_record("a.com", RRType.A, "192.0.2.2"))
+        assert len(rrset) == 2
+        assert rrset.rdata_texts() == ["192.0.2.1", "192.0.2.2"]
+
+    def test_duplicate_records_collapse(self):
+        rrset = RRset(DomainName.from_text("a.com"), RRType.A)
+        rrset.add(make_record("a.com", RRType.A, "192.0.2.1"))
+        rrset.add(make_record("a.com", RRType.A, "192.0.2.1"))
+        assert len(rrset) == 1
+
+    def test_foreign_record_rejected(self):
+        rrset = RRset(DomainName.from_text("a.com"), RRType.A)
+        with pytest.raises(ValueError):
+            rrset.add(make_record("b.com", RRType.A, "192.0.2.1"))
+
+    def test_ttl_is_minimum(self):
+        rrset = RRset(DomainName.from_text("a.com"), RRType.A)
+        rrset.add(make_record("a.com", RRType.A, "192.0.2.1", ttl=300))
+        rrset.add(make_record("a.com", RRType.A, "192.0.2.2", ttl=60))
+        assert rrset.ttl == 60
+
+    def test_empty_rrset_is_falsy(self):
+        assert not RRset(DomainName.from_text("a.com"), RRType.A)

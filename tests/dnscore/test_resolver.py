@@ -1,0 +1,257 @@
+"""Tests for stub and iterative resolution over the simulated network."""
+
+import ipaddress
+
+import pytest
+
+from repro.dnscore.message import make_query
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import SOAData
+from repro.dnscore.rrtypes import Rcode, RRType
+from repro.dnscore.resolver import (
+    IterativeResolver,
+    ResolutionError,
+    ResolverCache,
+    StubResolver,
+)
+from repro.dnscore.server import AuthoritativeServer
+from repro.dnscore.transport import SimulatedNetwork
+from repro.dnscore.wire import decode_message, encode_message
+from repro.dnscore.zone import Zone
+
+
+def name(text):
+    return DomainName.from_text(text)
+
+
+def soa(origin):
+    return SOAData(name("ns.invalid"), name("host.invalid"), 1)
+
+
+def serve(net, server, ip):
+    net.register(
+        ipaddress.ip_address(ip),
+        lambda b: encode_message(server.handle_query(decode_message(b))),
+    )
+
+
+@pytest.fixture
+def dns_tree():
+    """Root → com/ar → example.com (+ DPS zone foob.ar), as in §2.1."""
+    net = SimulatedNetwork()
+
+    root = Zone(DomainName.root(), soa("."))
+    root.add(".", RRType.NS, "ns.root-servers.net.")
+    root.add("com", RRType.NS, "ns.gtld.com.")
+    root.add("ns.gtld.com", RRType.A, "192.0.2.10")
+    root.add("ar", RRType.NS, "ns.nic.ar.")
+    root.add("ns.nic.ar", RRType.A, "192.0.2.30")
+    rootsrv = AuthoritativeServer("root")
+    rootsrv.attach_zone(root)
+    serve(net, rootsrv, "192.0.2.1")
+
+    com = Zone(name("com"), soa("com"))
+    com.add("com", RRType.NS, "ns.gtld.com.")
+    com.add("examp.com", RRType.NS, "ns.registr.com.")
+    com.add("ns.registr.com", RRType.A, "192.0.2.20")
+    com.add("oob.com", RRType.NS, "ns.examp.com.")  # out-of-bailiwick-ish
+    comsrv = AuthoritativeServer("com")
+    comsrv.attach_zone(com)
+    serve(net, comsrv, "192.0.2.10")
+
+    cust = Zone(name("examp.com"), soa("examp.com"))
+    cust.add("examp.com", RRType.NS, "ns.registr.com.")
+    cust.add("examp.com", RRType.A, "203.0.113.1")
+    cust.add("www.examp.com", RRType.CNAME, "x1.foob.ar.")
+    cust.add("ns.examp.com", RRType.A, "192.0.2.21")
+    custsrv = AuthoritativeServer("registrar")
+    custsrv.attach_zone(cust)
+    serve(net, custsrv, "192.0.2.20")
+
+    oob = Zone(name("oob.com"), soa("oob.com"))
+    oob.add("oob.com", RRType.NS, "ns.examp.com.")
+    oob.add("oob.com", RRType.A, "203.0.113.99")
+    oobsrv = AuthoritativeServer("oob")
+    oobsrv.attach_zone(oob)
+    serve(net, oobsrv, "192.0.2.21")
+
+    ar = Zone(name("ar"), soa("ar"))
+    ar.add("ar", RRType.NS, "ns.nic.ar.")
+    ar.add("foob.ar", RRType.NS, "ns.foob.ar.")
+    ar.add("ns.foob.ar", RRType.A, "192.0.2.40")
+    arsrv = AuthoritativeServer("ar")
+    arsrv.attach_zone(ar)
+    serve(net, arsrv, "192.0.2.30")
+
+    dps = Zone(name("foob.ar"), soa("foob.ar"))
+    dps.add("foob.ar", RRType.NS, "ns.foob.ar.")
+    dps.add("x1.foob.ar", RRType.A, "10.0.0.2")
+    dpssrv = AuthoritativeServer("dps")
+    dpssrv.attach_zone(dps)
+    serve(net, dpssrv, "192.0.2.40")
+
+    return net
+
+
+@pytest.fixture
+def resolver(dns_tree):
+    return IterativeResolver(dns_tree, ["192.0.2.1"])
+
+
+class TestIterativeResolution:
+    def test_apex_a(self, resolver):
+        result = resolver.resolve(name("examp.com"), RRType.A)
+        assert result.rcode == Rcode.NOERROR
+        assert result.addresses() == ["203.0.113.1"]
+
+    def test_cross_zone_cname_expansion(self, resolver):
+        result = resolver.resolve(name("www.examp.com"), RRType.A)
+        assert [c.to_text() for c in result.cname_chain] == ["x1.foob.ar"]
+        assert result.addresses() == ["10.0.0.2"]
+        # The full expansion is in the answer chain, CNAME first.
+        assert [r.rrtype for r in result.answers] == [
+            RRType.CNAME,
+            RRType.A,
+        ]
+
+    def test_ns_lookup(self, resolver):
+        result = resolver.resolve(name("examp.com"), RRType.NS)
+        assert [r.rdata.to_text() for r in result.rrs(RRType.NS)] == [
+            "ns.registr.com."
+        ]
+
+    def test_nxdomain(self, resolver):
+        result = resolver.resolve(name("missing.examp.com"), RRType.A)
+        assert result.rcode == Rcode.NXDOMAIN
+
+    def test_nodata(self, resolver):
+        result = resolver.resolve(name("examp.com"), RRType.AAAA)
+        assert result.rcode == Rcode.NOERROR
+        assert result.addresses() == []
+
+    def test_out_of_bailiwick_ns_resolution(self, resolver):
+        result = resolver.resolve(name("oob.com"), RRType.A)
+        assert result.addresses() == ["203.0.113.99"]
+
+    def test_queries_are_counted(self, resolver):
+        result = resolver.resolve(name("examp.com"), RRType.A)
+        assert result.queries_sent >= 3  # root, com, examp.com
+
+    def test_unreachable_root_raises(self, dns_tree):
+        bad = IterativeResolver(dns_tree, ["198.51.100.99"])
+        with pytest.raises(ResolutionError):
+            bad.resolve(name("examp.com"), RRType.A)
+
+    def test_requires_root_servers(self, dns_tree):
+        with pytest.raises(ValueError):
+            IterativeResolver(dns_tree, [])
+
+
+class TestCache:
+    def test_cache_hit_avoids_queries(self, dns_tree):
+        cache = ResolverCache()
+        resolver = IterativeResolver(dns_tree, ["192.0.2.1"], cache=cache)
+        first = resolver.resolve(name("examp.com"), RRType.A)
+        second = resolver.resolve(name("examp.com"), RRType.A)
+        assert second.addresses() == first.addresses()
+        assert second.queries_sent == 0
+        assert cache.hits >= 1
+
+    def test_cache_expiry_by_clock(self, dns_tree):
+        cache = ResolverCache()
+        resolver = IterativeResolver(dns_tree, ["192.0.2.1"], cache=cache)
+        resolver.resolve(name("examp.com"), RRType.A)
+        resolver.clock += 10_000_000  # far beyond any TTL
+        result = resolver.resolve(name("examp.com"), RRType.A)
+        assert result.queries_sent > 0
+
+    def test_negative_cache_nxdomain(self, dns_tree):
+        cache = ResolverCache()
+        resolver = IterativeResolver(dns_tree, ["192.0.2.1"], cache=cache)
+        first = resolver.resolve(name("missing.examp.com"), RRType.A)
+        assert first.rcode == Rcode.NXDOMAIN
+        second = resolver.resolve(name("missing.examp.com"), RRType.A)
+        assert second.rcode == Rcode.NXDOMAIN
+        assert second.queries_sent == 0
+        assert cache.negative_hits >= 1
+
+    def test_negative_cache_nodata(self, dns_tree):
+        cache = ResolverCache()
+        resolver = IterativeResolver(dns_tree, ["192.0.2.1"], cache=cache)
+        resolver.resolve(name("examp.com"), RRType.AAAA)
+        second = resolver.resolve(name("examp.com"), RRType.AAAA)
+        assert second.queries_sent == 0
+        assert second.addresses() == []
+
+    def test_negative_cache_expires(self, dns_tree):
+        cache = ResolverCache()
+        resolver = IterativeResolver(dns_tree, ["192.0.2.1"], cache=cache)
+        resolver.resolve(name("missing.examp.com"), RRType.A)
+        resolver.clock += 10_000_000
+        again = resolver.resolve(name("missing.examp.com"), RRType.A)
+        assert again.queries_sent > 0
+
+    def test_negative_cache_is_per_type(self, dns_tree):
+        cache = ResolverCache()
+        resolver = IterativeResolver(dns_tree, ["192.0.2.1"], cache=cache)
+        resolver.resolve(name("examp.com"), RRType.AAAA)  # NODATA cached
+        positive = resolver.resolve(name("examp.com"), RRType.A)
+        assert positive.addresses() == ["203.0.113.1"]
+
+    def test_cache_flush(self):
+        cache = ResolverCache()
+        from repro.dnscore.records import make_record
+
+        cache.put(
+            name("a.com"), RRType.A,
+            [make_record("a.com", RRType.A, "192.0.2.1")], now=0.0,
+        )
+        assert len(cache) == 1
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.get(name("a.com"), RRType.A, now=0.0) is None
+
+
+class TestStubResolver:
+    def test_stub_query(self, dns_tree):
+        # Point the stub straight at the examp.com authoritative server.
+        stub = StubResolver(dns_tree, "192.0.2.20")
+        response = stub.query(name("examp.com"), RRType.A)
+        assert response.answers[0].rdata.to_text() == "203.0.113.1"
+
+    def test_stub_unreachable(self, dns_tree):
+        stub = StubResolver(dns_tree, "198.51.100.1")
+        with pytest.raises(ResolutionError):
+            stub.query(name("examp.com"), RRType.A)
+
+
+class TestLossyNetwork:
+    def test_retries_mask_moderate_loss(self):
+        # Build a one-zone tree on a lossy network; retries should usually
+        # still get through at 20% loss with 2 tries per server.
+        net = SimulatedNetwork(loss_rate=0.2, seed=5)
+        zone = Zone(name("com"), soa("com"))
+        zone.add("com", RRType.NS, "ns.gtld.com.")
+        zone.add("a.com", RRType.A, "192.0.2.77")
+        srv = AuthoritativeServer("com")
+        srv.attach_zone(zone)
+        serve(net, srv, "192.0.2.10")
+
+        root = Zone(DomainName.root(), soa("."))
+        root.add(".", RRType.NS, "ns.root-servers.net.")
+        root.add("com", RRType.NS, "ns.gtld.com.")
+        root.add("ns.gtld.com", RRType.A, "192.0.2.10")
+        rootsrv = AuthoritativeServer("root")
+        rootsrv.attach_zone(root)
+        serve(net, rootsrv, "192.0.2.1")
+
+        resolver = IterativeResolver(net, ["192.0.2.1"])
+        successes = 0
+        for _ in range(10):
+            try:
+                result = resolver.resolve(name("a.com"), RRType.A)
+                if result.addresses() == ["192.0.2.77"]:
+                    successes += 1
+            except ResolutionError:
+                pass
+        assert successes >= 8

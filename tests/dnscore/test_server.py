@@ -1,0 +1,121 @@
+"""Tests for the authoritative server's response building."""
+
+import pytest
+
+from repro.dnscore.message import Message, make_query
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import SOAData
+from repro.dnscore.rrtypes import Opcode, Rcode, RRType
+from repro.dnscore.server import AuthoritativeServer
+from repro.dnscore.zone import Zone
+
+
+def name(text):
+    return DomainName.from_text(text)
+
+
+@pytest.fixture
+def server():
+    soa = SOAData(name("ns1.example.com"), name("host.example.com"), 1)
+    zone = Zone(name("example.com"), soa)
+    zone.add("example.com", RRType.NS, "ns1.example.com.")
+    zone.add("example.com", RRType.A, "192.0.2.10")
+    zone.add("www.example.com", RRType.A, "192.0.2.11")
+    zone.add("alias.example.com", RRType.CNAME, "www.example.com.")
+    zone.add("ext.example.com", RRType.CNAME, "target.other.net.")
+    zone.add("child.example.com", RRType.NS, "ns1.child.example.com.")
+    zone.add("ns1.child.example.com", RRType.A, "192.0.2.53")
+    srv = AuthoritativeServer("test-ns")
+    srv.attach_zone(zone)
+    return srv
+
+
+class TestAnswers:
+    def test_positive_answer_is_authoritative(self, server):
+        response = server.handle_query(
+            make_query(name("www.example.com"), RRType.A)
+        )
+        assert response.rcode == Rcode.NOERROR
+        assert response.flags.aa
+        assert response.answers[0].rdata.to_text() == "192.0.2.11"
+
+    def test_apex_ns_in_authority_section(self, server):
+        response = server.handle_query(
+            make_query(name("www.example.com"), RRType.A)
+        )
+        ns = [r for r in response.authority if r.rrtype == RRType.NS]
+        assert ns and ns[0].rdata.to_text() == "ns1.example.com."
+
+    def test_in_zone_cname_is_followed(self, server):
+        response = server.handle_query(
+            make_query(name("alias.example.com"), RRType.A)
+        )
+        types = [r.rrtype for r in response.answers]
+        assert types == [RRType.CNAME, RRType.A]
+
+    def test_out_of_zone_cname_is_returned_unfollowed(self, server):
+        response = server.handle_query(
+            make_query(name("ext.example.com"), RRType.A)
+        )
+        assert [r.rrtype for r in response.answers] == [RRType.CNAME]
+
+    def test_nxdomain_with_soa(self, server):
+        response = server.handle_query(
+            make_query(name("missing.example.com"), RRType.A)
+        )
+        assert response.rcode == Rcode.NXDOMAIN
+        assert any(r.rrtype == RRType.SOA for r in response.authority)
+
+    def test_nodata_with_soa(self, server):
+        response = server.handle_query(
+            make_query(name("www.example.com"), RRType.TXT)
+        )
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answers
+        assert any(r.rrtype == RRType.SOA for r in response.authority)
+
+    def test_referral_below_delegation(self, server):
+        response = server.handle_query(
+            make_query(name("deep.child.example.com"), RRType.A)
+        )
+        assert response.is_referral()
+        assert not response.flags.aa
+        glue = [r for r in response.additional if r.rrtype == RRType.A]
+        assert glue[0].rdata.to_text() == "192.0.2.53"
+
+    def test_query_outside_zones_refused(self, server):
+        response = server.handle_query(
+            make_query(name("www.other.org"), RRType.A)
+        )
+        assert response.rcode == Rcode.REFUSED
+
+    def test_non_query_opcode_notimp(self, server):
+        query = make_query(name("www.example.com"), RRType.A)
+        query.flags = query.flags.__class__(opcode=Opcode.UPDATE)
+        assert server.handle_query(query).rcode == Rcode.NOTIMP
+
+    def test_question_missing_refused(self, server):
+        assert server.handle_query(Message()).rcode == Rcode.REFUSED
+
+    def test_query_counter(self, server):
+        server.handle_query(make_query(name("www.example.com"), RRType.A))
+        server.handle_query(make_query(name("example.com"), RRType.NS))
+        assert server.queries_handled == 2
+
+
+class TestZoneManagement:
+    def test_longest_origin_wins(self, server):
+        soa = SOAData(name("ns.sub.example.com"), name("h.example.com"), 1)
+        sub = Zone(name("sub.example.com"), soa)
+        sub.add("sub.example.com", RRType.A, "198.51.100.1")
+        server.attach_zone(sub)
+        assert server.zone_for(name("x.sub.example.com")).origin == name(
+            "sub.example.com"
+        )
+
+    def test_detach_zone(self, server):
+        assert server.detach_zone(name("example.com")) is not None
+        assert server.zone_for(name("www.example.com")) is None
+
+    def test_zones_listing(self, server):
+        assert len(server.zones) == 1

@@ -1,0 +1,109 @@
+"""Tests for UDP truncation (TC bit) and the stream fallback."""
+
+import ipaddress
+
+import pytest
+
+from repro.dnscore.message import make_query
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import SOAData
+from repro.dnscore.resolver import IterativeResolver
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.server import (
+    AuthoritativeServer,
+    DEFAULT_UDP_PAYLOAD,
+    make_wire_handlers,
+)
+from repro.dnscore.transport import SimulatedNetwork
+from repro.dnscore.wire import decode_message, encode_message
+from repro.dnscore.zone import Zone
+
+
+def name(text):
+    return DomainName.from_text(text)
+
+
+@pytest.fixture
+def big_zone():
+    """A zone whose TXT answer exceeds the classic 512-byte limit."""
+    soa = SOAData(name("ns1.big.example"), name("h.big.example"), 1)
+    zone = Zone(name("big.example"), soa)
+    zone.add("big.example", RRType.NS, "ns1.big.example.")
+    zone.add("ns1.big.example", RRType.A, "192.0.2.53")
+    for index in range(12):
+        zone.add(
+            "bulk.big.example", RRType.TXT,
+            f"record-{index}-" + "x" * 80,
+        )
+    zone.add("small.big.example", RRType.A, "192.0.2.1")
+    return zone
+
+
+class TestEncodeTruncation:
+    def test_oversize_response_truncated(self, big_zone):
+        server = AuthoritativeServer()
+        server.attach_zone(big_zone)
+        response = server.handle_query(
+            make_query(name("bulk.big.example"), RRType.TXT)
+        )
+        wire = encode_message(response, max_size=512)
+        assert len(wire) <= 512
+        decoded = decode_message(wire)
+        assert decoded.flags.tc
+        assert decoded.answers == []
+        assert decoded.question is not None
+
+    def test_small_response_untouched(self, big_zone):
+        server = AuthoritativeServer()
+        server.attach_zone(big_zone)
+        response = server.handle_query(
+            make_query(name("small.big.example"), RRType.A)
+        )
+        decoded = decode_message(encode_message(response, max_size=512))
+        assert not decoded.flags.tc
+        assert decoded.answers
+
+
+class TestHandlers:
+    def test_datagram_handler_truncates_stream_does_not(self, big_zone):
+        server = AuthoritativeServer()
+        server.attach_zone(big_zone)
+        datagram, stream = make_wire_handlers(server)
+        query = encode_message(
+            make_query(name("bulk.big.example"), RRType.TXT, msg_id=5)
+        )
+        assert decode_message(datagram(query)).flags.tc
+        full = decode_message(stream(query))
+        assert not full.flags.tc
+        assert len(full.answers) == 12
+
+
+class TestResolverFallback:
+    def build_network(self, big_zone):
+        net = SimulatedNetwork()
+        root = Zone(DomainName.root(),
+                    SOAData(name("ns.invalid"), name("h.invalid"), 1))
+        root.add(".", RRType.NS, "ns.root.invalid.")
+        root.add("example", RRType.NS, "ns1.big.example.")
+        root.add("ns1.big.example", RRType.A, "192.0.2.53")
+        rootsrv = AuthoritativeServer("root")
+        rootsrv.attach_zone(root)
+        net.register("192.0.2.1", *make_wire_handlers(rootsrv))
+        server = AuthoritativeServer("big")
+        server.attach_zone(big_zone)
+        net.register("192.0.2.53", *make_wire_handlers(server))
+        return net
+
+    def test_resolver_retries_over_stream(self, big_zone):
+        net = self.build_network(big_zone)
+        resolver = IterativeResolver(net, ["192.0.2.1"])
+        result = resolver.resolve(name("bulk.big.example"), RRType.TXT)
+        assert len(result.rrs(RRType.TXT)) == 12
+        assert net.stats.streams_opened >= 1
+
+    def test_no_stream_needed_for_small_answers(self, big_zone):
+        net = self.build_network(big_zone)
+        resolver = IterativeResolver(net, ["192.0.2.1"])
+        result = resolver.resolve(name("small.big.example"), RRType.A)
+        assert result.addresses() == ["192.0.2.1"]
+        assert net.stats.streams_opened == 0

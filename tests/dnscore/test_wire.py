@@ -1,0 +1,247 @@
+"""Tests for RFC 1035 wire encoding/decoding, incl. name compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnscore.message import Flags, make_query, make_response
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import make_record
+from repro.dnscore.rrtypes import Rcode, RRType
+from repro.dnscore.wire import WireDecodeError, decode_message, encode_message
+
+
+def roundtrip(message):
+    return decode_message(encode_message(message))
+
+
+def qname(text="www.example.com"):
+    return DomainName.from_text(text)
+
+
+class TestRoundtrip:
+    def test_bare_query(self):
+        query = make_query(qname(), RRType.A, msg_id=1234)
+        decoded = roundtrip(query)
+        assert decoded.msg_id == 1234
+        assert decoded.question.qname == qname()
+        assert decoded.question.qtype == RRType.A
+
+    def test_response_with_answers(self):
+        query = make_query(qname("a.com"), RRType.A, msg_id=2)
+        response = make_response(query, authoritative=True)
+        response.answers.append(make_record("a.com", RRType.A, "192.0.2.1"))
+        response.answers.append(make_record("a.com", RRType.A, "192.0.2.2"))
+        decoded = roundtrip(response)
+        assert [r.rdata.to_text() for r in decoded.answers] == [
+            "192.0.2.1",
+            "192.0.2.2",
+        ]
+        assert decoded.flags.aa
+
+    @pytest.mark.parametrize(
+        "rrtype,value",
+        [
+            (RRType.A, "192.0.2.1"),
+            (RRType.AAAA, "2001:db8::1"),
+            (RRType.NS, "ns1.example.net."),
+            (RRType.CNAME, "alias.example.net."),
+            (RRType.TXT, "hello world"),
+            (RRType.MX, "10 mail.example.net."),
+            (RRType.PTR, "host.example.net."),
+        ],
+    )
+    def test_each_rdata_type(self, rrtype, value):
+        query = make_query(qname("a.com"), rrtype, msg_id=3)
+        response = make_response(query)
+        response.answers.append(make_record("a.com", rrtype, value))
+        decoded = roundtrip(response)
+        assert decoded.answers[0].rrtype == rrtype
+        assert decoded.answers[0].rdata == response.answers[0].rdata
+
+    def test_all_sections(self):
+        query = make_query(qname("x.a.com"), RRType.A, msg_id=4)
+        response = make_response(query)
+        response.answers.append(
+            make_record("x.a.com", RRType.CNAME, "y.b.com.")
+        )
+        response.authority.append(make_record("a.com", RRType.NS, "ns.a.com."))
+        response.additional.append(
+            make_record("ns.a.com", RRType.A, "192.0.2.53")
+        )
+        decoded = roundtrip(response)
+        assert len(decoded.answers) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+
+    def test_ttl_preserved(self):
+        query = make_query(qname("a.com"), RRType.A)
+        response = make_response(query)
+        response.answers.append(
+            make_record("a.com", RRType.A, "192.0.2.1", ttl=86400)
+        )
+        assert roundtrip(response).answers[0].ttl == 86400
+
+    def test_nxdomain_flags(self):
+        query = make_query(qname("nope.a.com"), RRType.A)
+        response = make_response(query, rcode=Rcode.NXDOMAIN)
+        assert roundtrip(response).rcode == Rcode.NXDOMAIN
+
+    def test_root_question(self):
+        query = make_query(DomainName.root(), RRType.NS)
+        assert roundtrip(query).question.qname.is_root()
+
+
+class TestCompression:
+    def test_repeated_names_are_compressed(self):
+        query = make_query(qname("a.verylongdomainname.com"), RRType.A)
+        response = make_response(query)
+        for index in range(4):
+            response.answers.append(
+                make_record(
+                    "a.verylongdomainname.com",
+                    RRType.A,
+                    f"192.0.2.{index + 1}",
+                )
+            )
+        wire = encode_message(response)
+        # Four owner copies would repeat the long name; compression keeps
+        # one full copy plus pointers.
+        assert wire.count(b"verylongdomainname") == 1
+
+    def test_compression_of_rdata_names(self):
+        query = make_query(qname("www.example.com"), RRType.NS)
+        response = make_response(query)
+        response.answers.append(
+            make_record("www.example.com", RRType.NS, "ns1.example.com.")
+        )
+        response.answers.append(
+            make_record("www.example.com", RRType.NS, "ns2.example.com.")
+        )
+        wire = encode_message(response)
+        assert wire.count(b"example") == 1
+        decoded = decode_message(wire)
+        assert sorted(r.rdata.to_text() for r in decoded.answers) == [
+            "ns1.example.com.",
+            "ns2.example.com.",
+        ]
+
+    def test_compressed_smaller_than_naive(self):
+        query = make_query(qname("host.subdomain.example.com"), RRType.A)
+        response = make_response(query)
+        for index in range(10):
+            response.answers.append(
+                make_record(
+                    "host.subdomain.example.com",
+                    RRType.A,
+                    f"192.0.2.{index}",
+                )
+            )
+        wire = encode_message(response)
+        naive_owner_cost = 10 * (len("host.subdomain.example.com") + 2)
+        assert len(wire) < 12 + naive_owner_cost + 10 * 14
+
+
+class TestMalformedInput:
+    def test_short_message(self):
+        with pytest.raises(WireDecodeError):
+            decode_message(b"\x00" * 5)
+
+    def test_truncated_question(self):
+        wire = encode_message(make_query(qname(), RRType.A))
+        with pytest.raises(WireDecodeError):
+            decode_message(wire[:-3])
+
+    def test_trailing_garbage(self):
+        wire = encode_message(make_query(qname(), RRType.A))
+        with pytest.raises(WireDecodeError):
+            decode_message(wire + b"\x00")
+
+    def test_forward_pointer_rejected(self):
+        # Header + a name that is just a pointer to itself.
+        header = struct.pack("!HHHHHH", 0, 0, 1, 0, 0, 0)
+        self_pointer = struct.pack("!H", 0xC000 | 12)
+        body = self_pointer + struct.pack("!HH", 1, 1)
+        with pytest.raises(WireDecodeError):
+            decode_message(header + body)
+
+    def test_bad_label_length_bits(self):
+        header = struct.pack("!HHHHHH", 0, 0, 1, 0, 0, 0)
+        body = b"\x80abc\x00" + struct.pack("!HH", 1, 1)
+        with pytest.raises(WireDecodeError):
+            decode_message(header + body)
+
+    def test_label_past_end(self):
+        header = struct.pack("!HHHHHH", 0, 0, 1, 0, 0, 0)
+        body = b"\x3fabc"
+        with pytest.raises(WireDecodeError):
+            decode_message(header + body)
+
+    def test_multiple_questions_rejected(self):
+        header = struct.pack("!HHHHHH", 0, 0, 2, 0, 0, 0)
+        with pytest.raises(WireDecodeError):
+            decode_message(header + b"\x00" + struct.pack("!HH", 1, 1) * 2)
+
+
+_label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20
+)
+
+
+@given(
+    labels=st.lists(_label, min_size=1, max_size=5),
+    msg_id=st.integers(min_value=0, max_value=0xFFFF),
+    rrtype=st.sampled_from([RRType.A, RRType.AAAA, RRType.NS, RRType.TXT]),
+)
+def test_query_roundtrip_property(labels, msg_id, rrtype):
+    query = make_query(
+        DomainName.from_text(".".join(labels)), rrtype, msg_id=msg_id
+    )
+    decoded = decode_message(encode_message(query))
+    assert decoded.msg_id == msg_id
+    assert decoded.question == query.question
+    assert decoded.flags == query.flags
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_decoder_never_crashes_on_garbage(data):
+    """Fuzz: arbitrary bytes either decode or raise WireDecodeError."""
+    try:
+        decode_message(data)
+    except WireDecodeError:
+        pass
+
+
+@given(
+    prefix_len=st.integers(min_value=0, max_value=40),
+    garbage=st.binary(min_size=1, max_size=30),
+)
+def test_decoder_handles_corrupted_valid_messages(prefix_len, garbage):
+    """Fuzz: a valid message with a corrupted tail never crashes."""
+    wire = encode_message(
+        make_query(qname("www.example.com"), RRType.A, msg_id=1)
+    )
+    corrupted = wire[: min(prefix_len, len(wire))] + garbage
+    try:
+        decode_message(corrupted)
+    except WireDecodeError:
+        pass
+
+
+@given(
+    owner=st.lists(_label, min_size=1, max_size=4),
+    addresses=st.lists(
+        st.integers(min_value=1, max_value=254), min_size=1, max_size=8
+    ),
+)
+def test_answer_roundtrip_property(owner, addresses):
+    owner_text = ".".join(owner)
+    query = make_query(DomainName.from_text(owner_text), RRType.A)
+    response = make_response(query)
+    for octet in addresses:
+        record = make_record(owner_text, RRType.A, f"10.0.0.{octet}")
+        if record not in response.answers:
+            response.answers.append(record)
+    decoded = decode_message(encode_message(response))
+    assert decoded.answers == response.answers

@@ -1,0 +1,270 @@
+"""Tests for zone data management and the RFC 1034 lookup algorithm."""
+
+import pytest
+
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import SOAData
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.zone import LookupStatus, Zone, ZoneError, parse_zone_text
+
+
+def name(text):
+    return DomainName.from_text(text)
+
+
+def make_zone(origin="example.com"):
+    soa = SOAData(
+        name(f"ns1.{origin}"), name(f"hostmaster.{origin}"), serial=1
+    )
+    zone = Zone(name(origin), soa)
+    zone.add(origin, RRType.NS, f"ns1.{origin}.")
+    return zone
+
+
+class TestContentManagement:
+    def test_add_and_get(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        rrset = zone.get_rrset(name("www.example.com"), RRType.A)
+        assert rrset is not None
+        assert rrset.rdata_texts() == ["192.0.2.1"]
+
+    def test_record_outside_zone_rejected(self):
+        zone = make_zone()
+        with pytest.raises(ZoneError):
+            zone.add("www.other.com", RRType.A, "192.0.2.1")
+
+    def test_cname_conflicts_with_other_data(self):
+        zone = make_zone()
+        zone.add("alias.example.com", RRType.CNAME, "www.example.com.")
+        with pytest.raises(ZoneError):
+            zone.add("alias.example.com", RRType.A, "192.0.2.1")
+
+    def test_other_data_conflicts_with_cname(self):
+        zone = make_zone()
+        zone.add("host.example.com", RRType.A, "192.0.2.1")
+        with pytest.raises(ZoneError):
+            zone.add("host.example.com", RRType.CNAME, "www.example.com.")
+
+    def test_remove_rrset(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        assert zone.remove_rrset(name("www.example.com"), RRType.A)
+        assert zone.get_rrset(name("www.example.com"), RRType.A) is None
+
+    def test_remove_missing_rrset_returns_false(self):
+        zone = make_zone()
+        assert not zone.remove_rrset(name("nothing.example.com"), RRType.A)
+
+    def test_remove_name(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        zone.add("www.example.com", RRType.TXT, "hi")
+        assert zone.remove_name(name("www.example.com")) == 2
+
+    def test_replace_is_atomic(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        zone.replace(
+            "www.example.com", RRType.A, ["192.0.2.7", "192.0.2.8"]
+        )
+        rrset = zone.get_rrset(name("www.example.com"), RRType.A)
+        assert rrset.rdata_texts() == ["192.0.2.7", "192.0.2.8"]
+
+    def test_len_counts_records(self):
+        zone = make_zone()
+        before = len(zone)
+        zone.add("a.example.com", RRType.A, "192.0.2.1")
+        assert len(zone) == before + 1
+
+    def test_soa_accessor(self):
+        assert make_zone().soa.serial == 1
+
+
+class TestLookup:
+    def test_exact_match(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        result = zone.lookup(name("www.example.com"), RRType.A)
+        assert result.status == LookupStatus.SUCCESS
+
+    def test_nxdomain(self):
+        zone = make_zone()
+        result = zone.lookup(name("missing.example.com"), RRType.A)
+        assert result.status == LookupStatus.NXDOMAIN
+
+    def test_nodata_for_existing_name(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        result = zone.lookup(name("www.example.com"), RRType.TXT)
+        assert result.status == LookupStatus.NODATA
+
+    def test_empty_nonterminal_is_nodata(self):
+        zone = make_zone()
+        zone.add("a.b.example.com", RRType.A, "192.0.2.1")
+        result = zone.lookup(name("b.example.com"), RRType.A)
+        assert result.status == LookupStatus.NODATA
+
+    def test_cname_returned_for_other_types(self):
+        zone = make_zone()
+        zone.add("alias.example.com", RRType.CNAME, "www.example.com.")
+        result = zone.lookup(name("alias.example.com"), RRType.A)
+        assert result.status == LookupStatus.CNAME
+
+    def test_cname_query_gets_cname_directly(self):
+        zone = make_zone()
+        zone.add("alias.example.com", RRType.CNAME, "www.example.com.")
+        result = zone.lookup(name("alias.example.com"), RRType.CNAME)
+        assert result.status == LookupStatus.SUCCESS
+
+    def test_delegation_returned_for_names_below_cut(self):
+        zone = make_zone()
+        zone.add("child.example.com", RRType.NS, "ns1.child.example.com.")
+        zone.add("ns1.child.example.com", RRType.A, "192.0.2.53")
+        result = zone.lookup(name("www.child.example.com"), RRType.A)
+        assert result.status == LookupStatus.DELEGATION
+        assert result.delegation is not None
+        assert len(result.glue) == 1
+
+    def test_delegation_at_qname_for_non_ns_query(self):
+        zone = make_zone()
+        zone.add("child.example.com", RRType.NS, "ns1.child.example.com.")
+        result = zone.lookup(name("child.example.com"), RRType.A)
+        assert result.status == LookupStatus.DELEGATION
+
+    def test_apex_ns_is_authoritative_not_delegation(self):
+        zone = make_zone()
+        result = zone.lookup(name("example.com"), RRType.NS)
+        assert result.status == LookupStatus.SUCCESS
+
+    def test_lookup_outside_zone_rejected(self):
+        zone = make_zone()
+        with pytest.raises(ZoneError):
+            zone.lookup(name("www.other.org"), RRType.A)
+
+    def test_out_of_bailiwick_ns_has_no_glue(self):
+        zone = make_zone()
+        zone.add("child.example.com", RRType.NS, "ns.other.net.")
+        result = zone.lookup(name("x.child.example.com"), RRType.A)
+        assert result.status == LookupStatus.DELEGATION
+        assert result.glue == []
+
+
+class TestWildcards:
+    def test_wildcard_synthesis(self):
+        zone = make_zone()
+        zone.add("*.example.com", RRType.A, "192.0.2.99")
+        result = zone.lookup(name("anything.example.com"), RRType.A)
+        assert result.status == LookupStatus.SUCCESS
+        # Synthesized records carry the query name as owner.
+        assert result.rrset.name == name("anything.example.com")
+        assert result.rrset.rdata_texts() == ["192.0.2.99"]
+
+    def test_wildcard_matches_deeper_names(self):
+        zone = make_zone()
+        zone.add("*.example.com", RRType.A, "192.0.2.99")
+        result = zone.lookup(name("a.b.example.com"), RRType.A)
+        assert result.status == LookupStatus.SUCCESS
+
+    def test_existing_name_shadows_wildcard(self):
+        zone = make_zone()
+        zone.add("*.example.com", RRType.A, "192.0.2.99")
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        result = zone.lookup(name("www.example.com"), RRType.A)
+        assert result.rrset.rdata_texts() == ["192.0.2.1"]
+
+    def test_existing_name_nodata_not_wildcarded(self):
+        # An existing name with other data gives NODATA, never wildcard.
+        zone = make_zone()
+        zone.add("*.example.com", RRType.A, "192.0.2.99")
+        zone.add("www.example.com", RRType.TXT, "hello")
+        result = zone.lookup(name("www.example.com"), RRType.A)
+        assert result.status == LookupStatus.NODATA
+
+    def test_wildcard_nodata_for_other_types(self):
+        zone = make_zone()
+        zone.add("*.example.com", RRType.A, "192.0.2.99")
+        result = zone.lookup(name("anything.example.com"), RRType.TXT)
+        assert result.status == LookupStatus.NODATA
+
+    def test_wildcard_cname(self):
+        zone = make_zone()
+        zone.add("*.park.example.com", RRType.CNAME, "lander.example.com.")
+        zone.add("park.example.com", RRType.TXT, "exists")
+        result = zone.lookup(name("x.park.example.com"), RRType.A)
+        assert result.status == LookupStatus.CNAME
+        assert result.rrset.name == name("x.park.example.com")
+
+    def test_no_wildcard_still_nxdomain(self):
+        zone = make_zone()
+        result = zone.lookup(name("missing.example.com"), RRType.A)
+        assert result.status == LookupStatus.NXDOMAIN
+
+    def test_wildcard_served_by_server(self):
+        from repro.dnscore.message import make_query
+        from repro.dnscore.server import AuthoritativeServer
+
+        zone = make_zone()
+        zone.add("*.example.com", RRType.A, "192.0.2.99")
+        server = AuthoritativeServer()
+        server.attach_zone(zone)
+        response = server.handle_query(
+            make_query(name("parked123.example.com"), RRType.A)
+        )
+        assert response.answers[0].name == name("parked123.example.com")
+        assert response.answers[0].rdata.to_text() == "192.0.2.99"
+
+
+class TestZoneText:
+    def test_roundtrip(self):
+        zone = make_zone()
+        zone.add("www.example.com", RRType.A, "192.0.2.1")
+        zone.add("alias.example.com", RRType.CNAME, "www.example.com.")
+        zone.add("example.com", RRType.TXT, "v=spf1 -all")
+        parsed = parse_zone_text(zone.to_text())
+        assert parsed.origin == zone.origin
+        assert len(parsed) == len(zone)
+        rrset = parsed.get_rrset(name("www.example.com"), RRType.A)
+        assert rrset.rdata_texts() == ["192.0.2.1"]
+
+    def test_relative_names_use_origin(self):
+        text = (
+            "$ORIGIN example.com.\n"
+            "www 300 IN A 192.0.2.5\n"
+        )
+        zone = parse_zone_text(text)
+        rrset = zone.get_rrset(name("www.example.com"), RRType.A)
+        assert rrset is not None
+        assert rrset.ttl == 300
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "$ORIGIN example.com.\n"
+            "; a comment\n"
+            "\n"
+            "www IN A 192.0.2.5 ; trailing comment\n"
+        )
+        zone = parse_zone_text(text)
+        assert zone.get_rrset(name("www.example.com"), RRType.A)
+
+    def test_origin_inferred_from_soa(self):
+        text = (
+            "example.com. 3600 IN SOA ns1.example.com. host.example.com. "
+            "1 7200 900 1209600 86400\n"
+            "example.com. 3600 IN NS ns1.example.com.\n"
+        )
+        zone = parse_zone_text(text)
+        assert zone.origin == name("example.com")
+        assert zone.soa is not None
+
+    def test_unsupported_directive_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$TTL 300\nwww IN A 192.0.2.1\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$ORIGIN a.com.\nwww A\n")
+
+    def test_relative_name_without_origin_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("www IN A 192.0.2.1\n")

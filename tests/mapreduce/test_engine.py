@@ -1,0 +1,90 @@
+"""Tests for the local MapReduce engine."""
+
+import pytest
+
+from repro.mapreduce.engine import Job, MapReduceEngine, run_job
+
+
+def word_count_job(combiner=True):
+    def mapper(line):
+        for word in line.split():
+            yield word, 1
+
+    def combine(key, values):
+        return [sum(values)]
+
+    def reducer(key, values):
+        yield key, sum(values)
+
+    return Job(
+        name="wc",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=combine if combiner else None,
+    )
+
+
+RECORDS = ["a b a", "b c", "a"]
+
+
+class TestExecution:
+    def test_word_count(self):
+        outputs = dict(run_job(word_count_job(), RECORDS))
+        assert outputs == {"a": 3, "b": 2, "c": 1}
+
+    def test_without_combiner_same_result(self):
+        assert dict(run_job(word_count_job(combiner=False), RECORDS)) == {
+            "a": 3, "b": 2, "c": 1,
+        }
+
+    def test_partition_count_does_not_change_result(self):
+        for partitions in (1, 2, 7, 32):
+            outputs = dict(
+                run_job(word_count_job(), RECORDS, partitions=partitions)
+            )
+            assert outputs == {"a": 3, "b": 2, "c": 1}
+
+    def test_reducer_can_filter(self):
+        def reducer(key, values):
+            total = sum(values)
+            if total > 1:
+                yield key, total
+
+        job = Job(
+            name="wc>1", mapper=word_count_job().mapper, reducer=reducer
+        )
+        assert dict(run_job(job, RECORDS)) == {"a": 3, "b": 2}
+
+    def test_empty_input(self):
+        assert run_job(word_count_job(), []) == []
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(partitions=0)
+
+
+class TestCounters:
+    def test_counters_populated(self):
+        engine = MapReduceEngine(partitions=4)
+        engine.run(word_count_job(), RECORDS)
+        counters = engine.last_counters
+        assert counters.records_read == 3
+        assert counters.pairs_emitted == 6
+        assert counters.pairs_after_combine == 3  # one per distinct word
+        assert counters.keys_reduced == 3
+        assert counters.outputs_written == 3
+
+    def test_combiner_reduces_shuffle_volume(self):
+        with_combiner = MapReduceEngine()
+        with_combiner.run(word_count_job(), RECORDS)
+        without = MapReduceEngine()
+        without.run(word_count_job(combiner=False), RECORDS)
+        assert (
+            with_combiner.last_counters.pairs_after_combine
+            < without.last_counters.pairs_after_combine
+        )
+
+    def test_deterministic_output_order(self):
+        first = run_job(word_count_job(), RECORDS)
+        second = run_job(word_count_job(), RECORDS)
+        assert first == second

@@ -1,0 +1,134 @@
+"""Tests for ASN enrichment (daily and segment paths)."""
+
+import pytest
+
+from repro.measurement.enrich import AsnEnricher
+from repro.measurement.prober import FastProber
+from repro.measurement.snapshot import ObservationSegment
+
+
+@pytest.fixture(scope="module")
+def enricher(tiny_world):
+    return AsnEnricher(tiny_world)
+
+
+class TestDailyEnrichment:
+    def test_hoster_domain_gets_hoster_asn(self, tiny_world, enricher):
+        prober = FastProber(tiny_world)
+        # Find a plain churn-pool domain (unprotected, day 0).
+        party_names = set()
+        for party in tiny_world.thirdparties.values():
+            party_names.update(party.domains)
+        name = next(
+            name
+            for name, timeline in tiny_world.domains.items()
+            if timeline.created == 0 and name not in party_names
+            and timeline.tld == "com"
+        )
+        observation = enricher.enrich(prober.observe(name, 0))
+        hoster_asns = {h.primary_asn() for h in tiny_world.hosters}
+        provider_asns = set()
+        for provider in tiny_world.providers.values():
+            provider_asns.update(provider.asns)
+        assert observation.asns
+        assert observation.asns <= (hoster_asns | provider_asns)
+
+    def test_cloudflare_customer_gets_13335(self, tiny_world, enricher):
+        prober = FastProber(tiny_world)
+        cloudflare = tiny_world.providers["CloudFlare"]
+        target = None
+        for name, timeline in tiny_world.domains.items():
+            config = timeline.config_at(timeline.created)
+            if any(
+                ns.endswith("cloudflare.com") for ns in config.ns_names
+            ):
+                target = name
+                break
+        assert target is not None, "no CloudFlare delegation in tiny world"
+        observation = enricher.enrich(
+            prober.observe(target, tiny_world.domains[target].created)
+        )
+        assert 13335 in observation.asns
+
+    def test_dark_observation_has_no_asns(self, tiny_world, enricher):
+        prober = FastProber(tiny_world)
+        sedo = tiny_world.thirdparties["Sedo"].domains[0]
+        observation = enricher.enrich(prober.observe(sedo, 266))
+        assert observation.asns == frozenset()
+
+    def test_enrich_day_batch(self, tiny_world, enricher):
+        prober = FastProber(tiny_world)
+        names = list(tiny_world.zone_names("com", 0))[:20]
+        rows = enricher.enrich_day(prober.observe_day(names, 0))
+        assert all(row.asns for row in rows if not row.is_dark())
+
+
+class TestAddressTimelines:
+    def test_static_address_single_entry(self, tiny_world, enricher):
+        hoster = tiny_world.hosters[0]
+        address = hoster.host_address("probe.example")
+        timeline = enricher.address_timeline(address)
+        assert len(timeline) == 1
+        assert timeline[0] == (0, frozenset({hoster.primary_asn()}))
+
+    def test_dynamic_address_multiple_entries(self, tiny_world, enricher):
+        enom = tiny_world.thirdparties["ENOM"]
+        address = enom.base_routing[0][0].split("/")[0]
+        timeline = enricher.address_timeline(address)
+        assert len(timeline) > 2
+        origins = {frozenset(o) for _, o in timeline}
+        assert frozenset({21740}) in origins
+        assert frozenset({26415}) in origins
+
+    def test_timeline_is_cached(self, tiny_world, enricher):
+        address = tiny_world.hosters[0].host_address("probe.example")
+        first = enricher.address_timeline(address)
+        assert enricher.address_timeline(address) is first
+
+
+class TestSegmentEnrichment:
+    def test_static_segments_pass_through_with_asns(self, tiny_world,
+                                                    enricher):
+        prober = FastProber(tiny_world)
+        party_names = set()
+        for party in tiny_world.thirdparties.values():
+            party_names.update(party.domains)
+        name = next(
+            name
+            for name, timeline in tiny_world.domains.items()
+            if name not in party_names and timeline.tld == "com"
+        )
+        segments = enricher.enrich_segments(prober.observe_segments(name))
+        assert all(s.observation.asns for s in segments)
+
+    def test_bgp_diversion_splits_segments(self, tiny_world, enricher):
+        """An ENOM domain has one DNS config but several ASN segments."""
+        prober = FastProber(tiny_world)
+        name = tiny_world.thirdparties["ENOM"].domains[0]
+        raw = prober.observe_segments(name)
+        assert len(raw) == 1  # DNS never changes: BGP-only diversion
+        enriched = enricher.enrich_segments(raw)
+        assert len(enriched) > 2
+        origins_seen = {s.observation.asns for s in enriched}
+        assert frozenset({21740}) in origins_seen
+        assert frozenset({26415}) in origins_seen
+
+    def test_segment_enrichment_matches_daily(self, tiny_world, enricher):
+        """Property: segment ASNs equal daily enrichment on sampled days."""
+        prober = FastProber(tiny_world)
+        for party in ("ENOM", "Wix", "Namecheap"):
+            name = tiny_world.thirdparties[party].domains[0]
+            enriched = enricher.enrich_segments(prober.observe_segments(name))
+            for segment in enriched[:8]:
+                day = segment.start
+                daily = enricher.enrich(prober.observe(name, day))
+                assert daily.asns == segment.observation.asns, (
+                    f"{party} day {day}"
+                )
+
+    def test_segments_remain_contiguous(self, tiny_world, enricher):
+        prober = FastProber(tiny_world)
+        name = tiny_world.thirdparties["ENOM"].domains[0]
+        enriched = enricher.enrich_segments(prober.observe_segments(name))
+        for left, right in zip(enriched, enriched[1:]):
+            assert left.end == right.start

@@ -1,0 +1,70 @@
+"""Tests for the fast prober (segment and daily observation paths)."""
+
+import pytest
+
+from repro.measurement.prober import FastProber
+
+
+class TestObserve:
+    def test_observation_matches_config(self, tiny_world):
+        prober = FastProber(tiny_world)
+        name = next(iter(tiny_world.domains))
+        timeline = tiny_world.domains[name]
+        day = timeline.created
+        observation = prober.observe(name, day)
+        config = timeline.config_at(day)
+        assert observation.domain == name
+        assert observation.apex_addrs == tuple(sorted(config.apex_ips))
+        assert observation.ns_names == tuple(sorted(config.ns_names))
+
+    def test_unknown_domain_is_none(self, tiny_world):
+        assert FastProber(tiny_world).observe("nope.example", 0) is None
+
+    def test_dead_domain_is_none(self, tiny_world):
+        prober = FastProber(tiny_world)
+        dead = next(
+            (t for t in tiny_world.domains.values() if t.deleted is not None),
+            None,
+        )
+        if dead is None:
+            pytest.skip("no deleted domain at this scale")
+        assert prober.observe(dead.name, dead.deleted) is None
+
+    def test_observe_day_sweeps(self, tiny_world):
+        prober = FastProber(tiny_world)
+        names = list(tiny_world.zone_names("com", 0))[:50]
+        rows = prober.observe_day(names, 0)
+        assert len(rows) == len(names)
+        assert all(row.day == 0 for row in rows)
+
+
+class TestSegments:
+    def test_segments_expand_to_daily_observations(self, tiny_world):
+        prober = FastProber(tiny_world)
+        # A Wix domain has several config changes — good coverage.
+        name = tiny_world.thirdparties["Wix"].domains[0]
+        segments = prober.observe_segments(name)
+        assert len(segments) > 2
+        for segment in segments:
+            daily = prober.observe(name, segment.start)
+            expected = segment.at(segment.start)
+            assert daily == expected
+
+    def test_segments_are_contiguous(self, tiny_world):
+        prober = FastProber(tiny_world)
+        name = tiny_world.thirdparties["Wix"].domains[0]
+        segments = prober.observe_segments(name)
+        for left, right in zip(segments, segments[1:]):
+            assert left.end == right.start
+
+    def test_segments_cover_lifetime(self, tiny_world):
+        prober = FastProber(tiny_world)
+        name = next(iter(tiny_world.domains))
+        timeline = tiny_world.domains[name]
+        segments = prober.observe_segments(name)
+        first, last = timeline.lifespan(tiny_world.horizon)
+        assert segments[0].start == first
+        assert segments[-1].end == last
+
+    def test_unknown_domain_has_no_segments(self, tiny_world):
+        assert FastProber(tiny_world).observe_segments("nope.example") == []

@@ -1,0 +1,89 @@
+"""Tests for coverage accounting and incident detection."""
+
+import pytest
+
+from repro.measurement.prober import FastProber
+from repro.measurement.quality import (
+    CoverageReport,
+    IncidentDetector,
+    coverage_of,
+    ns_sld_census,
+)
+from repro.measurement.snapshot import DomainObservation
+
+
+def observation(domain, ns=("ns1.hostco-dns.com",), apex=("10.0.0.1",)):
+    return DomainObservation(
+        day=0, domain=domain, tld="com",
+        ns_names=tuple(ns), apex_addrs=tuple(apex),
+    )
+
+
+def dark(domain):
+    return DomainObservation(
+        day=0, domain=domain, tld="com", ns_names=(), apex_addrs=(),
+    )
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        rows = [observation(f"d{i}.com") for i in range(10)]
+        report = coverage_of("com", 0, 10, rows)
+        assert report.coverage == 1.0
+        assert report.dark == 0
+
+    def test_dark_rows_reduce_coverage(self):
+        rows = [observation("a.com"), dark("b.com")]
+        report = coverage_of("com", 0, 2, rows)
+        assert report.dark == 1
+        assert report.coverage == 0.5
+
+    def test_empty_zone(self):
+        assert coverage_of("com", 0, 0, []).coverage == 1.0
+
+
+class TestCensus:
+    def test_counts_per_sld(self):
+        rows = [
+            observation("a.com", ns=("ns1.sedoparking.com",)),
+            observation("b.com", ns=("ns2.sedoparking.com",)),
+            observation("c.com"),
+        ]
+        census = ns_sld_census(rows)
+        assert census["sedoparking.com"] == 2
+        assert census["hostco-dns.com"] == 1
+
+
+class TestIncidentDetector:
+    def test_collapse_flagged(self):
+        detector = IncidentDetector(drop_fraction=0.5, min_population=3)
+        day0 = [observation(f"d{i}.com", ns=("ns1.park.com",))
+                for i in range(10)]
+        assert detector.observe_day(0, day0) == []
+        day1 = [observation("d0.com", ns=("ns1.park.com",))]
+        incidents = detector.observe_day(1, day1)
+        assert incidents == [("park.com", 10, 1)]
+
+    def test_small_populations_ignored(self):
+        detector = IncidentDetector(min_population=5)
+        detector.observe_day(0, [observation("a.com")])
+        assert detector.observe_day(1, []) == []
+
+    def test_census_series(self):
+        detector = IncidentDetector()
+        detector.observe_day(0, [observation("a.com")])
+        detector.observe_day(1, [])
+        assert detector.census_series("hostco-dns.com") == [(0, 1), (1, 0)]
+
+    def test_sedo_incident_detected_in_world(self, tiny_world):
+        """Replays days 265–267 and recovers the paper's inference."""
+        prober = FastProber(tiny_world)
+        names = list(tiny_world.zone_names("com", 265))
+        detector = IncidentDetector(drop_fraction=0.5, min_population=3)
+        incident_days = {}
+        for day in (265, 266, 267):
+            rows = prober.observe_day(names, day)
+            for sld, before, after in detector.observe_day(day, rows):
+                incident_days.setdefault(day, []).append(sld)
+        assert "sedoparking.com" in incident_days.get(266, [])
+        assert 267 not in incident_days  # back to normal the next day

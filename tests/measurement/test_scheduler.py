@@ -1,0 +1,55 @@
+"""Tests for the cluster manager and sharding (stage II)."""
+
+import pytest
+
+from repro.measurement.scheduler import ClusterManager, shard
+
+
+class TestShard:
+    def test_balanced(self):
+        shards = shard(list(range(10)), 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        assert sum(shards, []) == list(range(10))
+
+    def test_more_shards_than_items(self):
+        shards = shard([1, 2], 5)
+        assert sum(len(s) for s in shards) == 2
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            shard([1], 0)
+
+
+class TestClusterManager:
+    def test_measure_day_stores_rows(self, tiny_world):
+        manager = ClusterManager(tiny_world, shard_count=4)
+        rows = manager.measure_day("org", 0)
+        assert rows
+        assert manager.store.row_count("org", 0) == len(rows)
+        run = manager.runs[-1]
+        assert run.source == "org"
+        assert run.shards == 4
+        assert run.observations == len(rows)
+
+    def test_rows_are_enriched(self, tiny_world):
+        manager = ClusterManager(tiny_world, shard_count=2)
+        rows = manager.measure_day("org", 0)
+        assert any(row.asns for row in rows)
+
+    def test_enrichment_can_be_disabled(self, tiny_world):
+        manager = ClusterManager(tiny_world, enrich=False)
+        rows = manager.measure_day("org", 0)
+        assert all(row.asns == frozenset() for row in rows)
+
+    def test_measure_range(self, tiny_world):
+        manager = ClusterManager(tiny_world)
+        days = list(manager.measure_range("org", 0, 3))
+        assert len(days) == 3
+        assert [(r.source, r.day) for r in manager.runs] == [
+            ("org", 0), ("org", 1), ("org", 2),
+        ]
+
+    def test_alexa_source(self, tiny_world):
+        manager = ClusterManager(tiny_world)
+        rows = manager.measure_day("alexa", 400)
+        assert {row.domain for row in rows} <= set(tiny_world.alexa_names)

@@ -1,0 +1,82 @@
+"""Tests for the observation row schema."""
+
+import pytest
+
+from repro.measurement.snapshot import (
+    DomainObservation,
+    ObservationSegment,
+    sld_of,
+)
+
+
+def observation(**overrides):
+    defaults = dict(
+        day=5,
+        domain="examp.com",
+        tld="com",
+        ns_names=("ns1.hostco-dns.com",),
+        apex_addrs=("10.0.0.1",),
+    )
+    defaults.update(overrides)
+    return DomainObservation(**defaults)
+
+
+class TestSldOf:
+    def test_simple(self):
+        assert sld_of("kate.ns.cloudflare.com") == "cloudflare.com"
+
+    def test_public_suffix_returns_none(self):
+        assert sld_of("com") is None
+
+    def test_invalid_name_returns_none(self):
+        assert sld_of("bad..name") is None
+
+
+class TestObservation:
+    def test_all_addresses_deduplicates(self):
+        obs = observation(
+            apex_addrs=("10.0.0.1",),
+            www_addrs=("10.0.0.1", "10.0.0.2"),
+        )
+        assert obs.all_addresses() == ("10.0.0.1", "10.0.0.2")
+
+    def test_ns_slds(self):
+        obs = observation(
+            ns_names=("ns1.hostco-dns.com", "kate.ns.cloudflare.com")
+        )
+        assert obs.ns_slds() == frozenset(
+            {"hostco-dns.com", "cloudflare.com"}
+        )
+
+    def test_cname_slds(self):
+        obs = observation(www_cnames=("tok-1.incapdns.net",))
+        assert obs.cname_slds() == frozenset({"incapdns.net"})
+
+    def test_is_dark(self):
+        dark = observation(ns_names=(), apex_addrs=())
+        assert dark.is_dark()
+        assert not observation().is_dark()
+
+    def test_with_asns(self):
+        enriched = observation().with_asns(frozenset({13335}))
+        assert enriched.asns == frozenset({13335})
+        assert enriched.domain == "examp.com"
+
+
+class TestSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObservationSegment(10, 10, observation())
+
+    def test_days(self):
+        assert ObservationSegment(10, 25, observation()).days == 15
+
+    def test_at_produces_daily_row(self):
+        segment = ObservationSegment(10, 25, observation(day=10))
+        assert segment.at(17).day == 17
+        assert segment.at(17).domain == "examp.com"
+
+    def test_at_outside_rejected(self):
+        segment = ObservationSegment(10, 25, observation(day=10))
+        with pytest.raises(ValueError):
+            segment.at(25)

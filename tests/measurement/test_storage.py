@@ -1,0 +1,118 @@
+"""Tests for the columnar store and its size accounting."""
+
+import pytest
+
+from repro.measurement.snapshot import (
+    DomainObservation,
+    MEASUREMENTS_PER_DOMAIN_DAY,
+)
+from repro.measurement.storage import ColumnStore, _decode_column, _encode_column
+
+
+def observation(index, day=0):
+    return DomainObservation(
+        day=day,
+        domain=f"d{index}.com",
+        tld="com",
+        ns_names=("ns1.hostco-dns.com", "ns2.hostco-dns.com"),
+        apex_addrs=(f"10.0.{index % 4}.{index % 200 + 1}",),
+        asns=frozenset({64500 + index % 3}),
+    )
+
+
+class TestColumnCodec:
+    def test_roundtrip_strings(self):
+        values = ["a", "b", "b", "b", "a"]
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_roundtrip_lists(self):
+        values = [["x", "y"], ["x", "y"], []]
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_repetition_compresses_well(self):
+        repeated = ["same-value"] * 10_000
+        varied = [f"value-{i}" for i in range(10_000)]
+        assert len(_encode_column(repeated)) < len(_encode_column(varied)) / 50
+
+
+class TestStore:
+    def test_append_and_read_back(self):
+        store = ColumnStore()
+        rows = [observation(i) for i in range(10)]
+        store.append("com", 0, rows)
+        got = list(store.rows("com", 0))
+        assert got == rows
+
+    def test_missing_partition_is_empty(self):
+        assert list(ColumnStore().rows("com", 9)) == []
+        assert ColumnStore().row_count("com", 9) == 0
+
+    def test_partitions_sorted(self):
+        store = ColumnStore()
+        store.append("net", 1, [observation(0, day=1)])
+        store.append("com", 0, [observation(1)])
+        assert store.partitions() == [("com", 0), ("net", 1)]
+
+    def test_append_accumulates(self):
+        store = ColumnStore()
+        store.append("com", 0, [observation(0)])
+        store.append("com", 0, [observation(1)])
+        assert store.row_count("com", 0) == 2
+
+    def test_encoded_partition_roundtrip(self):
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(20)])
+        decoded = store.decode_partition("com", 0)
+        assert decoded["domain"] == [f"d{i}.com" for i in range(20)]
+
+    def test_partition_stats(self):
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(5)])
+        stats = store.partition_stats("com", 0)
+        assert stats.rows == 5
+        assert stats.data_points == 5 * MEASUREMENTS_PER_DOMAIN_DAY
+        assert stats.encoded_bytes > 0
+
+    def test_total_stats_filters_by_source(self):
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(5)])
+        store.append("net", 0, [observation(i) for i in range(3)])
+        assert store.total_stats("com").rows == 5
+        assert store.total_stats().rows == 8
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(8)])
+        store.append("net", 3, [observation(i, day=3) for i in range(4)])
+        written = store.save(str(tmp_path))
+        assert any(path.endswith("manifest.json") for path in written)
+        loaded = ColumnStore.load(str(tmp_path))
+        assert loaded.partitions() == store.partitions()
+        assert list(loaded.rows("com", 0)) == list(store.rows("com", 0))
+        assert list(loaded.rows("net", 3)) == list(store.rows("net", 3))
+
+    def test_saved_layout(self, tmp_path):
+        import os
+
+        store = ColumnStore()
+        store.append("com", 7, [observation(0, day=7)])
+        store.save(str(tmp_path))
+        assert os.path.exists(tmp_path / "com" / "7" / "domain.col")
+
+    def test_loaded_stats_match(self, tmp_path):
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(6)])
+        store.save(str(tmp_path))
+        loaded = ColumnStore.load(str(tmp_path))
+        assert (
+            loaded.partition_stats("com", 0).data_points
+            == store.partition_stats("com", 0).data_points
+        )
+
+    def test_encoding_cache_invalidated_on_append(self):
+        store = ColumnStore()
+        store.append("com", 0, [observation(0)])
+        first = store.partition_stats("com", 0).encoded_bytes
+        store.append("com", 0, [observation(1)])
+        second = store.partition_stats("com", 0).encoded_bytes
+        assert second != first

@@ -1,0 +1,68 @@
+"""Tests for study export (text artifacts + JSON)."""
+
+import json
+import os
+
+import pytest
+
+from repro.reporting.export import export_study, study_to_dict
+
+
+class TestStudyToDict:
+    def test_json_serialisable(self, study_results):
+        payload = study_to_dict(study_results)
+        encoded = json.dumps(payload)
+        assert "growth" in payload
+        assert json.loads(encoded)["horizon"] == study_results.horizon
+
+    def test_growth_factors_present(self, study_results):
+        payload = study_to_dict(study_results)
+        assert payload["growth"]["DPS adoption"]["factor"] == pytest.approx(
+            study_results.provider_growth_factor()
+        )
+
+    def test_series_lengths(self, study_results):
+        payload = study_to_dict(study_results)
+        assert len(payload["any_use"]["combined"]) == study_results.horizon
+        for provider, series in payload["providers"].items():
+            assert len(series["total"]) == study_results.horizon
+
+    def test_anomalies_have_groups(self, study_results):
+        payload = study_to_dict(study_results)
+        assert payload["anomalies"]
+        assert all("top_group" in a for a in payload["anomalies"])
+
+    def test_exposure_included(self, study_results):
+        payload = study_to_dict(study_results)
+        assert "CloudFlare" in payload["exposure"]
+        assert 0.0 <= payload["exposure"]["CloudFlare"][
+            "exposure_ratio"
+        ] <= 1.0
+
+
+class TestExport:
+    def test_writes_all_artifacts(self, study_results, tmp_path):
+        written = export_study(study_results, str(tmp_path))
+        names = {os.path.basename(path) for path in written}
+        assert "fig5.txt" in names
+        assert "series.json" in names
+        with open(tmp_path / "fig5.txt") as handle:
+            assert "DPS adoption grew" in handle.read()
+        with open(tmp_path / "series.json") as handle:
+            assert json.load(handle)["horizon"] == study_results.horizon
+
+    def test_selected_artifacts_only(self, study_results, tmp_path):
+        written = export_study(
+            study_results, str(tmp_path), artifacts=["fig8"]
+        )
+        names = {os.path.basename(path) for path in written}
+        assert names == {"fig8.txt", "series.json"}
+
+    def test_unknown_artifact_rejected(self, study_results, tmp_path):
+        with pytest.raises(ValueError):
+            export_study(study_results, str(tmp_path), artifacts=["nope"])
+
+    def test_creates_directory(self, study_results, tmp_path):
+        target = tmp_path / "nested" / "out"
+        export_study(study_results, str(target), artifacts=["fig4"])
+        assert (target / "fig4.txt").exists()

@@ -1,0 +1,97 @@
+"""Tests for the per-artifact renderers (on the shared study results)."""
+
+from repro.reporting.figures import (
+    render_attributions,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_table1,
+    render_table2,
+)
+
+
+class TestTableRenderers:
+    def test_table1_lists_all_sources(self, study_results):
+        text = render_table1(study_results)
+        for token in (".com", ".net", ".org", ".nl", "Alexa", "Total"):
+            assert token in text
+
+    def test_table2_with_reference_marks_matches(self, study_world):
+        from repro.core.pipeline import AdoptionStudy
+        from repro.core.references import SignatureCatalog
+
+        study = AdoptionStudy(study_world)
+        fingerprints = study.derive_table2(day=30)
+        text = render_table2(
+            fingerprints, reference=SignatureCatalog.paper_table2()
+        )
+        assert "CloudFlare" in text
+        assert "matches Table 2" in text
+
+
+class TestFigureRenderers:
+    def test_figure2(self, study_results):
+        text = render_figure2(study_results)
+        assert "Combined" in text
+        assert "peak" in text
+
+    def test_figure3(self, study_results):
+        text = render_figure3(study_results)
+        assert "CloudFlare" in text
+        assert "Method breakdown" in text
+
+    def test_figure4(self, study_results):
+        text = render_figure4(study_results)
+        assert ".com" in text and "%" in text
+
+    def test_figure5_mentions_growth(self, study_results):
+        text = render_figure5(study_results)
+        assert "DPS adoption grew" in text
+        assert "anomalous days cleaned" in text
+
+    def test_figure6(self, study_results):
+        text = render_figure6(study_results)
+        assert ".nl" in text or "nl" in text
+        assert "Alexa" in text
+
+    def test_figure7(self, study_results):
+        text = render_figure7(study_results)
+        assert "influx" in text
+        assert "CloudFlare" in text
+
+    def test_figure8(self, study_results):
+        text = render_figure8(study_results)
+        assert "P80" in text
+        assert "Neustar" in text
+
+    def test_attributions(self, study_results):
+        text = render_attributions(study_results)
+        assert "traced to" in text
+
+    def test_provider_detail(self, study_results):
+        from repro.reporting.figures import render_provider_detail
+
+        text = render_provider_detail(study_results, "CloudFlare")
+        assert "CloudFlare" in text
+        assert "total" in text
+        assert "NS" in text
+
+    def test_provider_detail_unknown(self, study_results):
+        from repro.reporting.figures import render_provider_detail
+
+        assert "no data" in render_provider_detail(study_results, "Nope")
+
+    def test_peak_cdf_renderer(self, study_results):
+        from repro.reporting.figures import render_peak_cdf
+
+        stats = study_results.peaks["Incapsula"]
+        if not stats.durations:
+            import pytest
+
+            pytest.skip("no Incapsula peaks at this scale")
+        text = render_peak_cdf(stats)
+        assert "P80" in text

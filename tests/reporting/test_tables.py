@@ -1,0 +1,49 @@
+"""Tests for table rendering and number formatting."""
+
+from repro.reporting.tables import (
+    format_bytes,
+    format_count,
+    render_dict_table,
+    render_table,
+)
+
+
+class TestFormatCount:
+    def test_paper_style(self):
+        assert format_count(161_200_000) == "161.2M"
+        assert format_count(534_500_000_000) == "534.5G"
+        assert format_count(5_900) == "5.9k"
+        assert format_count(550) == "550"
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(17.5 * 1024**4) == "17.5TiB"
+        assert format_bytes(77.5 * 1024**3) == "77.5GiB"
+        assert format_bytes(2.5 * 1024**2) == "2.5MiB"
+        assert format_bytes(512) == "512B"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["Name", "Count"],
+            [["a", "1"], ["longer-name", "22"]],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("Name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = render_table(["H"], [["v"]], title="Table X")
+        assert table.splitlines()[0] == "Table X"
+
+    def test_dict_table(self):
+        table = render_dict_table(
+            [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+        )
+        assert "a" in table.splitlines()[0]
+
+    def test_empty_dict_table(self):
+        assert render_dict_table([], title="T") == "T"

@@ -1,0 +1,56 @@
+"""Tests for terminal plotting."""
+
+from repro.reporting.textplot import cdf_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(40)))) == 40
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == "(empty chart)"
+
+    def test_contains_legend_and_axis(self):
+        chart = line_chart(
+            {"adoption": [1, 2, 3, 4], "expansion": [1, 1, 1, 1]},
+            x_labels=("Mar '15", "Aug '16"),
+        )
+        assert "adoption" in chart
+        assert "expansion" in chart
+        assert "Mar '15" in chart
+        assert "Aug '16" in chart
+
+    def test_resampling_long_series(self):
+        chart = line_chart({"s": list(range(10_000))}, width=40)
+        longest = max(len(line) for line in chart.splitlines())
+        assert longest < 70
+
+    def test_flat_series_does_not_crash(self):
+        assert line_chart({"s": [5, 5, 5]})
+
+
+class TestCdfChart:
+    def test_empty(self):
+        assert cdf_chart([]) == "(empty cdf)"
+
+    def test_axes_and_marker(self):
+        points = [(d, min(1.0, d / 10)) for d in range(1, 21)]
+        chart = cdf_chart(points, marker=8.0, marker_label="P80=8d")
+        assert "1.0 |" in chart
+        assert "0.0 |" in chart
+        assert "P80=8d" in chart
+        assert ":" in chart
+
+    def test_single_point(self):
+        assert cdf_chart([(5.0, 1.0)])

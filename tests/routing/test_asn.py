@@ -1,0 +1,70 @@
+"""Tests for the AS registry."""
+
+import pytest
+
+from repro.routing.asn import ASRegistry, AutonomousSystem
+
+
+class TestAutonomousSystem:
+    def test_valid(self):
+        assert AutonomousSystem(13335, "CloudFlare").number == 13335
+
+    @pytest.mark.parametrize("number", [0, -1, 2**32])
+    def test_invalid_numbers(self, number):
+        with pytest.raises(ValueError):
+            AutonomousSystem(number, "bad")
+
+    def test_str(self):
+        assert str(AutonomousSystem(7, "X")) == "AS7 (X)"
+
+
+class TestRegistry:
+    def test_register_explicit_number(self):
+        registry = ASRegistry()
+        asys = registry.register("Incapsula", 19551)
+        assert asys.number == 19551
+        assert registry.get(19551) == asys
+
+    def test_register_auto_allocates(self):
+        registry = ASRegistry()
+        first = registry.register("A")
+        second = registry.register("B")
+        assert second.number == first.number + 1
+
+    def test_duplicate_number_rejected(self):
+        registry = ASRegistry()
+        registry.register("A", 100)
+        with pytest.raises(ValueError):
+            registry.register("B", 100)
+
+    def test_auto_allocation_skips_taken(self):
+        registry = ASRegistry(first_number=100)
+        registry.register("A", 100)
+        assert registry.register("B").number == 101
+
+    def test_find_by_name_case_insensitive(self):
+        registry = ASRegistry()
+        registry.register("CloudFlare, Inc.", 13335)
+        registry.register("Level 3 Communications", 3356)
+        registry.register("Level 3 Communications", 3549)
+        assert [a.number for a in registry.find_by_name("level 3")] == [
+            3356,
+            3549,
+        ]
+        assert registry.find_by_name("cloudflare")[0].number == 13335
+
+    def test_name_of_unknown(self):
+        assert ASRegistry().name_of(42) == "AS42"
+
+    def test_contains_and_len(self):
+        registry = ASRegistry()
+        registry.register("A", 5)
+        assert 5 in registry
+        assert 6 not in registry
+        assert len(registry) == 1
+
+    def test_iteration_sorted(self):
+        registry = ASRegistry()
+        registry.register("B", 20)
+        registry.register("A", 10)
+        assert [a.number for a in registry] == [10, 20]

@@ -1,0 +1,161 @@
+"""Tests for the binary radix trie, incl. a reference-model property test."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.prefixtrie import PrefixTrie
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        assert trie.get("10.0.0.0/8") == "a"
+
+    def test_get_missing(self):
+        assert PrefixTrie().get("10.0.0.0/8") is None
+
+    def test_get_is_exact_not_covering(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        assert trie.get("10.0.0.0/16") is None
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        trie.insert("10.0.0.0/8", "b")
+        assert trie.get("10.0.0.0/8") == "b"
+        assert len(trie) == 1
+
+    def test_contains(self):
+        trie = PrefixTrie()
+        trie.insert("192.0.2.0/24", 1)
+        assert "192.0.2.0/24" in trie
+        assert "192.0.3.0/24" not in trie
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        assert trie.remove("10.0.0.0/8")
+        assert len(trie) == 0
+        assert trie.get("10.0.0.0/8") is None
+
+    def test_remove_missing_returns_false(self):
+        assert not PrefixTrie().remove("10.0.0.0/8")
+
+    def test_remove_keeps_more_specific(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        trie.insert("10.1.0.0/16", "b")
+        trie.remove("10.0.0.0/8")
+        assert trie.get("10.1.0.0/16") == "b"
+        assert trie.longest_match("10.1.2.3")[1] == "b"
+
+    def test_strict_network_required(self):
+        with pytest.raises(ValueError):
+            PrefixTrie().insert("10.0.0.1/8", "x")
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "short")
+        trie.insert("10.1.0.0/16", "mid")
+        trie.insert("10.1.2.0/24", "long")
+        prefix, value = trie.longest_match("10.1.2.3")
+        assert value == "long"
+        assert prefix == ipaddress.IPv4Network("10.1.2.0/24")
+
+    def test_fallback_to_covering(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "short")
+        trie.insert("10.1.2.0/24", "long")
+        assert trie.longest_match("10.9.9.9")[1] == "short"
+
+    def test_no_match(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        assert trie.longest_match("11.0.0.1") is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert("0.0.0.0/0", "default")
+        prefix, value = trie.longest_match("203.0.113.7")
+        assert value == "default"
+        assert prefix.prefixlen == 0
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert("192.0.2.1/32", "host")
+        assert trie.longest_match("192.0.2.1")[1] == "host"
+        assert trie.longest_match("192.0.2.2") is None
+
+    def test_ipv6(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "doc")
+        trie.insert("2001:db8:1::/48", "sub")
+        assert trie.longest_match("2001:db8:1::5")[1] == "sub"
+        assert trie.longest_match("2001:db8:2::5")[1] == "doc"
+
+    def test_families_are_separate(self):
+        trie = PrefixTrie()
+        trie.insert("0.0.0.0/0", "v4")
+        assert trie.longest_match("2001:db8::1") is None
+
+
+class TestItems:
+    def test_items_yield_all(self):
+        trie = PrefixTrie()
+        prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24",
+                    "2001:db8::/32"]
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        got = {str(prefix) for prefix, _ in trie.items()}
+        assert got == set(prefixes)
+
+    def test_len(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", 1)
+        trie.insert("10.1.0.0/16", 2)
+        trie.insert("2001:db8::/32", 3)
+        assert len(trie) == 3
+
+
+@st.composite
+def _prefixes(draw):
+    prefixlen = draw(st.integers(min_value=1, max_value=28))
+    base = draw(st.integers(min_value=0, max_value=2**prefixlen - 1))
+    network = ipaddress.IPv4Network((base << (32 - prefixlen), prefixlen))
+    return network
+
+
+@given(
+    entries=st.lists(_prefixes(), min_size=1, max_size=30, unique=True),
+    probe=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_longest_match_agrees_with_linear_scan(entries, probe):
+    trie = PrefixTrie()
+    for index, network in enumerate(entries):
+        trie.insert(network, index)
+    address = ipaddress.IPv4Address(probe)
+    expected = None
+    for index, network in enumerate(entries):
+        if address in network:
+            if expected is None or network.prefixlen > expected[0].prefixlen:
+                expected = (network, index)
+    got = trie.longest_match(address)
+    assert got == expected
+
+
+@given(entries=st.lists(_prefixes(), min_size=1, max_size=20, unique=True))
+def test_insert_remove_leaves_trie_empty(entries):
+    trie = PrefixTrie()
+    for network in entries:
+        trie.insert(network, str(network))
+    for network in entries:
+        assert trie.remove(network)
+    assert len(trie) == 0
+    for network in entries:
+        assert trie.get(network) is None

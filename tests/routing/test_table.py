@@ -1,0 +1,99 @@
+"""Tests for the routing table (announce/withdraw/MOAS)."""
+
+from repro.routing.table import RoutingTable
+
+
+class TestAnnouncements:
+    def test_announce_and_lookup(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        assert table.origins_for_address("10.1.2.3") == frozenset({100})
+
+    def test_most_specific_wins(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        table.announce("10.1.0.0/16", 200)
+        assert table.origins_for_address("10.1.2.3") == frozenset({200})
+        assert table.origins_for_address("10.2.0.1") == frozenset({100})
+
+    def test_moas_accumulates_origins(self):
+        table = RoutingTable()
+        table.announce("10.1.2.0/24", 300)
+        table.announce("10.1.2.0/24", 301)
+        assert table.origins_for_address("10.1.2.9") == frozenset({300, 301})
+
+    def test_idempotent_per_origin(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        table.announce("10.0.0.0/8", 100)
+        assert table.origins_for_prefix("10.0.0.0/8") == frozenset({100})
+
+    def test_unrouted_address(self):
+        assert RoutingTable().origins_for_address("10.0.0.1") == frozenset()
+
+    def test_most_specific_returns_route(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        route = table.most_specific("10.1.2.3")
+        assert route.origin == 100
+        assert str(route.prefix) == "10.0.0.0/8"
+        assert "via AS100" in str(route)
+
+    def test_most_specific_unrouted(self):
+        assert RoutingTable().most_specific("10.0.0.1") is None
+
+
+class TestWithdrawals:
+    def test_withdraw_single_origin(self):
+        table = RoutingTable()
+        table.announce("10.1.2.0/24", 300)
+        table.announce("10.1.2.0/24", 301)
+        assert table.withdraw("10.1.2.0/24", 300)
+        assert table.origins_for_address("10.1.2.9") == frozenset({301})
+
+    def test_withdraw_entirely(self):
+        table = RoutingTable()
+        table.announce("10.1.2.0/24", 300)
+        table.announce("10.1.2.0/24", 301)
+        assert table.withdraw("10.1.2.0/24")
+        assert table.origins_for_address("10.1.2.9") == frozenset()
+        assert len(table) == 0
+
+    def test_withdraw_missing_returns_false(self):
+        assert not RoutingTable().withdraw("10.0.0.0/8")
+
+    def test_withdraw_exposes_covering_prefix(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        table.announce("10.1.0.0/16", 200)
+        table.withdraw("10.1.0.0/16", 200)
+        assert table.origins_for_address("10.1.2.3") == frozenset({100})
+
+
+class TestExportAndStats:
+    def test_routes_iteration(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        table.announce("10.1.2.0/24", 300)
+        table.announce("10.1.2.0/24", 301)
+        routes = [(str(r.prefix), r.origin) for r in table.routes()]
+        assert ("10.1.2.0/24", 300) in routes
+        assert ("10.1.2.0/24", 301) in routes
+        assert len(routes) == 3
+
+    def test_counters(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        table.withdraw("10.0.0.0/8", 100)
+        assert table.announcements_processed == 1
+        assert table.withdrawals_processed == 1
+
+    def test_snapshot_pfx2as(self):
+        table = RoutingTable()
+        table.announce("10.0.0.0/8", 100)
+        table.announce("10.1.2.0/24", 300)
+        table.announce("10.1.2.0/24", 301)
+        snapshot = table.snapshot_pfx2as()
+        assert snapshot.lookup("10.1.2.5") == frozenset({300, 301})
+        assert snapshot.lookup("10.5.5.5") == frozenset({100})
+        assert len(snapshot.moas_entries()) == 1

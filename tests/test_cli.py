@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "60000", "--seed", "7"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_study_artifacts_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--artifact", "fig99"])
+
+
+class TestZonefile:
+    def test_listing(self, capsys):
+        code = main(["zonefile", "com", "--day", "0", "--limit", "5"] + SCALE)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zone com day 0" in out
+        assert ".com" in out
+
+    def test_alexa_listing(self, capsys):
+        code = main(["zonefile", "alexa", "--day", "400"] + SCALE)
+        assert code == 0
+        assert "alexa" in capsys.readouterr().out
+
+    def test_out_of_window(self, capsys):
+        code = main(["zonefile", "nl", "--day", "0"] + SCALE)
+        assert code == 1
+
+
+class TestPfx2as:
+    def test_dump(self, capsys):
+        code = main(["pfx2as", "--day", "0", "--limit", "5"] + SCALE)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "\t" in out
+
+    def test_lookup_cloudflare_space(self, capsys):
+        from repro.world.scenario import ScenarioConfig, build_paper_world
+
+        world = build_paper_world(ScenarioConfig(scale=60000, seed=7))
+        address = world.providers["CloudFlare"].shared_addresses("x.com")[0]
+        code = main(["pfx2as", "--lookup", address] + SCALE)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AS13335" in out
+
+    def test_lookup_unrouted(self, capsys):
+        code = main(["pfx2as", "--lookup", "203.0.113.1"] + SCALE)
+        assert code == 1
+
+
+class TestResolve:
+    def test_resolves_existing_domain(self, capsys):
+        from repro.world.scenario import ScenarioConfig, build_paper_world
+
+        world = build_paper_world(ScenarioConfig(scale=60000, seed=7))
+        name = next(iter(world.zone_names("com", 0)))
+        code = main(["resolve", name, "--day", "0"] + SCALE)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ANSWER SECTION" in out
+        assert "status NOERROR" in out
+
+    def test_www_label(self, capsys):
+        from repro.world.scenario import ScenarioConfig, build_paper_world
+
+        world = build_paper_world(ScenarioConfig(scale=60000, seed=7))
+        name = next(iter(world.zone_names("com", 0)))
+        code = main(["resolve", f"www.{name}", "--day", "0"] + SCALE)
+        assert code == 0
+
+    def test_missing_domain_fails(self, capsys):
+        code = main(["resolve", "no-such-name.com", "--day", "0"] + SCALE)
+        assert code == 1
+
+
+class TestFingerprint:
+    def test_cloudflare(self, capsys):
+        code = main(["fingerprint", "CloudFlare", "--day", "10"] + SCALE)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "13335" in out
+        assert "cloudflare.com" in out
+
+    def test_unknown_provider(self, capsys):
+        code = main(["fingerprint", "NoSuchDPS"] + SCALE)
+        assert code == 1
+
+
+class TestStudy:
+    def test_selected_artifacts(self, capsys):
+        code = main(
+            ["study", "--artifact", "fig5", "--artifact", "exposure"]
+            + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DPS adoption grew" in out
+        assert "name-server exposure" in out
+        assert "Table 1" not in out
+
+    def test_output_directory(self, capsys, tmp_path):
+        code = main(
+            ["study", "--artifact", "fig4", "--output", str(tmp_path)]
+            + SCALE
+        )
+        assert code == 0
+        assert (tmp_path / "fig4.txt").exists()
+        assert (tmp_path / "series.json").exists()
+
+
+class TestMeasure:
+    def test_measure_writes_partition(self, capsys, tmp_path):
+        from repro.measurement.storage import ColumnStore
+
+        code = main(
+            ["measure", "org", "--day", "0", "--output", str(tmp_path)]
+            + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured" in out
+        loaded = ColumnStore.load(str(tmp_path))
+        assert loaded.row_count("org", 0) > 0
+
+    def test_measure_bad_day(self, capsys, tmp_path):
+        code = main(
+            ["measure", "nl", "--day", "0", "--output", str(tmp_path)]
+            + SCALE
+        )
+        assert code == 1

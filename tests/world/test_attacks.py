@@ -1,0 +1,82 @@
+"""Tests for the attack-episode model behind on-demand protection."""
+
+import random
+
+import pytest
+
+from repro.world.attacks import AttackEpisode, AttackModel, MitigationWindow
+
+
+@pytest.fixture
+def model():
+    return AttackModel(random.Random(7), p80_days=10, mean_gap_days=20.0)
+
+
+class TestEpisode:
+    def test_end(self):
+        episode = AttackEpisode(start=5, duration=3, peak_gbps=50.0)
+        assert episode.end == 8
+
+    def test_volumetric_classification(self):
+        assert AttackEpisode(0, 1, 300.0).is_volumetric()
+        assert not AttackEpisode(0, 1, 0.5).is_volumetric()
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackModel(random.Random(0), p80_days=0)
+        with pytest.raises(ValueError):
+            AttackModel(random.Random(0), p80_days=5, mean_gap_days=0)
+
+    def test_duration_p80_calibration(self):
+        model = AttackModel(random.Random(3), p80_days=10)
+        durations = sorted(model.episode_duration() for _ in range(4000))
+        p80 = durations[int(0.8 * len(durations)) - 1]
+        assert 8 <= p80 <= 13
+
+    def test_durations_capped(self):
+        model = AttackModel(random.Random(3), p80_days=80, max_duration=100)
+        assert max(model.episode_duration() for _ in range(2000)) <= 100
+
+    def test_volumes_bounded_and_heavy_tailed(self, model):
+        volumes = [model.episode_volume() for _ in range(2000)]
+        assert max(volumes) <= 600.0
+        assert min(volumes) > 0
+        # Heavy tail: some attacks are >10x the median.
+        median = sorted(volumes)[len(volumes) // 2]
+        assert max(volumes) > 10 * median
+
+    def test_episodes_ordered_and_disjoint(self, model):
+        episodes = list(model.episodes(0, 550))
+        for left, right in zip(episodes, episodes[1:]):
+            assert left.end < right.start
+
+    def test_episodes_within_horizon(self, model):
+        assert all(e.end < 550 for e in model.episodes(0, 550))
+
+    def test_deterministic_for_seed(self):
+        a = AttackModel(random.Random(5), p80_days=10)
+        b = AttackModel(random.Random(5), p80_days=10)
+        assert list(a.episodes(0, 550)) == list(b.episodes(0, 550))
+
+
+class TestMitigationWindows:
+    def test_windows_wrap_episodes(self, model):
+        windows = model.mitigation_windows(0, 550)
+        for window in windows:
+            assert window.start == window.episode.start
+            assert window.end >= window.episode.end - 1
+            assert window.days >= 1
+
+    def test_revert_margin_extends_windows(self):
+        rng = random.Random(11)
+        model = AttackModel(rng, p80_days=5)
+        windows = model.mitigation_windows(0, 550, revert_margin=3)
+        assert all(
+            w.end - w.episode.end in (3,) or w.end == 549 for w in windows
+        )
+
+    def test_episode_count_bounds(self, model):
+        windows = model.mitigation_windows(0, 550, episode_count=(3, 7))
+        assert len(windows) <= 7

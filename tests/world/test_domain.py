@@ -1,0 +1,170 @@
+"""Tests for DnsConfig and DomainTimeline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.domain import (
+    DARK_CONFIG,
+    DnsConfig,
+    DomainTimeline,
+    Method,
+    intern_config,
+)
+
+
+def config(tag: str) -> DnsConfig:
+    return DnsConfig(
+        ns_names=(f"ns1.{tag}.com",),
+        apex_ips=(f"10.0.0.{abs(hash(tag)) % 200 + 1}",),
+    )
+
+
+CFG_A = DnsConfig(ns_names=("ns1.a.com",), apex_ips=("10.0.0.1",))
+CFG_B = DnsConfig(ns_names=("ns1.b.com",), apex_ips=("10.0.0.2",))
+CFG_C = DnsConfig(ns_names=("ns1.c.com",), apex_ips=("10.0.0.3",))
+
+
+class TestDnsConfig:
+    def test_dark_config_has_nothing(self):
+        assert DARK_CONFIG.ns_names == ()
+        assert DARK_CONFIG.all_addresses() == ()
+
+    def test_all_addresses_order(self):
+        cfg = DnsConfig(
+            ns_names=("ns1.x.com",),
+            apex_ips=("10.0.0.1",),
+            www_ips=("10.0.0.2",),
+            apex_ips6=("2001:db8::1",),
+        )
+        assert cfg.all_addresses() == ("10.0.0.1", "10.0.0.2", "2001:db8::1")
+
+    def test_with_www_defaulted(self):
+        cfg = DnsConfig(ns_names=("ns1.x.com",), apex_ips=("10.0.0.1",))
+        assert cfg.with_www_defaulted().www_ips == ("10.0.0.1",)
+
+    def test_with_www_defaulted_noop_when_set(self):
+        cfg = DnsConfig(
+            ns_names=("n",), apex_ips=("10.0.0.1",), www_ips=("10.0.0.2",)
+        )
+        assert cfg.with_www_defaulted() is cfg
+
+    def test_interning_shares_instances(self):
+        a = DnsConfig(ns_names=("ns1.a.com",), apex_ips=("10.0.0.1",))
+        b = DnsConfig(ns_names=("ns1.a.com",), apex_ips=("10.0.0.1",))
+        assert intern_config(a) is intern_config(b)
+
+
+class TestLifetime:
+    def test_alive_window(self):
+        timeline = DomainTimeline("a.com", "com", created=10, base_config=CFG_A,
+                                  deleted=20)
+        assert not timeline.alive(9)
+        assert timeline.alive(10)
+        assert timeline.alive(19)
+        assert not timeline.alive(20)
+
+    def test_never_deleted(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        assert timeline.alive(10_000)
+
+    def test_lifespan_clipping(self):
+        timeline = DomainTimeline("a.com", "com", created=5, base_config=CFG_A,
+                                  deleted=900)
+        assert timeline.lifespan(550) == (5, 550)
+
+
+class TestConfigHistory:
+    def test_base_config_from_creation(self):
+        timeline = DomainTimeline("a.com", "com", created=3, base_config=CFG_A)
+        assert timeline.config_at(3) == CFG_A
+        assert timeline.config_at(100) == CFG_A
+
+    def test_config_before_creation_rejected(self):
+        timeline = DomainTimeline("a.com", "com", created=3, base_config=CFG_A)
+        with pytest.raises(ValueError):
+            timeline.config_at(2)
+
+    def test_set_config_change(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(10, CFG_B)
+        assert timeline.config_at(9) == CFG_A
+        assert timeline.config_at(10) == CFG_B
+
+    def test_set_config_before_creation_rejected(self):
+        timeline = DomainTimeline("a.com", "com", created=5, base_config=CFG_A)
+        with pytest.raises(ValueError):
+            timeline.set_config(4, CFG_B)
+
+    def test_same_day_override(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(10, CFG_B)
+        timeline.set_config(10, CFG_C)
+        assert timeline.config_at(10) == CFG_C
+        assert len(timeline.change_days) == 2
+
+    def test_identical_config_merges_segments(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(10, CFG_B)
+        timeline.set_config(10, CFG_A)  # revert on the same day
+        assert timeline.change_days == [0]
+
+    def test_redundant_set_is_noop(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(10, CFG_A)
+        assert timeline.change_days == [0]
+
+    def test_monotonic_matches_bisect(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(10, CFG_B)
+        timeline.set_config(20, CFG_C)
+        for day in range(0, 30):
+            assert timeline.config_at_monotonic(day) == timeline.config_at(day)
+
+    def test_monotonic_handles_backwards_jump(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(10, CFG_B)
+        assert timeline.config_at_monotonic(20) == CFG_B
+        assert timeline.config_at_monotonic(5) == CFG_A
+
+
+class TestSegments:
+    def test_segments_cover_lifetime(self):
+        timeline = DomainTimeline("a.com", "com", created=2, base_config=CFG_A,
+                                  deleted=30)
+        timeline.set_config(10, CFG_B)
+        segments = list(timeline.segments(550))
+        assert segments == [(2, 10, CFG_A), (10, 30, CFG_B)]
+
+    def test_segments_clip_to_horizon(self):
+        timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+        timeline.set_config(500, CFG_B)
+        segments = list(timeline.segments(550))
+        assert segments[-1] == (500, 550, CFG_B)
+
+    def test_dead_domain_has_no_segments(self):
+        timeline = DomainTimeline("a.com", "com", created=600,
+                                  base_config=CFG_A)
+        assert list(timeline.segments(550)) == []
+
+
+@given(
+    changes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=99),
+            st.sampled_from([CFG_A, CFG_B, CFG_C]),
+        ),
+        max_size=12,
+    )
+)
+def test_segments_agree_with_daily_lookup(changes):
+    """Property: expanding segments day-by-day equals config_at per day."""
+    timeline = DomainTimeline("a.com", "com", created=0, base_config=CFG_A)
+    for day, cfg in changes:
+        timeline.set_config(day, cfg)
+    horizon = 100
+    from_segments = {}
+    for start, end, cfg in timeline.segments(horizon):
+        for day in range(start, end):
+            from_segments[day] = cfg
+    for day in range(horizon):
+        assert from_segments[day] == timeline.config_at(day)

@@ -1,0 +1,82 @@
+"""Tests for organisations and hosting providers."""
+
+import ipaddress
+
+import pytest
+
+from repro.routing.asn import ASRegistry
+from repro.world.entities import (
+    HostingProvider,
+    Organization,
+    provision_organization,
+)
+from repro.world.ipam import PrefixAllocator
+
+
+@pytest.fixture
+def provisioned():
+    registry = ASRegistry()
+    allocator = PrefixAllocator()
+    hoster = HostingProvider(name="HostCo", ns_sld="hostco-dns.com")
+    provision_organization(hoster, registry, allocator, prefixlen=20)
+    return registry, hoster
+
+
+class TestOrganization:
+    def test_primary_asn_requires_provisioning(self):
+        with pytest.raises(ValueError):
+            Organization(name="X").primary_asn()
+
+    def test_host_address_requires_prefix(self):
+        with pytest.raises(ValueError):
+            Organization(name="X").host_address("a.com")
+
+    def test_provisioning_registers_as(self, provisioned):
+        registry, hoster = provisioned
+        assert registry.get(hoster.primary_asn()).name == "HostCo"
+
+    def test_host_address_in_own_space(self, provisioned):
+        _, hoster = provisioned
+        address = ipaddress.ip_address(hoster.host_address("a.com"))
+        assert any(address in prefix for prefix in hoster.prefixes)
+
+    def test_host_address_stable(self, provisioned):
+        _, hoster = provisioned
+        assert hoster.host_address("a.com") == hoster.host_address("a.com")
+
+
+class TestHostingProvider:
+    def test_ns_names_under_sld(self, provisioned):
+        _, hoster = provisioned
+        assert hoster.ns_names() == (
+            "ns1.hostco-dns.com",
+            "ns2.hostco-dns.com",
+        )
+
+    def test_base_config_shape(self, provisioned):
+        _, hoster = provisioned
+        cfg = hoster.base_config("a.com")
+        assert cfg.ns_names == hoster.ns_names()
+        assert cfg.apex_ips == cfg.www_ips
+        assert len(cfg.apex_ips) == 1
+        assert cfg.www_cnames == ()
+
+    def test_dual_stack_config(self):
+        registry = ASRegistry()
+        allocator = PrefixAllocator()
+        hoster = HostingProvider(
+            name="Host6", ns_sld="host6-dns.com", dual_stack=True
+        )
+        provision_organization(
+            hoster, registry, allocator, prefixlen=20, v6=True
+        )
+        cfg = hoster.base_config("a.com")
+        assert cfg.apex_ips6
+        assert cfg.apex_ips6 == cfg.www_ips6
+
+    def test_ns_address_resolves_in_own_space(self, provisioned):
+        _, hoster = provisioned
+        address = ipaddress.ip_address(
+            hoster.ns_address("ns1.hostco-dns.com")
+        )
+        assert any(address in prefix for prefix in hoster.prefixes)

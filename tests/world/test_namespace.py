@@ -1,0 +1,101 @@
+"""Tests for TLD churn parameters and population realisation."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.namespace import ChurnParameters, TldRegistry
+
+
+def params(initial=10_000, target=10_900, horizon=550, rate=2e-4):
+    return ChurnParameters(
+        initial=initial, target_end=target, horizon=horizon,
+        deletion_rate=rate,
+    )
+
+
+class TestChurnParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            params(initial=-1)
+        with pytest.raises(ValueError):
+            params(horizon=0)
+        with pytest.raises(ValueError):
+            params(rate=1.0)
+
+    def test_survival(self):
+        p = params(rate=0.0)
+        assert p.survival == 1.0
+        assert params(rate=2e-4).survival < 1.0
+
+    def test_birth_rate_solver_hits_target(self):
+        p = params()
+        assert p.expected_end() == pytest.approx(p.target_end, rel=1e-6)
+
+    def test_zero_deletion_rate(self):
+        p = params(rate=0.0, initial=100, target=150, horizon=50)
+        assert p.daily_births() == pytest.approx(1.0)
+        assert p.expected_end() == pytest.approx(150)
+
+    def test_shrinking_target_needs_no_births(self):
+        p = params(initial=10_000, target=500)
+        assert p.daily_births() == 0.0
+
+    @given(
+        initial=st.integers(min_value=100, max_value=100_000),
+        growth=st.floats(min_value=1.0, max_value=1.5),
+        rate=st.floats(min_value=0.0, max_value=0.002),
+    )
+    def test_solver_consistent_property(self, initial, growth, rate):
+        p = ChurnParameters(
+            initial=initial,
+            target_end=int(initial * growth),
+            horizon=550,
+            deletion_rate=rate,
+        )
+        assert p.expected_end() == pytest.approx(
+            max(p.target_end, p.expected_survivors()), rel=1e-6
+        )
+
+
+class TestTldRegistry:
+    def make(self, **overrides):
+        counter = iter(range(10**6))
+        return TldRegistry(
+            "com",
+            params(**overrides),
+            random.Random(5),
+            name_factory=lambda tld: f"d{next(counter)}.{tld}",
+        )
+
+    def test_population_size_and_shape(self):
+        registry = self.make(initial=2000, target=2180)
+        rows = list(registry.population())
+        day0 = [row for row in rows if row[1] == 0]
+        assert len(day0) == 2000
+        assert len(rows) > 2000  # births happened
+
+    def test_realised_growth_close_to_target(self):
+        registry = self.make(initial=5000, target=5450)
+        alive_end = 0
+        for name, created, deleted in registry.population():
+            if deleted is None or deleted >= 550:
+                alive_end += 1
+        assert alive_end == pytest.approx(5450, rel=0.05)
+
+    def test_deletions_within_horizon_only(self):
+        registry = self.make(initial=3000, target=3200)
+        for name, created, deleted in registry.population():
+            if deleted is not None:
+                assert created < deleted < 550
+
+    def test_names_unique(self):
+        registry = self.make(initial=1000, target=1050)
+        names = [row[0] for row in registry.population()]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        assert list(self.make().population())[:50] == list(
+            self.make().population()
+        )[:50]

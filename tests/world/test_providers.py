@@ -1,0 +1,141 @@
+"""Tests for the nine DPS providers and their protection actions."""
+
+import ipaddress
+
+import pytest
+
+from repro.routing.asn import ASRegistry
+from repro.world.domain import DnsConfig, Method
+from repro.world.ipam import PrefixAllocator
+from repro.world.providers import (
+    PAPER_PROVIDER_BLUEPRINTS,
+    PROVIDER_NAMES,
+    build_paper_providers,
+)
+
+
+@pytest.fixture(scope="module")
+def providers():
+    return build_paper_providers(ASRegistry(), PrefixAllocator())
+
+
+BASE = DnsConfig(
+    ns_names=("ns1.hostco-dns.com", "ns2.hostco-dns.com"),
+    apex_ips=("10.250.0.1",),
+    www_ips=("10.250.0.1",),
+)
+
+
+class TestBlueprints:
+    def test_all_nine_providers(self):
+        assert len(PAPER_PROVIDER_BLUEPRINTS) == 9
+        assert set(PROVIDER_NAMES) == {
+            "Akamai", "CenturyLink", "CloudFlare", "DOSarrest",
+            "F5 Networks", "Incapsula", "Level 3", "Neustar", "Verisign",
+        }
+
+    def test_table2_asns_exact(self, providers):
+        assert set(providers["CloudFlare"].asns) == {13335}
+        assert set(providers["Akamai"].asns) == {20940, 16625, 32787}
+        assert set(providers["Level 3"].asns) == {3549, 3356, 11213, 10753}
+        assert set(providers["Verisign"].asns) == {26415, 30060}
+
+    def test_table2_slds_exact(self, providers):
+        assert providers["Incapsula"].cname_slds == ("incapdns.net",)
+        assert providers["Incapsula"].ns_slds == ("incapsecuredns.net",)
+        assert providers["DOSarrest"].cname_slds == ()
+        assert providers["DOSarrest"].ns_slds == ()
+        assert "verisigndns.com" in providers["Verisign"].ns_slds
+
+    def test_as_registry_knows_names(self):
+        registry = ASRegistry()
+        build_paper_providers(registry, PrefixAllocator())
+        assert [a.number for a in registry.find_by_name("CloudFlare")] == [
+            13335
+        ]
+        assert len(registry.find_by_name("Akamai")) == 3
+
+    def test_prefix_origins_cover_all_prefixes(self, providers):
+        for provider in providers.values():
+            assert set(provider.prefix_origins) == set(provider.prefixes)
+            assert set(provider.prefix_origins.values()) <= set(provider.asns)
+
+
+class TestSharedAddresses:
+    def test_shared_addresses_inside_provider_space(self, providers):
+        provider = providers["CloudFlare"]
+        for address in provider.shared_addresses("a.com", count=3):
+            parsed = ipaddress.ip_address(address)
+            assert any(parsed in prefix for prefix in provider.prefixes)
+
+    def test_shared_addresses_stable(self, providers):
+        provider = providers["Incapsula"]
+        assert provider.shared_addresses("a.com") == provider.shared_addresses(
+            "a.com"
+        )
+
+    def test_customers_share_pool(self, providers):
+        provider = providers["Incapsula"]
+        pool = {
+            provider.shared_addresses(f"d{i}.com")[0] for i in range(100)
+        }
+        # Far fewer distinct addresses than customers: cloud-shared.
+        assert len(pool) < 30
+
+
+class TestProtectionActions:
+    def test_a_record_method(self, providers):
+        provider = providers["DOSarrest"]
+        protected = provider.protect(BASE, "a.com", Method.A_RECORD)
+        assert protected.ns_names == BASE.ns_names
+        assert protected.apex_ips != BASE.apex_ips
+        assert protected.www_cnames == ()
+
+    def test_cname_method(self, providers):
+        provider = providers["Incapsula"]
+        protected = provider.protect(BASE, "a.com", Method.CNAME)
+        assert protected.ns_names == BASE.ns_names
+        assert protected.www_cnames
+        assert protected.www_cnames[0].endswith(".incapdns.net")
+
+    def test_ns_delegation_with_diversion(self, providers):
+        provider = providers["CloudFlare"]
+        protected = provider.protect(BASE, "a.com", Method.NS_DELEGATION)
+        assert all(
+            ns.endswith(".ns.cloudflare.com") for ns in protected.ns_names
+        )
+        assert protected.apex_ips != BASE.apex_ips
+
+    def test_ns_delegation_without_diversion(self, providers):
+        # Verisign Managed DNS: the zone moves, the traffic does not.
+        provider = providers["Verisign"]
+        protected = provider.protect(
+            BASE, "a.com", Method.NS_DELEGATION, divert=False
+        )
+        assert protected.ns_names[0].endswith(".verisigndns.com")
+        assert protected.apex_ips == BASE.apex_ips
+
+    def test_bgp_method_leaves_dns_untouched(self, providers):
+        provider = providers["Verisign"]
+        assert provider.protect(BASE, "a.com", Method.BGP) is BASE
+
+    def test_unsupported_method_rejected(self, providers):
+        with pytest.raises(ValueError):
+            providers["CenturyLink"].protect(BASE, "a.com", Method.CNAME)
+
+    def test_cname_target_requires_cname_sld(self, providers):
+        with pytest.raises(ValueError):
+            providers["DOSarrest"].cname_target("a.com")
+
+    def test_delegation_requires_ns_sld(self, providers):
+        with pytest.raises(ValueError):
+            providers["F5 Networks"].delegation_ns_names("a.com")
+
+    def test_cloudflare_ns_pool_is_named(self, providers):
+        provider = providers["CloudFlare"]
+        names = set()
+        for index in range(200):
+            names.update(provider.delegation_ns_names(f"d{index}.com"))
+        # Many distinct given-name servers, all under ns.cloudflare.com.
+        assert len(names) > 20
+        assert all(name.endswith(".ns.cloudflare.com") for name in names)

@@ -1,0 +1,132 @@
+"""Tests for the calibrated paper scenario (small scale)."""
+
+import pytest
+
+from repro.world.domain import Method
+from repro.world.scenario import (
+    GTLD_SHARES,
+    METHOD_MIXES,
+    ON_DEMAND_TARGETS,
+    ORGANIC_TARGETS,
+    ScenarioConfig,
+    build_paper_world,
+)
+from repro.world.timeline import CCTLD_START_DAY, GTLD_DAYS
+
+
+class TestConfig:
+    def test_scaled_rounds_and_floors(self):
+        config = ScenarioConfig(scale=1000)
+        assert config.scaled(1_000_000) == 1000
+        assert config.scaled(100) == 1  # the minimum
+
+    def test_method_mix_weights_sum_to_one(self):
+        for provider, mixes in METHOD_MIXES.items():
+            assert sum(w for _, w, _ in mixes) == pytest.approx(1.0), provider
+
+    def test_every_target_provider_has_a_mix(self):
+        assert set(ORGANIC_TARGETS) == set(METHOD_MIXES)
+        assert set(ON_DEMAND_TARGETS) == set(METHOD_MIXES)
+
+    def test_gtld_shares(self):
+        assert sum(GTLD_SHARES.values()) == pytest.approx(1.0, abs=0.01)
+
+
+class TestBuiltWorld:
+    def test_deterministic_build(self):
+        a = build_paper_world(ScenarioConfig(scale=60000, seed=9))
+        b = build_paper_world(ScenarioConfig(scale=60000, seed=9))
+        assert set(a.domains) == set(b.domains)
+        name = sorted(a.domains)[0]
+        assert a.domains[name].change_days == b.domains[name].change_days
+
+    def test_world_shape(self, tiny_world):
+        assert tiny_world.horizon == GTLD_DAYS
+        assert len(tiny_world.providers) == 9
+        assert set(tiny_world.tld_windows) == {"com", "net", "org", "nl"}
+        assert tiny_world.tld_windows["nl"][0] == CCTLD_START_DAY
+
+    def test_namespace_shares_roughly_hold(self, tiny_world):
+        sizes = {
+            tld: tiny_world.zone_size_series(tld)[0]
+            for tld in ("com", "net", "org")
+        }
+        total = sum(sizes.values())
+        assert sizes["com"] / total == pytest.approx(0.8247, abs=0.02)
+
+    def test_zone_growth_close_to_paper(self, tiny_world):
+        series = [
+            sum(tiny_world.zone_size_series(tld)[day]
+                for tld in ("com", "net", "org"))
+            for day in (0, GTLD_DAYS - 1)
+        ]
+        assert series[1] / series[0] == pytest.approx(1.088, abs=0.03)
+
+    def test_third_parties_present(self, tiny_world):
+        assert set(tiny_world.thirdparties) == {
+            "Wix", "ENOM", "ZOHO", "Namecheap", "Sedo", "Fabulous",
+            "SiteMatrix",
+        }
+
+    def test_third_party_domains_exist_from_day_zero(self, tiny_world):
+        for party in tiny_world.thirdparties.values():
+            for name in party.domains:
+                assert tiny_world.domains[name].created == 0
+
+    def test_alexa_list_populated(self, tiny_world):
+        assert tiny_world.alexa_names
+        assert len(set(tiny_world.alexa_names)) == len(tiny_world.alexa_names)
+
+    def test_nl_domains_exist(self, tiny_world):
+        assert tiny_world.unique_slds("nl") > 0
+
+    def test_enom_prefixes_flip_to_verisign(self, tiny_world):
+        party = tiny_world.thirdparties["ENOM"]
+        prefix = party.base_routing[0][0]
+        probe = prefix.split("/")[0]
+        during = tiny_world.pfx2as_at(90).lookup(probe)
+        before = tiny_world.pfx2as_at(70).lookup(probe)
+        assert before == frozenset({21740})
+        assert during == frozenset({26415})
+
+    def test_sedo_dark_day(self, tiny_world):
+        party = tiny_world.thirdparties["Sedo"]
+        timeline = tiny_world.domains[party.domains[0]]
+        assert timeline.config_at(266).ns_names == ()
+        assert timeline.config_at(267).ns_names != ()
+
+    def test_providers_announce_their_space(self, tiny_world):
+        cloudflare = tiny_world.providers["CloudFlare"]
+        shared = cloudflare.shared_addresses("probe.com")[0]
+        assert tiny_world.pfx2as_at(0).lookup(shared) == frozenset({13335})
+
+
+class TestAlexaRanking:
+    def test_unique_exceeds_daily(self, tiny_world):
+        daily = len(tiny_world.alexa_list(400))
+        unique = len(tiny_world.alexa_names)
+        assert unique > daily
+
+    def test_membership_windows_inside_measurement_window(self, tiny_world):
+        from repro.world.timeline import CCTLD_START_DAY
+
+        for name in tiny_world.alexa_names:
+            for start, end in tiny_world.alexa_membership(name):
+                assert CCTLD_START_DAY <= start < end <= tiny_world.horizon
+
+    def test_daily_list_roughly_constant(self, tiny_world):
+        sizes = [len(tiny_world.alexa_list(day)) for day in (370, 450, 530)]
+        assert max(sizes) - min(sizes) <= max(3, max(sizes) // 4)
+
+    def test_member_days_consistent_with_daily_lists(self, tiny_world):
+        from repro.world.timeline import CCTLD_START_DAY
+
+        start = CCTLD_START_DAY
+        days = tiny_world.horizon - start
+        # alexa_member_days counts membership windows; daily lists also
+        # require the domain to be alive, so they can only be smaller.
+        by_windows = tiny_world.alexa_member_days(start, days)
+        sampled = sum(
+            len(tiny_world.alexa_list(day)) for day in range(start, start + 5)
+        )
+        assert sampled <= by_windows

@@ -1,0 +1,133 @@
+"""Tests for third-party mass-actor behaviour."""
+
+import pytest
+
+from repro.world.domain import DARK_CONFIG, DnsConfig, DomainTimeline
+from repro.world.thirdparty import DiversionWindow, ThirdParty
+from repro.world.world import World
+
+BASE = DnsConfig(ns_names=("ns1.party-dns.com",), apex_ips=("10.9.0.1",))
+DIVERTED = DnsConfig(ns_names=("ns1.party-dns.com",), apex_ips=("10.99.0.1",))
+
+
+def base_fn(domain):
+    return BASE
+
+
+def diverted_fn(domain):
+    return DIVERTED
+
+
+def make_world_with(names, created=0):
+    world = World(horizon=100)
+    for name in names:
+        world.add_domain(
+            DomainTimeline(name, "com", created=created, base_config=BASE)
+        )
+    return world
+
+
+class TestDiversionWindow:
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DiversionWindow(start=0, end=10, fraction=0.0)
+
+    def test_end_after_start(self):
+        with pytest.raises(ValueError):
+            DiversionWindow(start=10, end=10)
+
+
+class TestApply:
+    def test_window_toggles_configs(self):
+        names = [f"d{i}.com" for i in range(10)]
+        world = make_world_with(names)
+        party = ThirdParty(
+            name="P",
+            base=base_fn,
+            domains=names,
+            windows=[DiversionWindow(start=20, end=30, diverted=diverted_fn)],
+        )
+        party.apply(world, horizon=100)
+        timeline = world.domains["d0.com"]
+        assert timeline.config_at(19) == BASE
+        assert timeline.config_at(25) == DIVERTED
+        assert timeline.config_at(30) == BASE
+
+    def test_open_ended_window_is_permanent(self):
+        names = ["d0.com"]
+        world = make_world_with(names)
+        party = ThirdParty(
+            name="P", base=base_fn, domains=names,
+            windows=[DiversionWindow(start=40, end=None, diverted=diverted_fn)],
+        )
+        party.apply(world, horizon=100)
+        assert world.domains["d0.com"].config_at(99) == DIVERTED
+
+    def test_fraction_selects_stable_subset(self):
+        names = [f"d{i}.com" for i in range(100)]
+        window = DiversionWindow(
+            start=0, end=10, diverted=diverted_fn, fraction=0.3, seed=5
+        )
+        party = ThirdParty(name="P", base=base_fn, domains=names,
+                           windows=[window])
+        first = party.select_domains(window)
+        second = party.select_domains(window)
+        assert first == second
+        assert len(first) == 30
+
+    def test_domain_born_after_window_untouched(self):
+        world = make_world_with(["late.com"], created=50)
+        party = ThirdParty(
+            name="P", base=base_fn, domains=["late.com"],
+            windows=[DiversionWindow(start=10, end=20, diverted=diverted_fn)],
+        )
+        party.apply(world, horizon=100)
+        assert world.domains["late.com"].config_at(60) == BASE
+
+    def test_bgp_only_window_emits_routing_events(self):
+        names = ["d0.com"]
+        world = make_world_with(names)
+        party = ThirdParty(
+            name="P",
+            base=base_fn,
+            domains=names,
+            base_routing=(("10.9.0.0/24", frozenset({111})),),
+            windows=[
+                DiversionWindow(
+                    start=20, end=30, diverted=None,
+                    routing=(("10.9.0.0/24", frozenset({26415})),),
+                )
+            ],
+        )
+        party.apply(world, horizon=100)
+        # DNS untouched throughout.
+        assert world.domains["d0.com"].change_days == [0]
+        # Routing flips to Verisign and back.
+        assert world.pfx2as_at(10).lookup("10.9.0.5") == frozenset({111})
+        assert world.pfx2as_at(25).lookup("10.9.0.5") == frozenset({26415})
+        assert world.pfx2as_at(35).lookup("10.9.0.5") == frozenset({111})
+
+    def test_dark_days(self):
+        names = ["d0.com"]
+        world = make_world_with(names)
+        party = ThirdParty(name="P", base=base_fn, domains=names)
+        party.dark_days.append((50, 51))
+        party.apply(world, horizon=100)
+        timeline = world.domains["d0.com"]
+        assert timeline.config_at(50) == DARK_CONFIG
+        assert timeline.config_at(51) == BASE
+
+    def test_jitter_spreads_starts(self):
+        names = [f"d{i}.com" for i in range(50)]
+        world = make_world_with(names)
+        party = ThirdParty(
+            name="P", base=base_fn, domains=names,
+            windows=[DiversionWindow(start=20, end=40, diverted=diverted_fn,
+                                     jitter=5)],
+        )
+        party.apply(world, horizon=100)
+        starts = {
+            world.domains[name].change_days[1] for name in names
+        }
+        assert len(starts) > 1
+        assert all(20 <= s <= 25 for s in starts)

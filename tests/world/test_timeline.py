@@ -1,0 +1,45 @@
+"""Tests for the study calendar."""
+
+import datetime
+
+from repro.world.timeline import (
+    CCTLD_START_DAY,
+    GTLD_DAYS,
+    STUDY_START,
+    date_of,
+    day_of,
+    month_label,
+    two_week_bucket,
+)
+
+
+class TestCalendar:
+    def test_day_zero_is_march_2015(self):
+        assert date_of(0) == datetime.date(2015, 3, 1)
+
+    def test_cctld_window_starts_march_2016(self):
+        assert date_of(CCTLD_START_DAY) == datetime.date(2016, 3, 1)
+
+    def test_sedo_incident_day(self):
+        """Day 266 must be 22 Nov 2015, the paper's Akamai trough."""
+        assert date_of(266) == datetime.date(2015, 11, 22)
+
+    def test_horizon_reaches_late_summer_2016(self):
+        assert date_of(GTLD_DAYS - 1) >= datetime.date(2016, 8, 30)
+
+    def test_day_of_roundtrip(self):
+        for day in (0, 100, 366, 549):
+            assert day_of(date_of(day)) == day
+
+    def test_day_of_before_start_is_negative(self):
+        assert day_of(STUDY_START - datetime.timedelta(days=3)) == -3
+
+    def test_month_labels(self):
+        assert month_label(0) == "Mar '15"
+        assert month_label(366) == "Mar '16"
+
+    def test_two_week_buckets(self):
+        assert two_week_bucket(0) == 0
+        assert two_week_bucket(13) == 0
+        assert two_week_bucket(14) == 1
+        assert two_week_bucket(549) == 39

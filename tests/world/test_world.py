@@ -1,0 +1,129 @@
+"""Tests for the World container: zones, routing view, materialisation."""
+
+import pytest
+
+from repro.dnscore.name import DomainName
+from repro.dnscore.resolver import IterativeResolver
+from repro.dnscore.rrtypes import RRType
+from repro.world.domain import DnsConfig, DomainTimeline
+from repro.world.entities import HostingProvider, provision_organization
+from repro.world.world import World
+
+
+@pytest.fixture
+def world():
+    world = World(horizon=100)
+    hoster = HostingProvider(name="HostCo", ns_sld="hostco-dns.com")
+    provision_organization(
+        hoster, world.as_registry, world.allocator, prefixlen=20
+    )
+    world.announce(hoster)
+    world.register_ns_owner("hostco-dns.com", hoster)
+    world.hosters.append(hoster)
+    world.tld_windows = {"com": (0, 100)}
+    for index in range(5):
+        name = f"d{index}.com"
+        world.add_domain(
+            DomainTimeline(
+                name, "com", created=index * 10,
+                base_config=hoster.base_config(name),
+                deleted=90 if index == 0 else None,
+            )
+        )
+    return world
+
+
+class TestZoneAccounting:
+    def test_zone_names_respects_lifetime(self, world):
+        assert set(world.zone_names("com", 0)) == {"d0.com"}
+        assert len(list(world.zone_names("com", 45))) == 5
+        assert "d0.com" not in set(world.zone_names("com", 95))
+
+    def test_zone_size_series(self, world):
+        series = world.zone_size_series("com")
+        assert series[0] == 1
+        assert series[45] == 5
+        assert series[95] == 4
+
+    def test_unique_slds(self, world):
+        assert world.unique_slds("com") == 5
+
+    def test_duplicate_domain_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.add_domain(
+                DomainTimeline(
+                    "d0.com", "com", created=0,
+                    base_config=world.domains["d0.com"].config_at(0),
+                )
+            )
+
+
+class TestRoutingView:
+    def test_base_announcements_visible(self, world):
+        hoster = world.hosters[0]
+        address = hoster.host_address("d1.com")
+        assert world.pfx2as_at(0).lookup(address) == frozenset(
+            {hoster.primary_asn()}
+        )
+
+    def test_routing_event_takes_effect_from_its_day(self, world):
+        hoster = world.hosters[0]
+        prefix = str(hoster.prefixes[0])
+        world.add_routing_event(50, prefix, frozenset({26415}))
+        address = hoster.host_address("d1.com")
+        assert world.pfx2as_at(49).lookup(address) == frozenset(
+            {hoster.primary_asn()}
+        )
+        assert world.pfx2as_at(50).lookup(address) == frozenset({26415})
+
+    def test_routing_change_days(self, world):
+        world.add_routing_event(30, "10.200.0.0/24", frozenset({1}))
+        assert 30 in world.routing_change_days()
+
+    def test_snapshot_caching_invalidated_by_new_events(self, world):
+        first = world.pfx2as_at(10)
+        assert world.pfx2as_at(10) is first
+        world.add_routing_event(5, "10.201.0.0/24", frozenset({2}))
+        assert world.pfx2as_at(10) is not first
+
+    def test_ns_host_address_via_owner(self, world):
+        address = world.ns_host_address("ns1.hostco-dns.com")
+        assert address is not None
+        assert world.ns_host_address("ns1.unknown-sld.com") is None
+
+
+class TestMaterialization:
+    def test_resolves_like_the_fast_state(self, world):
+        network, roots = world.materialize_dns(45, ["d1.com", "d2.com"])
+        resolver = IterativeResolver(network, roots)
+        config = world.domains["d1.com"].config_at(45)
+        result = resolver.resolve(DomainName.from_text("d1.com"), RRType.A)
+        assert tuple(sorted(result.addresses())) == tuple(
+            sorted(config.apex_ips)
+        )
+        www = resolver.resolve(DomainName.from_text("www.d1.com"), RRType.A)
+        assert tuple(sorted(www.addresses())) == tuple(sorted(config.www_ips))
+
+    def test_ns_resolution(self, world):
+        network, roots = world.materialize_dns(45, ["d1.com"])
+        resolver = IterativeResolver(network, roots)
+        result = resolver.resolve(DomainName.from_text("d1.com"), RRType.NS)
+        got = sorted(
+            r.rdata.to_text().rstrip(".") for r in result.rrs(RRType.NS)
+        )
+        assert got == ["ns1.hostco-dns.com", "ns2.hostco-dns.com"]
+
+    def test_dead_domain_not_materialized(self, world):
+        network, roots = world.materialize_dns(95, ["d0.com"])
+        resolver = IterativeResolver(network, roots)
+        result = resolver.resolve(DomainName.from_text("d0.com"), RRType.A)
+        assert result.addresses() == []
+
+    def test_dark_domain_fails_resolution(self, world):
+        from repro.world.domain import DARK_CONFIG
+
+        world.domains["d1.com"].set_config(50, DARK_CONFIG)
+        network, roots = world.materialize_dns(55, ["d1.com"])
+        resolver = IterativeResolver(network, roots)
+        result = resolver.resolve(DomainName.from_text("d1.com"), RRType.A)
+        assert result.addresses() == []
