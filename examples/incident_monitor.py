@@ -18,7 +18,6 @@ from repro.measurement.prober import FastProber
 from repro.measurement.quality import (
     IncidentDetector,
     coverage_of,
-    ns_sld_census,
 )
 from repro.world.timeline import month_label
 

@@ -7,6 +7,8 @@ Commands::
     zonefile     print a day's zone listing for a TLD (or the Alexa list)
     pfx2as       dump or query a day's Routeviews-style pfx2as snapshot
     fingerprint  run the §3.3 bootstrap for one provider
+    measure      run one day's measurement and store it columnar on disk
+    stream       tail the world day-by-day with the incremental engine
 
 Every command accepts ``--scale`` and ``--seed``; the world is rebuilt
 deterministically from those, so output is reproducible.
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.exposure import analyze_exposure, render_exposure
 from repro.core.pipeline import AdoptionStudy
@@ -119,6 +121,35 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--day", type=int, default=0)
     measure.add_argument("--output", required=True,
                          help="directory for the columnar partition files")
+
+    stream = commands.add_parser(
+        "stream",
+        help="tail the world day-by-day with the incremental ingest engine",
+    )
+    _add_world_options(stream)
+    stream.add_argument(
+        "--days", type=int, default=None,
+        help="stop after this calendar day (default: the full horizon)",
+    )
+    stream.add_argument(
+        "--sources", default="com,net,org,nl,alexa",
+        help="comma-separated sources to tail",
+    )
+    stream.add_argument(
+        "--interval", type=int, default=50,
+        help="print live counters every N days (default 50)",
+    )
+    stream.add_argument(
+        "--checkpoint", help="checkpoint file to write (and resume from)",
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="also checkpoint every N days (0: only at the end)",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
 
     return parser
 
@@ -271,6 +302,98 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.measurement.scheduler import ALL_SOURCES, PartitionFeed
+    from repro.stream import (
+        QueryAPI,
+        StreamEngine,
+        load_checkpoint,
+        save_checkpoint,
+    )
+
+    sources = tuple(s for s in args.sources.split(",") if s)
+    unknown = set(sources) - set(ALL_SOURCES)
+    if unknown:
+        print(f"error: unknown sources {sorted(unknown)}", file=sys.stderr)
+        return 1
+
+    world = _build_world(args)
+    feed = PartitionFeed(world, sources)
+    if args.resume and args.checkpoint and os.path.exists(args.checkpoint):
+        engine = load_checkpoint(args.checkpoint)
+        resumed_from = [
+            (source, engine.resume_day(source)) for source in sources
+        ]
+        print(
+            ";; resumed from "
+            + ", ".join(f"{source}@{day}" for source, day in resumed_from)
+        )
+        start = min(
+            day for _, day in resumed_from if day is not None
+        )
+    else:
+        engine = StreamEngine(
+            world.horizon, sources=sources, windows=feed.windows()
+        )
+        start = min(window[0] for window in feed.windows().values())
+
+    end = world.horizon if args.days is None else min(args.days, world.horizon)
+    api = QueryAPI(engine)
+    last_day = None
+    for partition in feed.days(start=start, end=end):
+        if partition.day != last_day:
+            if last_day is not None:
+                days_done = last_day + 1
+                if args.interval and days_done % args.interval == 0:
+                    _print_stream_snapshots(api, engine)
+                if (
+                    args.checkpoint
+                    and args.checkpoint_every
+                    and days_done % args.checkpoint_every == 0
+                ):
+                    save_checkpoint(engine, args.checkpoint)
+            last_day = partition.day
+        engine.ingest(partition, on_duplicate="skip")
+
+    print(
+        f";; tailed through day {last_day} "
+        f"({engine.partitions_applied} partitions applied)"
+    )
+    _print_stream_snapshots(api, engine)
+    for scope in engine.scope_names:
+        try:
+            growth = engine.growth(scope)
+        except ValueError:
+            continue
+        for label, series in growth.items():
+            try:
+                factor = series.growth_factor
+            except ValueError:
+                continue
+            print(f";; {label}: {factor:.2f}x over the ingested window")
+    if args.checkpoint:
+        written = save_checkpoint(engine, args.checkpoint)
+        print(f";; checkpoint: {args.checkpoint} ({written} bytes)")
+    return 0
+
+
+def _print_stream_snapshots(api, engine) -> None:
+    from repro.reporting.figures import render_stream_counters
+
+    for scope in engine.scope_names:
+        snapshot = api.snapshot(scope)
+        if snapshot.day is None:
+            continue
+        print(
+            render_stream_counters(
+                snapshot, engine.scope(scope).any_series()
+            )
+        )
+        print()
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "resolve": _cmd_resolve,
@@ -278,6 +401,7 @@ _COMMANDS = {
     "pfx2as": _cmd_pfx2as,
     "fingerprint": _cmd_fingerprint,
     "measure": _cmd_measure,
+    "stream": _cmd_stream,
 }
 
 

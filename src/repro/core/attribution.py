@@ -13,7 +13,7 @@ from __future__ import annotations
 import ipaddress
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.detection import DetectionResult
 from repro.core.growth import median_smooth

@@ -16,8 +16,8 @@ domain are counted as one" (§4.1 footnote 9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.references import RefType, SignatureCatalog
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
@@ -59,6 +59,62 @@ class UseInterval:
     @property
     def days(self) -> int:
         return self.end - self.start
+
+
+class IntervalBuilder:
+    """Maximal-interval accumulation from single-day use facts.
+
+    The batch :class:`SegmentDetector` sees a domain's whole history at
+    once and in order; a daily-ingest engine sees one day at a time and —
+    after a quarantined gap is reconciled — possibly out of order. This
+    builder maintains the same invariant either way: ``runs`` is sorted,
+    non-overlapping and never adjacent, so every run is a maximal range of
+    continuous use, exactly like the batch detector's intervals.
+
+    In-order insertion (the streaming hot path) is O(1); a late day costs
+    a binary search over the existing runs.
+    """
+
+    __slots__ = ("runs",)
+
+    def __init__(self, runs: Optional[Iterable[Iterable[int]]] = None):
+        self.runs: List[List[int]] = [list(run) for run in (runs or [])]
+
+    def add_day(self, day: int) -> None:
+        """Record that *day* was a use day (raises if already recorded)."""
+        runs = self.runs
+        if runs and runs[-1][1] == day:  # hot path: in-order extension
+            runs[-1][1] = day + 1
+            return
+        if not runs or runs[-1][1] < day:  # in-order after a gap
+            runs.append([day, day + 1])
+            return
+        self._add_late(day)
+
+    def _add_late(self, day: int) -> None:
+        """Stitch a late-arriving *day* into the sorted runs."""
+        runs = self.runs
+        lo, hi = 0, len(runs)
+        while lo < hi:  # rightmost run with start <= day
+            mid = (lo + hi) // 2
+            if runs[mid][0] <= day:
+                lo = mid + 1
+            else:
+                hi = mid
+        index = lo - 1
+        if index >= 0 and runs[index][1] > day:
+            raise ValueError(f"day {day} already recorded")
+        if index >= 0 and runs[index][1] == day:
+            runs[index][1] = day + 1
+            if index + 1 < len(runs) and runs[index + 1][0] == day + 1:
+                runs[index][1] = runs.pop(index + 1)[1]
+        elif index + 1 < len(runs) and runs[index + 1][0] == day + 1:
+            runs[index + 1][0] = day
+        else:
+            runs.insert(index + 1, [day, day + 1])
+
+    def intervals(self) -> List[UseInterval]:
+        return [UseInterval(start, end) for start, end in self.runs]
 
 
 class _DiffSeries:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.detection import DetectionResult, UseInterval
 from repro.core.references import ProviderSignature, SignatureCatalog

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
 from repro.core.detection import DetectionResult
-from repro.core.references import RefType
 
 
 @dataclass(frozen=True)

@@ -80,15 +80,32 @@ class FluxAnalysis:
 
     def analyze(self, detection: DetectionResult) -> Dict[str, FluxSeries]:
         """Flux series per provider (Fig. 7)."""
+        return self.analyze_intervals(
+            detection.intervals, detection.providers
+        )
+
+    def analyze_intervals(
+        self,
+        intervals_by_key: Dict[Tuple[str, str], List[UseInterval]],
+        providers: Sequence[str] = (),
+    ) -> Dict[str, FluxSeries]:
+        """Flux series from raw ``(domain, provider) → intervals`` state.
+
+        The incremental ingest engine maintains use intervals directly and
+        has no :class:`DetectionResult` to hand over; this entry point lets
+        it (and anything else holding interval state) compute Fig. 7
+        without materialising one. *providers* seeds empty series for
+        providers that appear in the detection but have no intervals.
+        """
         series: Dict[str, FluxSeries] = {}
-        for provider in detection.providers:
+        for provider in providers:
             series[provider] = FluxSeries(
                 provider=provider,
                 window_days=self._window_days,
                 influx=[0] * self._window_count,
                 outflux=[0] * self._window_count,
             )
-        for (domain, provider), intervals in detection.intervals.items():
+        for (domain, provider), intervals in intervals_by_key.items():
             flux = series.get(provider)
             if flux is None:
                 flux = FluxSeries(

@@ -12,8 +12,8 @@ anomalous and replaced by the median (with the deviation logged, so the
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 DEFAULT_WINDOW = 21  # days — "a time window of several weeks"
 #: Anomaly cleaning compares against a much longer running median so that

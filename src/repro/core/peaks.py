@@ -85,10 +85,24 @@ class PeakAnalysis:
 
     def analyze(self, detection: DetectionResult) -> Dict[str, PeakStats]:
         """Per-provider peak statistics over the on-demand sets (Fig. 8)."""
+        return self.analyze_intervals(
+            detection.intervals, detection.providers
+        )
+
+    def analyze_intervals(
+        self,
+        intervals_by_key: Dict[Tuple[str, str], List[UseInterval]],
+        providers: Sequence[str] = (),
+    ) -> Dict[str, PeakStats]:
+        """Peak statistics from raw ``(domain, provider) → intervals`` state.
+
+        Interval-level entry point for the incremental ingest engine (see
+        :meth:`FluxAnalysis.analyze_intervals` for the rationale).
+        """
         stats: Dict[str, PeakStats] = {}
         counts: Dict[str, int] = {}
         durations: Dict[str, List[int]] = {}
-        for (domain, provider), intervals in detection.intervals.items():
+        for (domain, provider), intervals in intervals_by_key.items():
             if len(intervals) < self._min_peaks:
                 continue
             counts[provider] = counts.get(provider, 0) + 1
@@ -96,7 +110,7 @@ class PeakAnalysis:
             bucket.extend(
                 interval.days for interval in self.peaks_of(intervals)
             )
-        for provider in detection.providers:
+        for provider in sorted(set(providers) | set(counts)):
             stats[provider] = PeakStats(
                 provider=provider,
                 domain_count=counts.get(provider, 0),

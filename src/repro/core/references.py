@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
 
 from repro.measurement.snapshot import DomainObservation
 from repro.world.providers import PAPER_PROVIDER_BLUEPRINTS

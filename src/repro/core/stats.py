@@ -11,9 +11,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
-from repro.core.growth import GrowthSeries, median_smooth
+from repro.core.growth import GrowthSeries
 
 
 @dataclass(frozen=True)

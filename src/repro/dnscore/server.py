@@ -13,7 +13,6 @@ from typing import Dict, List, Optional
 
 from repro.dnscore.name import DomainName
 from repro.dnscore.message import Message, make_response
-from repro.dnscore.records import ResourceRecord
 from repro.dnscore.rrtypes import Opcode, Rcode, RRType
 from repro.dnscore.zone import LookupStatus, Zone
 

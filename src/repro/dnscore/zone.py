@@ -14,9 +14,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.dnscore.name import DomainName
 from repro.dnscore.records import (
-    CNAMEData,
     DEFAULT_TTL,
-    NSData,
     ResourceRecord,
     RRset,
     SOAData,

@@ -10,14 +10,13 @@ to one process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
     Dict,
     Generic,
     Iterable,
-    Iterator,
     List,
     Optional,
     Tuple,
@@ -29,15 +28,15 @@ from repro.world.ipam import stable_hash
 R = TypeVar("R")  # input record
 K = TypeVar("K")  # shuffle key
 V = TypeVar("V")  # shuffle value
-O = TypeVar("O")  # output
+Out = TypeVar("Out")  # output
 
 Mapper = Callable[[R], Iterable[Tuple[K, V]]]
-Reducer = Callable[[K, List[V]], Iterable[O]]
+Reducer = Callable[[K, List[V]], Iterable[Out]]
 Combiner = Callable[[K, List[V]], List[V]]
 
 
 @dataclass
-class Job(Generic[R, K, V, O]):
+class Job(Generic[R, K, V, Out]):
     """A MapReduce job description."""
 
     name: str
@@ -69,7 +68,7 @@ class MapReduceEngine:
     def _partition_of(self, key: Any) -> int:
         return stable_hash(repr(key)) % self._partitions
 
-    def run(self, job: Job, records: Iterable[R]) -> List[O]:
+    def run(self, job: Job, records: Iterable[R]) -> List[Out]:
         """Execute *job* over *records* and return all reducer outputs."""
         counters = JobCounters()
         # Map phase: pairs land in their shuffle partition immediately.
@@ -94,7 +93,7 @@ class MapReduceEngine:
 
         # Reduce phase: keys within a partition in sorted order, like
         # Hadoop's sort-before-reduce.
-        outputs: List[O] = []
+        outputs: List[Out] = []
         for bucket in shuffled:
             for key in sorted(bucket, key=repr):
                 counters.keys_reduced += 1
@@ -107,6 +106,6 @@ class MapReduceEngine:
 
 def run_job(
     job: Job, records: Iterable[R], partitions: int = 8
-) -> List[O]:
+) -> List[Out]:
     """One-shot convenience wrapper around :class:`MapReduceEngine`."""
     return MapReduceEngine(partitions=partitions).run(job, records)

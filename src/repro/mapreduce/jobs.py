@@ -8,9 +8,9 @@ hold the two implementations to agreement.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
-from repro.core.references import RefType, SignatureCatalog
+from repro.core.references import SignatureCatalog
 from repro.mapreduce.engine import Job
 from repro.measurement.snapshot import DomainObservation
 

@@ -15,13 +15,13 @@ sampled domains, which is what justifies using the fast path for bulk runs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.dnscore.name import DomainName
 from repro.dnscore.resolver import IterativeResolver, ResolutionError, ResolverCache
 from repro.dnscore.rrtypes import Rcode, RRType
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
-from repro.world.domain import DnsConfig, DomainTimeline
+from repro.world.domain import DnsConfig
 from repro.world.world import World
 
 

@@ -9,15 +9,19 @@ paper's, even though the workers here run in one process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.measurement.enrich import AsnEnricher
 from repro.measurement.prober import FastProber
 from repro.measurement.snapshot import DomainObservation
 from repro.measurement.storage import ColumnStore
 from repro.measurement.zonefeed import ZoneFeed
+from repro.world.timeline import CCTLD_START_DAY
 from repro.world.world import World
+
+#: Landing order of the measured sources within one calendar day.
+ALL_SOURCES = ("com", "net", "org", "nl", "alexa")
 
 
 def shard(names: Sequence[str], shard_count: int) -> List[List[str]]:
@@ -95,3 +99,100 @@ class ClusterManager:
         """Daily rounds over ``[start, start+days)`` for *source*."""
         for day in range(start, start + days):
             yield self.measure_day(source, day)
+
+
+@dataclass
+class DayPartition:
+    """One landed ``(source, day)`` observation partition.
+
+    What the incremental ingest engine consumes: the enriched observation
+    rows of one source on one day, plus the day's listing size (the zone or
+    ranking can be larger than the measured rows on a real platform, so the
+    size travels with the partition rather than being re-derived).
+    """
+
+    source: str
+    day: int
+    zone_size: int
+    observations: List[DomainObservation]
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+
+class PartitionFeed:
+    """Per-``(source, day)`` partitions in landing order.
+
+    The OpenINTEL-style platform lands one partition per source per day;
+    this iterator reproduces that cadence over the simulated world:
+    day-major, sources in :data:`ALL_SOURCES` order, each source only
+    within its measurement window. Unlike :class:`ClusterManager` it does
+    not retain what it measured (the engine owns the state); pass *store*
+    to additionally land every partition in a :class:`ColumnStore`.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        sources: Optional[Sequence[str]] = None,
+        enrich: bool = True,
+        store: Optional[ColumnStore] = None,
+        shard_count: int = 8,
+    ):
+        self._world = world
+        self._feed = ZoneFeed(world)
+        self._prober = FastProber(world)
+        self._enricher = AsnEnricher(world) if enrich else None
+        self._store = store
+        self._shard_count = shard_count
+        self.sources = tuple(sources) if sources else ALL_SOURCES
+        unknown = set(self.sources) - set(ALL_SOURCES)
+        if unknown:
+            raise ValueError(f"unknown sources: {sorted(unknown)}")
+
+    def window(self, source: str) -> Tuple[int, int]:
+        """``[start, end)`` measurement window of *source*."""
+        if source == "alexa":
+            return (CCTLD_START_DAY, self._world.horizon)
+        start, days = self._world.tld_windows.get(
+            source, (0, self._world.horizon)
+        )
+        return (start, start + days)
+
+    def windows(self) -> Dict[str, Tuple[int, int]]:
+        return {source: self.window(source) for source in self.sources}
+
+    def partition(self, source: str, day: int) -> DayPartition:
+        """Measure one ``(source, day)`` partition through the cluster."""
+        if source == "alexa":
+            listing = self._feed.alexa_listing(day)
+        else:
+            listing = self._feed.listing(source, day)
+        observations: List[DomainObservation] = []
+        for worker_names in shard(listing.names, self._shard_count):
+            observations.extend(self._prober.observe_day(worker_names, day))
+        if self._enricher is not None:
+            observations = self._enricher.enrich_day(observations)
+        if self._store is not None:
+            self._store.append(source, day, observations)
+        return DayPartition(
+            source=source,
+            day=day,
+            zone_size=len(listing),
+            observations=observations,
+        )
+
+    def days(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> Iterator[DayPartition]:
+        """Partitions for every day in ``[start, end)``, landing order."""
+        windows = self.windows()
+        if start is None:
+            start = min(window[0] for window in windows.values())
+        if end is None:
+            end = max(window[1] for window in windows.values())
+        for day in range(start, end):
+            for source in self.sources:
+                window_start, window_end = windows[source]
+                if window_start <= day < window_end:
+                    yield self.partition(source, day)

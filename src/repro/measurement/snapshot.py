@@ -9,7 +9,7 @@ the same payload, valid over a day interval — that the fast pipeline uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Optional, Tuple
 
 from repro.dnscore.name import DomainName

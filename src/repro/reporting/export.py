@@ -13,7 +13,6 @@ from typing import Dict, List, Optional
 
 from repro.core.exposure import analyze_exposure, render_exposure
 from repro.core.pipeline import StudyResults
-from repro.core.references import RefType
 from repro.reporting import figures
 
 

@@ -4,9 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.core.detection import DetectionResult
 from repro.core.fingerprint import FingerprintResult
-from repro.core.flux import FluxSeries
 from repro.core.peaks import PeakStats
 from repro.core.pipeline import StudyResults
 from repro.core.references import RefType, SignatureCatalog
@@ -336,3 +334,41 @@ def render_attributions(results: StudyResults, limit: int = 20) -> str:
         rows,
         title="Third-party anomalies (§4.4.1)",
     )
+
+
+# -- live streaming counters ---------------------------------------------------
+
+
+def render_stream_counters(
+    snapshot, any_series: Optional[Sequence[float]] = None
+) -> str:
+    """Live adoption counters from streamed aggregates.
+
+    *snapshot* is a :class:`repro.stream.query.LiveSnapshot` (duck-typed:
+    ``scope``, ``day``, ``domains_seen``, ``any_use``, ``providers``).
+    Pass the scope's combined daily series so far to get a trend
+    sparkline alongside the table.
+    """
+    if snapshot.day is None:
+        return f"[{snapshot.scope}] no complete day ingested yet"
+    rows = [
+        [provider, format_count(snapshot.providers[provider])]
+        for provider in sorted(
+            snapshot.providers,
+            key=lambda p: (-snapshot.providers[p], p),
+        )
+    ]
+    rows.append(["any provider", format_count(snapshot.any_use)])
+    table = render_table(
+        ["Provider", "SLDs"],
+        rows,
+        title=(
+            f"[{snapshot.scope}] day {snapshot.day} "
+            f"({month_label(snapshot.day)}) — "
+            f"{format_count(snapshot.domains_seen)} SLDs seen"
+        ),
+    )
+    if any_series:
+        trend = sparkline(list(any_series[: snapshot.day + 1]))
+        table += f"\nany-use trend {trend}"
+    return table

@@ -110,7 +110,6 @@ def cdf_chart(
     if not points:
         return "(empty cdf)"
     xs = [p[0] for p in points]
-    ys = [p[1] for p in points]
     x_lo, x_hi = min(xs), max(xs)
     if x_hi == x_lo:
         x_hi = x_lo + 1

@@ -6,7 +6,7 @@ find a DPS's AS numbers"; :meth:`ASRegistry.find_by_name` is that lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 

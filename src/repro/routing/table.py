@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Union
+from typing import FrozenSet, Iterator, List, Optional, Set, Union
 
 from repro.routing.prefixtrie import IPAddress, IPNetwork, PrefixTrie
 from repro.routing.pfx2as import Pfx2As, Pfx2AsEntry

@@ -1,0 +1,157 @@
+"""Replay feeds: daily partitions from already-collected data.
+
+The live path measures partitions through
+:class:`~repro.measurement.scheduler.PartitionFeed`. These feeds produce
+the *same* :class:`~repro.measurement.scheduler.DayPartition` stream from
+data that already exists:
+
+* :class:`StoreReplayFeed` — from a :class:`ColumnStore` (the landed
+  columnar partitions of earlier measurement runs);
+* :class:`SegmentReplayFeed` — from per-domain enriched
+  :class:`ObservationSegment` histories (the batch pipeline's working
+  set), expanded back into daily rows.
+
+Both honour landing order (day-major, source order as configured), so an
+engine fed from a replay ends in exactly the state a live run would have
+produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.measurement.scheduler import ALL_SOURCES, DayPartition
+from repro.measurement.snapshot import DomainObservation, ObservationSegment
+from repro.measurement.storage import ColumnStore
+from repro.world.timeline import CCTLD_START_DAY
+from repro.world.world import World
+
+
+class StoreReplayFeed:
+    """Replays the partitions landed in a :class:`ColumnStore`."""
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        zone_sizes: Optional[Mapping[Tuple[str, int], int]] = None,
+    ):
+        self._store = store
+        #: Optional (source, day) → listing size; defaults to row count.
+        self._zone_sizes = dict(zone_sizes or {})
+
+    def partition(self, source: str, day: int) -> DayPartition:
+        observations = list(self._store.rows(source, day))
+        zone_size = self._zone_sizes.get((source, day), len(observations))
+        return DayPartition(
+            source=source,
+            day=day,
+            zone_size=zone_size,
+            observations=observations,
+        )
+
+    def days(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> Iterator[DayPartition]:
+        """Stored partitions in landing order (day-major)."""
+        source_rank = {source: i for i, source in enumerate(ALL_SOURCES)}
+        keys = sorted(
+            self._store.partitions(),
+            key=lambda key: (key[1], source_rank.get(key[0], len(ALL_SOURCES))),
+        )
+        for source, day in keys:
+            if start is not None and day < start:
+                continue
+            if end is not None and day >= end:
+                continue
+            yield self.partition(source, day)
+
+
+class SegmentReplayFeed:
+    """Expands enriched observation segments back into daily partitions.
+
+    *segments* is the batch pipeline's working set — domain → enriched
+    :class:`ObservationSegment` list (e.g. from
+    :meth:`AdoptionStudy.collect_segments`). Replaying it day-by-day
+    yields exactly what daily measurement would have observed, because
+    segments are the run-length-compressed form of the daily rows.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        segments: Mapping[str, Sequence[ObservationSegment]],
+        sources: Optional[Sequence[str]] = None,
+    ):
+        self._world = world
+        self.sources = tuple(sources) if sources else ALL_SOURCES
+        unknown = set(self.sources) - set(ALL_SOURCES)
+        if unknown:
+            raise ValueError(f"unknown sources: {sorted(unknown)}")
+        #: tld source → [(name, sorted segments)].
+        self._by_tld: Dict[str, List[Tuple[str, List[ObservationSegment]]]] = {}
+        for name, domain_segments in segments.items():
+            timeline = world.domains.get(name)
+            if timeline is None or timeline.tld not in self.sources:
+                continue
+            self._by_tld.setdefault(timeline.tld, []).append(
+                (name, sorted(domain_segments, key=lambda s: s.start))
+            )
+        self._segments = segments
+
+    def window(self, source: str) -> Tuple[int, int]:
+        if source == "alexa":
+            return (CCTLD_START_DAY, self._world.horizon)
+        start, days = self._world.tld_windows.get(
+            source, (0, self._world.horizon)
+        )
+        return (start, start + days)
+
+    def windows(self) -> Dict[str, Tuple[int, int]]:
+        return {source: self.window(source) for source in self.sources}
+
+    @staticmethod
+    def _observation_at(
+        segments: Sequence[ObservationSegment], day: int
+    ) -> Optional[DomainObservation]:
+        for segment in segments:
+            if segment.start <= day < segment.end:
+                return segment.at(day)
+            if segment.start > day:
+                return None
+        return None
+
+    def partition(self, source: str, day: int) -> DayPartition:
+        observations: List[DomainObservation] = []
+        if source == "alexa":
+            names = self._world.alexa_list(day)
+            for name in names:
+                observation = self._observation_at(
+                    self._segments.get(name, ()), day
+                )
+                if observation is not None:
+                    observations.append(observation)
+        else:
+            for name, segments in self._by_tld.get(source, ()):
+                observation = self._observation_at(segments, day)
+                if observation is not None:
+                    observations.append(observation)
+        return DayPartition(
+            source=source,
+            day=day,
+            zone_size=len(observations),
+            observations=observations,
+        )
+
+    def days(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> Iterator[DayPartition]:
+        windows = self.windows()
+        if start is None:
+            start = min(window[0] for window in windows.values())
+        if end is None:
+            end = max(window[1] for window in windows.values())
+        for day in range(start, end):
+            for source in self.sources:
+                window_start, window_end = windows[source]
+                if window_start <= day < window_end:
+                    yield self.partition(source, day)

@@ -1,0 +1,113 @@
+"""The live adoption query API over a running stream engine.
+
+:class:`QueryAPI` is the read side of the subsystem: the exact calls the
+issue tracker of a monitoring deployment would make against the always-on
+engine — current adoption counters, growth-to-date, one domain's
+protection history — without touching ingest state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.detection import UseInterval
+from repro.core.growth import GrowthSeries
+from repro.stream.engine import StreamEngine
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """One scope's counters as of its latest fully ingested day."""
+
+    scope: str
+    day: Optional[int]
+    domains_seen: int
+    any_use: int
+    providers: Dict[str, int]
+
+    def top_providers(self, limit: int = 5) -> List[str]:
+        return sorted(
+            self.providers, key=lambda p: (-self.providers[p], p)
+        )[:limit]
+
+
+@dataclass(frozen=True)
+class DomainHistory:
+    """Everything the engine knows about one domain's protection."""
+
+    domain: str
+    #: scope → provider → maximal use intervals.
+    intervals: Dict[str, Dict[str, List[UseInterval]]]
+
+    @property
+    def providers(self) -> List[str]:
+        names = {
+            provider
+            for by_provider in self.intervals.values()
+            for provider in by_provider
+        }
+        return sorted(names)
+
+    def total_days(self, scope: str = "gtld") -> int:
+        return sum(
+            interval.days
+            for by_provider in (
+                [self.intervals[scope]] if scope in self.intervals else []
+            )
+            for intervals in by_provider.values()
+            for interval in intervals
+        )
+
+
+class QueryAPI:
+    """Read-only adoption queries against a :class:`StreamEngine`."""
+
+    def __init__(self, engine: StreamEngine):
+        self._engine = engine
+
+    @property
+    def engine(self) -> StreamEngine:
+        return self._engine
+
+    def adoption(
+        self, provider: str, day: Optional[int] = None, scope: str = "gtld"
+    ) -> int:
+        """Distinct SLDs using *provider* on *day* (default: latest)."""
+        return self._engine.adoption(provider, day=day, scope=scope)
+
+    def growth(self, source: str) -> Dict[str, GrowthSeries]:
+        """Growth-to-date for ``gtld``, ``nl`` or ``alexa``."""
+        return self._engine.growth(source)
+
+    def domain_history(self, name: str) -> DomainHistory:
+        """The engine's full protection history for one domain."""
+        return DomainHistory(
+            domain=name, intervals=self._engine.domain_history(name)
+        )
+
+    def snapshot(self, scope: str = "gtld") -> LiveSnapshot:
+        """Current counters for *scope* (what the CLI tail prints)."""
+        engine = self._engine
+        state = engine.scope(scope)
+        day = engine.latest_day(scope)
+        if day is None or day < 0:
+            return LiveSnapshot(
+                scope=scope,
+                day=None,
+                domains_seen=state.domains_seen,
+                any_use=0,
+                providers={
+                    provider: 0 for provider in state.provider_names
+                },
+            )
+        return LiveSnapshot(
+            scope=scope,
+            day=day,
+            domains_seen=state.domains_seen,
+            any_use=state.any_adoption(day),
+            providers={
+                provider: state.adoption(provider, day)
+                for provider in state.provider_names
+            },
+        )

@@ -1,0 +1,235 @@
+"""Per-scope incremental detection state.
+
+A :class:`ScopeState` is the day-over-day counterpart of one batch
+:class:`~repro.core.detection.SegmentDetector` run: it ingests single-day
+match facts and maintains exactly the aggregates the detector would have
+produced from the full history — daily series per provider / reference
+type / TLD, the any-provider series, per-``(domain, provider)`` maximal
+use intervals, and reference-combination day tallies.
+
+Two properties make it stream-safe:
+
+* every daily series is updated by point increments (order-independent),
+  so a late-arriving day lands in the right slot no matter when it shows
+  up; and
+* intervals go through :class:`~repro.core.detection.IntervalBuilder`,
+  whose stitching keeps the maximal-run invariant under out-of-order
+  insertion.
+
+The whole state serialises to plain JSON-compatible structures (see
+:meth:`to_dict` / :meth:`from_dict`) so the engine can checkpoint and
+resume byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from repro.core.detection import (
+    DetectionResult,
+    IntervalBuilder,
+    ProviderSeries,
+    UseInterval,
+    combo_label,
+)
+from repro.core.references import RefType
+
+
+class ScopeState:
+    """Incrementally maintained detection aggregates for one scope."""
+
+    def __init__(self, horizon: int):
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+        #: provider → daily distinct-SLD use count.
+        self._provider_total: Dict[str, List[int]] = {}
+        #: provider → RefType value → daily count.
+        self._provider_ref: Dict[str, Dict[str, List[int]]] = {}
+        #: tld → daily any-provider use count.
+        self._tld_any: Dict[str, List[int]] = {}
+        #: Daily any-provider use count across TLDs.
+        self._combined_any: List[int] = [0] * horizon
+        #: provider → combo label → domain-days.
+        self._combo_days: Dict[str, Dict[str, int]] = {}
+        #: (domain, provider) → maximal-interval builder.
+        self._builders: Dict[Tuple[str, str], IntervalBuilder] = {}
+        #: Every domain ever observed in this scope (matching or not).
+        self._domains: Set[str] = set()
+
+    # -- ingestion ----------------------------------------------------------
+
+    def observe(
+        self,
+        domain: str,
+        tld: str,
+        day: int,
+        matches: Mapping[str, FrozenSet[RefType]],
+    ) -> None:
+        """Apply one domain's match facts for one day."""
+        self._domains.add(domain)
+        if not matches:
+            return
+        for provider, refs in matches.items():
+            total = self._provider_total.get(provider)
+            if total is None:
+                total = self._provider_total[provider] = [0] * self.horizon
+            total[day] += 1
+            by_ref = self._provider_ref.setdefault(provider, {})
+            for ref in refs:
+                series = by_ref.get(ref.value)
+                if series is None:
+                    series = by_ref[ref.value] = [0] * self.horizon
+                series[day] += 1
+            combos = self._combo_days.setdefault(provider, {})
+            label = combo_label(refs)
+            combos[label] = combos.get(label, 0) + 1
+            builder = self._builders.get((domain, provider))
+            if builder is None:
+                builder = self._builders[(domain, provider)] = (
+                    IntervalBuilder()
+                )
+            builder.add_day(day)
+        self._tld_any.setdefault(tld, [0] * self.horizon)[day] += 1
+        self._combined_any[day] += 1
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def domains_seen(self) -> int:
+        return len(self._domains)
+
+    @property
+    def provider_names(self) -> List[str]:
+        return sorted(self._provider_total)
+
+    def adoption(self, provider: str, day: int) -> int:
+        """Distinct SLDs using *provider* on *day*."""
+        series = self._provider_total.get(provider)
+        return series[day] if series else 0
+
+    def any_adoption(self, day: int) -> int:
+        """Distinct SLDs using any studied provider on *day*."""
+        return self._combined_any[day]
+
+    def any_series(self) -> List[int]:
+        return list(self._combined_any)
+
+    def tld_series(self, tld: str) -> List[int]:
+        series = self._tld_any.get(tld)
+        return list(series) if series else [0] * self.horizon
+
+    def intervals(self) -> Dict[Tuple[str, str], List[UseInterval]]:
+        """Current maximal use intervals (open runs included as-is)."""
+        return {
+            key: builder.intervals()
+            for key, builder in self._builders.items()
+        }
+
+    def domain_intervals(
+        self, domain: str
+    ) -> Dict[str, List[UseInterval]]:
+        """provider → intervals for one domain."""
+        return {
+            provider: builder.intervals()
+            for (name, provider), builder in self._builders.items()
+            if name == domain
+        }
+
+    def result(self) -> DetectionResult:
+        """Materialise the batch-equivalent :class:`DetectionResult`."""
+        providers: Dict[str, ProviderSeries] = {}
+        names = set(self._provider_total) | set(self._provider_ref)
+        for name in sorted(names):
+            total = self._provider_total.get(name)
+            by_ref = self._provider_ref.get(name, {})
+            providers[name] = ProviderSeries(
+                provider=name,
+                total=list(total) if total else [0] * self.horizon,
+                by_ref={
+                    ref: list(by_ref[ref.value])
+                    for ref in RefType
+                    if ref.value in by_ref
+                },
+            )
+        return DetectionResult(
+            horizon=self.horizon,
+            providers=providers,
+            any_use_by_tld={
+                tld: list(series) for tld, series in self._tld_any.items()
+            },
+            any_use_combined=list(self._combined_any),
+            intervals=self.intervals(),
+            combo_days={
+                provider: dict(combos)
+                for provider, combos in self._combo_days.items()
+            },
+            domains_seen=len(self._domains),
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical, JSON-compatible snapshot of the state.
+
+        All unordered collections are emitted sorted so that equal states
+        produce identical serialisations (the checkpoint byte-identity
+        guarantee rests on this).
+        """
+        return {
+            "horizon": self.horizon,
+            "provider_total": {
+                provider: list(series)
+                for provider, series in sorted(self._provider_total.items())
+            },
+            "provider_ref": {
+                provider: {
+                    ref: list(series)
+                    for ref, series in sorted(by_ref.items())
+                }
+                for provider, by_ref in sorted(self._provider_ref.items())
+            },
+            "tld_any": {
+                tld: list(series)
+                for tld, series in sorted(self._tld_any.items())
+            },
+            "combined_any": list(self._combined_any),
+            "combo_days": {
+                provider: dict(sorted(combos.items()))
+                for provider, combos in sorted(self._combo_days.items())
+            },
+            "intervals": [
+                [domain, provider, [list(run) for run in builder.runs]]
+                for (domain, provider), builder in sorted(
+                    self._builders.items()
+                )
+            ],
+            "domains": sorted(self._domains),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScopeState":
+        state = cls(int(payload["horizon"]))
+        state._provider_total = {
+            provider: list(series)
+            for provider, series in payload["provider_total"].items()
+        }
+        state._provider_ref = {
+            provider: {ref: list(series) for ref, series in by_ref.items()}
+            for provider, by_ref in payload["provider_ref"].items()
+        }
+        state._tld_any = {
+            tld: list(series)
+            for tld, series in payload["tld_any"].items()
+        }
+        state._combined_any = list(payload["combined_any"])
+        state._combo_days = {
+            provider: dict(combos)
+            for provider, combos in payload["combo_days"].items()
+        }
+        state._builders = {
+            (domain, provider): IntervalBuilder(runs)
+            for domain, provider, runs in payload["intervals"]
+        }
+        state._domains = set(payload["domains"])
+        return state

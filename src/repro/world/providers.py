@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.routing.asn import ASRegistry
 from repro.world.domain import DnsConfig, Method

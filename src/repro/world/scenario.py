@@ -25,10 +25,9 @@ Calibration sources:
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.world.attacks import AttackModel
 from repro.world.domain import DnsConfig, DomainTimeline, Method

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from repro.world.domain import DARK_CONFIG, DnsConfig
 from repro.world.ipam import stable_hash

@@ -14,7 +14,6 @@
 from __future__ import annotations
 
 import ipaddress
-from collections import defaultdict
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dnscore.name import DomainName
@@ -22,7 +21,6 @@ from repro.dnscore.records import SOAData
 from repro.dnscore.rrtypes import RRType
 from repro.dnscore.server import AuthoritativeServer
 from repro.dnscore.transport import SimulatedNetwork
-from repro.dnscore.wire import decode_message, encode_message
 from repro.dnscore.zone import Zone
 from repro.routing.asn import ASRegistry
 from repro.routing.pfx2as import Pfx2As

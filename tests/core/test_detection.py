@@ -1,6 +1,5 @@
 """Tests for the streaming detector (intervals, series, combinations)."""
 
-import pytest
 
 from repro.core.detection import (
     SegmentDetector,

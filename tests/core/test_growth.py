@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.growth import (
     GrowthAnalysis,
-    GrowthSeries,
     median_smooth,
 )
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.classification import UsageClass
-from repro.core.pipeline import GTLDS
 from repro.world.timeline import CCTLD_START_DAY, GTLD_DAYS
 
 
@@ -138,7 +137,6 @@ class TestDynamics:
         assert UsageClass.ADOPTED in classes
 
     def test_flux_counts_each_domain_once(self, study_results, study_world):
-        wix_domains = set(study_world.thirdparties["Wix"].domains)
         flux = study_results.flux["Incapsula"]
         assert sum(flux.influx) <= len(
             [

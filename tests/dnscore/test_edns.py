@@ -9,7 +9,7 @@ from repro.dnscore.resolver import IterativeResolver
 from repro.dnscore.rrtypes import RRType
 from repro.dnscore.server import AuthoritativeServer, make_wire_handlers
 from repro.dnscore.transport import SimulatedNetwork
-from repro.dnscore.wire import WireDecodeError, decode_message, encode_message
+from repro.dnscore.wire import decode_message, encode_message
 from repro.dnscore.zone import Zone
 
 
@@ -55,7 +55,7 @@ class TestWire:
         assert decoded.edns.options == b"\x00\x0a\x00\x00"
 
     def test_truncated_response_keeps_opt(self):
-        from repro.dnscore.message import Message, Flags
+        from repro.dnscore.message import Message
 
         message = Message(
             msg_id=1,

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.dnscore.name import (
-    DEFAULT_PUBLIC_SUFFIXES,
     DomainName,
     InvalidNameError,
     MAX_LABEL_LENGTH,

@@ -4,7 +4,6 @@ import ipaddress
 
 import pytest
 
-from repro.dnscore.message import make_query
 from repro.dnscore.name import DomainName
 from repro.dnscore.records import SOAData
 from repro.dnscore.rrtypes import Rcode, RRType

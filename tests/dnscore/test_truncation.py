@@ -1,6 +1,5 @@
 """Tests for UDP truncation (TC bit) and the stream fallback."""
 
-import ipaddress
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.dnscore.resolver import IterativeResolver
 from repro.dnscore.rrtypes import RRType
 from repro.dnscore.server import (
     AuthoritativeServer,
-    DEFAULT_UDP_PAYLOAD,
     make_wire_handlers,
 )
 from repro.dnscore.transport import SimulatedNetwork

@@ -5,7 +5,7 @@ import struct
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.dnscore.message import Flags, make_query, make_response
+from repro.dnscore.message import make_query, make_response
 from repro.dnscore.name import DomainName
 from repro.dnscore.records import make_record
 from repro.dnscore.rrtypes import Rcode, RRType

@@ -1,7 +1,6 @@
 """Property-based round-trip guarantees on the serialisation formats."""
 
 import ipaddress
-import random
 
 from hypothesis import given, settings, strategies as st
 

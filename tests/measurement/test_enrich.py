@@ -4,7 +4,6 @@ import pytest
 
 from repro.measurement.enrich import AsnEnricher
 from repro.measurement.prober import FastProber
-from repro.measurement.snapshot import ObservationSegment
 
 
 @pytest.fixture(scope="module")
@@ -35,7 +34,6 @@ class TestDailyEnrichment:
 
     def test_cloudflare_customer_gets_13335(self, tiny_world, enricher):
         prober = FastProber(tiny_world)
-        cloudflare = tiny_world.providers["CloudFlare"]
         target = None
         for name, timeline in tiny_world.domains.items():
             config = timeline.config_at(timeline.created)

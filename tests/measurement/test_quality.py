@@ -1,10 +1,8 @@
 """Tests for coverage accounting and incident detection."""
 
-import pytest
 
 from repro.measurement.prober import FastProber
 from repro.measurement.quality import (
-    CoverageReport,
     IncidentDetector,
     coverage_of,
     ns_sld_census,

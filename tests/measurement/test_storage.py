@@ -1,6 +1,5 @@
 """Tests for the columnar store and its size accounting."""
 
-import pytest
 
 from repro.measurement.snapshot import (
     DomainObservation,

@@ -1,0 +1,102 @@
+"""Full-fidelity round-trips through the columnar store.
+
+Complements ``test_storage.py``: those tests cover the codec and the
+store bookkeeping; these assert that *every* observation field — the
+IPv6 columns and empty CNAME chains included — survives
+encode → persist → load → decode unchanged.
+"""
+
+from repro.measurement.snapshot import DomainObservation
+from repro.measurement.storage import ColumnStore, _decode_column, _encode_column
+
+
+def full_observation(index, day=0):
+    """An observation exercising every column, IPv6 included."""
+    return DomainObservation(
+        day=day,
+        domain=f"d{index}.com",
+        tld="com",
+        ns_names=(f"ns1.host{index % 3}.net", f"ns2.host{index % 3}.net"),
+        apex_addrs=(f"198.51.100.{index % 250 + 1}",),
+        www_cnames=(f"d{index}.com.cdn.example.net",),
+        www_addrs=(f"203.0.113.{index % 250 + 1}",),
+        apex_addrs6=(f"2001:db8::{index + 1:x}",),
+        www_addrs6=(f"2001:db8:1::{index + 1:x}", f"2001:db8:2::{index + 1:x}"),
+        asns=frozenset({64500, 64500 + index % 5}),
+    )
+
+
+def bare_observation(index, day=0):
+    """An observation with empty optional columns (no www, no v6)."""
+    return DomainObservation(
+        day=day,
+        domain=f"bare{index}.org",
+        tld="org",
+        ns_names=(f"ns.bare{index}.org",),
+        apex_addrs=(f"192.0.2.{index % 250 + 1}",),
+    )
+
+
+class TestCodecRoundtrip:
+    def test_ipv6_strings_roundtrip(self):
+        values = [f"2001:db8::{i:x}" for i in range(50)]
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_empty_lists_roundtrip(self):
+        values = [[], ["one"], [], [], ["a", "b"], []]
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_all_empty_column_roundtrips(self):
+        values = [[] for _ in range(20)]
+        assert _decode_column(_encode_column(values)) == values
+
+
+class TestStoreRoundtrip:
+    def test_in_memory_rows_keep_every_field(self):
+        store = ColumnStore()
+        rows = [full_observation(i) for i in range(10)]
+        store.append("com", 0, rows)
+        assert list(store.rows("com", 0)) == rows
+
+    def test_empty_cname_rows_keep_every_field(self):
+        store = ColumnStore()
+        rows = [bare_observation(i) for i in range(10)]
+        store.append("org", 0, rows)
+        got = list(store.rows("org", 0))
+        assert got == rows
+        assert all(row.www_cnames == () for row in got)
+        assert all(row.apex_addrs6 == () for row in got)
+
+    def test_persisted_partitions_keep_every_field(self, tmp_path):
+        store = ColumnStore()
+        full = [full_observation(i) for i in range(12)]
+        bare = [bare_observation(i, day=3) for i in range(7)]
+        store.append("com", 0, full)
+        store.append("org", 3, bare)
+        store.save(str(tmp_path))
+        loaded = ColumnStore.load(str(tmp_path))
+        assert list(loaded.rows("com", 0)) == full
+        assert list(loaded.rows("org", 3)) == bare
+
+    def test_persisted_decode_matches_original_columns(self, tmp_path):
+        store = ColumnStore()
+        rows = [full_observation(i) for i in range(6)]
+        store.append("com", 0, rows)
+        store.save(str(tmp_path))
+        decoded = ColumnStore.load(str(tmp_path)).decode_partition("com", 0)
+        assert decoded["apex_addrs6"] == [
+            list(row.apex_addrs6) for row in rows
+        ]
+        assert decoded["www_addrs6"] == [
+            list(row.www_addrs6) for row in rows
+        ]
+        assert decoded["asns"] == [sorted(row.asns) for row in rows]
+
+    def test_mixed_partition_roundtrips(self, tmp_path):
+        """Rows with and without optional fields share one partition."""
+        store = ColumnStore()
+        rows = [full_observation(0, day=5), bare_observation(1, day=5)]
+        store.append("com", 5, rows)
+        store.save(str(tmp_path))
+        loaded = ColumnStore.load(str(tmp_path))
+        assert list(loaded.rows("com", 5)) == rows

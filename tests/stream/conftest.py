@@ -1,0 +1,49 @@
+"""Shared fixtures for the stream subsystem tests.
+
+The equivalence suite needs a world large enough that every scope (gTLD,
+.nl, Alexa) shows nonzero adoption, while keeping the full-horizon replay
+down to a few seconds. The batch study and the fully streamed engine are
+built once per session and compared from many angles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import AdoptionStudy
+from repro.stream.engine import StreamEngine
+from repro.stream.feed import SegmentReplayFeed
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+STREAM_SCALE = 150000
+STREAM_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def stream_world():
+    """A small paper world (~1.2k domains) for streaming equivalence."""
+    return build_paper_world(
+        ScenarioConfig(scale=STREAM_SCALE, seed=STREAM_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def stream_results(stream_world):
+    """The batch study over the same world — the ground truth."""
+    return AdoptionStudy(stream_world).run()
+
+
+@pytest.fixture(scope="session")
+def replay_feed(stream_world, stream_results):
+    """Daily partitions replayed from the batch study's segments."""
+    return SegmentReplayFeed(stream_world, stream_results.segments)
+
+
+@pytest.fixture(scope="session")
+def streamed_engine(stream_world, replay_feed):
+    """An engine that ingested the whole horizon day by day."""
+    engine = StreamEngine(
+        stream_world.horizon, windows=replay_feed.windows()
+    )
+    engine.ingest_feed(replay_feed.days())
+    return engine

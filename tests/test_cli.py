@@ -141,3 +141,37 @@ class TestMeasure:
             + SCALE
         )
         assert code == 1
+
+
+class TestStream:
+    def test_tail_prints_live_counters(self, capsys):
+        code = main(
+            ["stream", "--days", "5", "--sources", "com,org",
+             "--interval", "2"] + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tailed through day 4" in out
+        assert "[gtld] day 4" in out
+        assert "any provider" in out
+
+    def test_checkpoint_and_resume_cycle(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "stream.ckpt")
+        code = main(
+            ["stream", "--days", "3", "--sources", "com",
+             "--checkpoint", checkpoint] + SCALE
+        )
+        assert code == 0
+        assert "checkpoint:" in capsys.readouterr().out
+        code = main(
+            ["stream", "--days", "6", "--sources", "com",
+             "--checkpoint", checkpoint, "--resume"] + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ";; resumed from com@3" in out
+        assert "tailed through day 5" in out
+
+    def test_unknown_source_fails(self, capsys):
+        code = main(["stream", "--sources", "bogus", "--days", "2"] + SCALE)
+        assert code == 1

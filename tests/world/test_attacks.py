@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.world.attacks import AttackEpisode, AttackModel, MitigationWindow
+from repro.world.attacks import AttackEpisode, AttackModel
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ from repro.world.domain import (
     DARK_CONFIG,
     DnsConfig,
     DomainTimeline,
-    Method,
     intern_config,
 )
 

@@ -1,6 +1,5 @@
 """Tests for the ground-truth event log."""
 
-import pytest
 
 from repro.world.events import EventLog, MassEvent
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.world.domain import Method
 from repro.world.scenario import (
     GTLD_SHARES,
     METHOD_MIXES,

@@ -5,7 +5,7 @@ import pytest
 from repro.dnscore.name import DomainName
 from repro.dnscore.resolver import IterativeResolver
 from repro.dnscore.rrtypes import RRType
-from repro.world.domain import DnsConfig, DomainTimeline
+from repro.world.domain import DomainTimeline
 from repro.world.entities import HostingProvider, provision_organization
 from repro.world.world import World
 
