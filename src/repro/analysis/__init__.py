@@ -1,0 +1,40 @@
+"""repro.analysis — AST-based determinism & invariant linter.
+
+The streaming engine's guarantees (checkpoint byte-identity,
+stream-vs-batch equivalence, kill-and-resume) are enforced by tests but
+*created* by coding invariants: canonical iteration order in
+serializers, no wall-clock or global-RNG reads in pure modules, no
+float equality on statistics paths, no swallowed ingest errors, no
+mutable defaults, and checkpoint codecs that cover every field of
+state. This package checks those invariants statically, via
+``python -m repro analyze`` (see ``docs/ANALYSIS.md``).
+"""
+
+from repro.analysis.findings import (
+    Finding,
+    is_suppressed,
+    suppressed_rules,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import Rule, default_rules, rule_ids
+from repro.analysis.runner import (
+    PARSE_ERROR,
+    AnalysisResult,
+    Analyzer,
+    logical_module,
+)
+
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "Finding",
+    "PARSE_ERROR",
+    "Rule",
+    "default_rules",
+    "is_suppressed",
+    "logical_module",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "suppressed_rules",
+]

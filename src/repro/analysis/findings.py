@@ -1,0 +1,74 @@
+"""Findings and suppression comments for the determinism linter.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+order by ``(path, line, column, rule)`` so reports are stable regardless
+of rule execution order — the linter holds itself to the same canonical-
+ordering invariant it enforces.
+
+Suppressions are line comments::
+
+    risky_call()  # repro: ignore[rule-id]
+    other_call()  # repro: ignore[rule-a, rule-b]
+    anything()    # repro: ignore
+
+A bare ``repro: ignore`` silences every rule on that line; the bracketed
+form silences only the named rules. Findings anchor to the first line of
+the offending statement, so the comment belongs there on multi-line
+statements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s-]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule}: {self.message}"
+
+
+def suppressed_rules(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """line number → rules suppressed there (``None`` = all rules).
+
+    Lines are 1-based, matching :attr:`Finding.line`. Malformed rule
+    lists (empty brackets) behave like a bare ``repro: ignore``.
+    """
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None or not rules.strip():
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                part.strip() for part in rules.split(",") if part.strip()
+            )
+    return suppressions
+
+
+def is_suppressed(
+    finding: Finding,
+    suppressions: Dict[int, Optional[FrozenSet[str]]],
+) -> bool:
+    """True when *finding*'s line carries a matching suppression."""
+    if finding.line not in suppressions:
+        return False
+    rules = suppressions[finding.line]
+    return rules is None or finding.rule in rules

@@ -1,0 +1,45 @@
+"""Reporters for analysis results.
+
+Both formats are deterministic: findings are emitted in their canonical
+``(path, line, column, rule)`` order and JSON keys are fixed, so two runs
+over the same tree produce byte-identical reports — CI can diff them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.runner import AnalysisResult
+
+
+def render_text(result: AnalysisResult) -> str:
+    """The familiar ``path:line:col: rule: message`` listing + summary."""
+    lines = [finding.format() for finding in result.findings]
+    count = len(result.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(
+        f"{count} {noun} in {result.files_checked} files "
+        f"({len(result.rules_run)} rules)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """A machine-readable report (one JSON object, sorted findings)."""
+    payload: Dict[str, Any] = {
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "finding_count": len(result.findings),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,647 @@
+"""The determinism & invariant rules, as AST visitors.
+
+Each rule encodes one repo-specific invariant the streaming engine's
+checkpoint byte-identity (and the study's reproducibility generally)
+depends on:
+
+``unsorted-iteration``
+    Serialization-adjacent code must iterate mappings in canonical
+    order. Flags direct ``for``/comprehension iteration over
+    ``.items()``/``.keys()``/``.values()`` of instance state or
+    parameters — i.e. data that crosses the function boundary — inside
+    codec classes (classes defining both ``to_dict`` and ``from_dict``)
+    or functions with serialization-shaped names, unless wrapped in
+    ``sorted(...)``.
+
+``wall-clock``
+    ``repro.core`` and ``repro.stream`` must be pure functions of their
+    inputs: no wall-clock reads (``time.time()``, ``datetime.now()``)
+    and no module-global RNG (``random.random()`` et al.). Seeded
+    ``random.Random`` instances are the sanctioned alternative.
+
+``float-equality``
+    Statistics paths must not compare floats with ``==``/``!=``;
+    binary-float roundoff makes such comparisons platform- and
+    optimisation-sensitive.
+
+``swallowed-exception``
+    Bare ``except:`` anywhere, and broad ``except Exception`` handlers
+    that swallow (never re-raise) on ingest paths, hide data-quality
+    problems that should quarantine a partition instead.
+
+``mutable-default``
+    Mutable default arguments alias state across calls — classic
+    accumulated-state nondeterminism.
+
+``schema-drift``
+    Every field a codec class's ``__init__`` writes must be read by both
+    its checkpoint encoder (``to_dict``) and decoder (``from_dict``);
+    a field one side forgot is exactly the silent state loss that breaks
+    kill-and-resume equivalence. Derived/configuration fields opt out
+    with a ``repro: ignore[schema-drift]`` comment on the assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Function names treated as serialization/aggregation entry points.
+SERIALIZATION_NAMES: FrozenSet[str] = frozenset(
+    {
+        "to_dict", "from_dict", "to_json", "from_json", "to_text",
+        "from_text", "to_line", "from_line", "save", "load", "dumps",
+        "dump_state", "serialize", "deserialize", "result", "intervals",
+        "snapshot",
+    }
+)
+SERIALIZATION_PREFIXES: Tuple[str, ...] = (
+    "encode", "decode", "dump_", "save_", "load_", "serialize_",
+    "checkpoint",
+)
+SERIALIZATION_SUFFIXES: Tuple[str, ...] = (
+    "_to_dict", "_from_dict", "_to_json", "_from_json", "_intervals",
+)
+
+#: Modules that must stay free of wall-clock and global-RNG reads.
+DETERMINISTIC_PACKAGES: Tuple[str, ...] = ("repro/core/", "repro/stream/")
+
+#: Statistics paths where float == / != comparisons are banned.
+STATS_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro/core/stats.py",
+        "repro/core/growth.py",
+        "repro/core/flux.py",
+        "repro/core/peaks.py",
+        "repro/measurement/quality.py",
+    }
+)
+
+#: Ingest paths where a swallowed broad except hides bad partitions.
+INGEST_PACKAGES: Tuple[str, ...] = (
+    "repro/stream/",
+    "repro/measurement/",
+    "repro/mapreduce/",
+)
+
+_CLOCK_READS: FrozenSet[str] = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "process_time", "process_time_ns",
+    }
+)
+_DATETIME_READS: FrozenSet[str] = frozenset({"now", "utcnow", "today"})
+_SEEDED_RNG_NAMES: FrozenSet[str] = frozenset({"Random", "SystemRandom"})
+_MUTABLE_FACTORIES: FrozenSet[str] = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+)
+
+
+def is_serialization_name(name: str) -> bool:
+    """True when *name* looks like a serialization/aggregation function."""
+    return (
+        name in SERIALIZATION_NAMES
+        or name.startswith(SERIALIZATION_PREFIXES)
+        or name.endswith(SERIALIZATION_SUFFIXES)
+    )
+
+
+def _chain_base(node: ast.expr) -> Optional[str]:
+    """The base name of an attribute/subscript chain, if it has one.
+
+    ``self._cursors[source].zone_sizes`` → ``"self"``;
+    chains rooted in calls or literals (fresh values) return ``None``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _parameter_names(node: _FunctionNode) -> Set[str]:
+    arguments = node.args
+    names = {
+        arg.arg
+        for arg in (
+            list(arguments.posonlyargs)
+            + list(arguments.args)
+            + list(arguments.kwonlyargs)
+        )
+    }
+    if arguments.vararg is not None:
+        names.add(arguments.vararg.arg)
+    if arguments.kwarg is not None:
+        names.add(arguments.kwarg.arg)
+    return names
+
+
+def _codec_classes(tree: ast.Module) -> Set[ast.ClassDef]:
+    """Classes that define both ``to_dict`` and ``from_dict``."""
+    codecs: Set[ast.ClassDef] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if {"to_dict", "from_dict"} <= methods:
+            codecs.add(node)
+    return codecs
+
+
+class Rule:
+    """One invariant check over a parsed module."""
+
+    id: str = ""
+    summary: str = ""
+
+    def applies_to(self, module: str) -> bool:
+        """Whether the rule runs on *module* (a ``repro/...`` rel path)."""
+        return True
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+class _ScopedVisitor(ast.NodeVisitor):
+    """A visitor that tracks the enclosing class and function."""
+
+    def __init__(self) -> None:
+        self.class_stack: List[ast.ClassDef] = []
+        self.function_stack: List[_FunctionNode] = []
+
+    @property
+    def current_class(self) -> Optional[ast.ClassDef]:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def current_function(self) -> Optional[_FunctionNode]:
+        return self.function_stack[-1] if self.function_stack else None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node: _FunctionNode) -> None:
+        self.function_stack.append(node)
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+class UnsortedIterationRule(Rule):
+    id = "unsorted-iteration"
+    summary = (
+        "unsorted dict/set iteration in checkpoint/serialization/"
+        "aggregation functions"
+    )
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        rule = self
+        codecs = _codec_classes(tree)
+        findings: List[Finding] = []
+
+        class Visitor(_ScopedVisitor):
+            def _in_scope(self) -> bool:
+                function = self.current_function
+                if function is None:
+                    return False
+                if is_serialization_name(function.name):
+                    return True
+                enclosing = self.current_class
+                return enclosing is not None and enclosing in codecs
+
+            def _check_iterable(self, iterable: ast.expr) -> None:
+                if not self._in_scope():
+                    return
+                if not isinstance(iterable, ast.Call):
+                    return
+                function = iterable.func
+                if not isinstance(function, ast.Attribute):
+                    return
+                if function.attr not in ("items", "keys", "values"):
+                    return
+                if iterable.args or iterable.keywords:
+                    return
+                base = _chain_base(function.value)
+                if base is None:
+                    return
+                context = self.current_function
+                assert context is not None
+                if base not in ("self", "cls") and (
+                    base not in _parameter_names(context)
+                ):
+                    return
+                receiver = ast.unparse(function.value)
+                findings.append(
+                    rule._finding(
+                        path,
+                        iterable,
+                        f"iteration over {receiver}.{function.attr}() in "
+                        f"serialization-adjacent function "
+                        f"{context.name!r} is not wrapped in sorted(); "
+                        f"mapping order would leak into serialized output",
+                    )
+                )
+
+            def visit_For(self, node: ast.For) -> None:
+                self._check_iterable(node.iter)
+                self.generic_visit(node)
+
+            def _visit_comprehension(
+                self,
+                node: Union[
+                    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp
+                ],
+            ) -> None:
+                for generator in node.generators:
+                    self._check_iterable(generator.iter)
+                self.generic_visit(node)
+
+            def visit_ListComp(self, node: ast.ListComp) -> None:
+                self._visit_comprehension(node)
+
+            def visit_SetComp(self, node: ast.SetComp) -> None:
+                self._visit_comprehension(node)
+
+            def visit_DictComp(self, node: ast.DictComp) -> None:
+                self._visit_comprehension(node)
+
+            def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+                self._visit_comprehension(node)
+
+        Visitor().visit(tree)
+        return findings
+
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    summary = "wall-clock or module-global RNG use in repro.core/repro.stream"
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(DETERMINISTIC_PACKAGES)
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, path, findings)
+            elif isinstance(node, ast.ImportFrom):
+                self._check_import(node, path, findings)
+        return findings
+
+    def _check_call(
+        self, node: ast.Call, path: str, findings: List[Finding]
+    ) -> None:
+        function = node.func
+        if not isinstance(function, ast.Attribute):
+            return
+        value = function.value
+        if isinstance(value, ast.Name) and value.id == "time":
+            if function.attr in _CLOCK_READS:
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"time.{function.attr}() reads the wall clock; "
+                        f"deterministic code must take timestamps as input",
+                    )
+                )
+            return
+        if isinstance(value, ast.Name) and value.id == "random":
+            if function.attr not in _SEEDED_RNG_NAMES:
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"random.{function.attr}() uses the module-global "
+                        f"RNG; construct a seeded random.Random instead",
+                    )
+                )
+            return
+        if function.attr in _DATETIME_READS:
+            base = value.attr if isinstance(value, ast.Attribute) else (
+                value.id if isinstance(value, ast.Name) else None
+            )
+            if base in ("datetime", "date"):
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"{base}.{function.attr}() reads the wall clock; "
+                        f"deterministic code must take dates as input",
+                    )
+                )
+
+    def _check_import(
+        self, node: ast.ImportFrom, path: str, findings: List[Finding]
+    ) -> None:
+        if node.module == "time":
+            banned = [
+                alias.name
+                for alias in node.names
+                if alias.name in _CLOCK_READS
+            ]
+        elif node.module == "random":
+            banned = [
+                alias.name
+                for alias in node.names
+                if alias.name not in _SEEDED_RNG_NAMES
+            ]
+        else:
+            return
+        for name in banned:
+            findings.append(
+                self._finding(
+                    path,
+                    node,
+                    f"importing {name!r} from {node.module!r} pulls "
+                    f"nondeterminism into a deterministic module",
+                )
+            )
+
+
+class FloatEqualityRule(Rule):
+    id = "float-equality"
+    summary = "float == / != comparison on statistics paths"
+
+    def applies_to(self, module: str) -> bool:
+        return module in STATS_MODULES
+
+    @staticmethod
+    def _is_floatish(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, float)
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        )
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if self._is_floatish(left) or self._is_floatish(right):
+                    findings.append(
+                        self._finding(
+                            path,
+                            node,
+                            "float == / != comparison; use math.isclose "
+                            "or an explicit tolerance",
+                        )
+                    )
+                    break
+        return findings
+
+
+class SwallowedExceptionRule(Rule):
+    id = "swallowed-exception"
+    summary = "bare except, or broad except that swallows on ingest paths"
+
+    @staticmethod
+    def _is_broad(node: Optional[ast.expr]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("Exception", "BaseException")
+        if isinstance(node, ast.Tuple):
+            return any(
+                SwallowedExceptionRule._is_broad(element)
+                for element in node.elts
+            )
+        return False
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        on_ingest_path = module.startswith(INGEST_PACKAGES)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        "bare 'except:' catches everything including "
+                        "KeyboardInterrupt; name the exception",
+                    )
+                )
+                continue
+            if not on_ingest_path or not self._is_broad(node.type):
+                continue
+            reraises = any(
+                isinstance(inner, ast.Raise)
+                for statement in node.body
+                for inner in ast.walk(statement)
+            )
+            if not reraises:
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        "broad except swallows errors on an ingest path; "
+                        "bad partitions must quarantine, not vanish",
+                    )
+                )
+        return findings
+
+
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    summary = "mutable default argument"
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(
+            node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.SetComp,
+                   ast.DictComp)
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            arguments = node.args
+            positional = list(arguments.posonlyargs) + list(arguments.args)
+            offset = len(positional) - len(arguments.defaults)
+            pairs = [
+                (positional[offset + index].arg, default)
+                for index, default in enumerate(arguments.defaults)
+            ]
+            pairs.extend(
+                (argument.arg, default)
+                for argument, default in zip(
+                    arguments.kwonlyargs, arguments.kw_defaults
+                )
+                if default is not None
+            )
+            name = getattr(node, "name", "<lambda>")
+            for argument_name, default in pairs:
+                if self._is_mutable(default):
+                    findings.append(
+                        self._finding(
+                            path,
+                            default,
+                            f"mutable default for {argument_name!r} in "
+                            f"{name!r} is shared across calls; default to "
+                            f"None (or a tuple/frozenset) instead",
+                        )
+                    )
+        return findings
+
+
+class SchemaDriftRule(Rule):
+    id = "schema-drift"
+    summary = (
+        "__init__ field missing from the checkpoint encoder or decoder"
+    )
+
+    @staticmethod
+    def _references(method: _FunctionNode) -> Tuple[Set[str], Set[str]]:
+        """(attribute names, string constants) appearing in *method*."""
+        attributes: Set[str] = set()
+        strings: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute):
+                attributes.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                strings.add(node.value)
+        return attributes, strings
+
+    @staticmethod
+    def _init_fields(init: _FunctionNode) -> List[Tuple[str, ast.stmt]]:
+        fields: List[Tuple[str, ast.stmt]] = []
+        seen: Set[str] = set()
+        for statement in ast.walk(init):
+            if isinstance(statement, ast.Assign):
+                targets: Sequence[ast.expr] = statement.targets
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in seen
+                ):
+                    seen.add(target.attr)
+                    fields.append((target.attr, statement))
+        return fields
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods: Dict[str, _FunctionNode] = {
+                statement.name: statement
+                for statement in node.body
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            }
+            if not {"__init__", "to_dict", "from_dict"} <= set(methods):
+                continue
+            codec_refs = {
+                name: self._references(methods[name])
+                for name in ("to_dict", "from_dict")
+            }
+            for field, statement in self._init_fields(methods["__init__"]):
+                missing = [
+                    name
+                    for name, (attributes, strings) in sorted(
+                        codec_refs.items()
+                    )
+                    if field not in attributes
+                    and field not in strings
+                    and field.lstrip("_") not in strings
+                ]
+                if missing:
+                    findings.append(
+                        self._finding(
+                            path,
+                            statement,
+                            f"field {field!r} of {node.name!r} is written "
+                            f"by __init__ but never referenced by "
+                            f"{' or '.join(missing)}; checkpoint/resume "
+                            f"would silently drop it",
+                        )
+                    )
+        return findings
+
+
+def default_rules() -> Tuple[Rule, ...]:
+    """All shipped rules, in reporting order."""
+    return (
+        UnsortedIterationRule(),
+        WallClockRule(),
+        FloatEqualityRule(),
+        SwallowedExceptionRule(),
+        MutableDefaultRule(),
+        SchemaDriftRule(),
+    )
+
+
+def rule_ids() -> List[str]:
+    return [rule.id for rule in default_rules()]

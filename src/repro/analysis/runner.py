@@ -1,0 +1,138 @@
+"""Running rules over files and trees.
+
+The runner maps real filesystem paths to *logical module paths* —
+``repro/...``-relative forward-slash paths like ``repro/stream/state.py``
+— which is what rules scope on. That keeps scoping independent of where
+the checkout lives (``src/repro/...``, an installed site-packages, or a
+test fixture passing an explicit override).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, is_suppressed, suppressed_rules
+from repro.analysis.rules import Rule, default_rules
+
+#: Rule id used for files that fail to parse.
+PARSE_ERROR = "parse-error"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "AnalysisResult") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+
+    def finalize(self) -> "AnalysisResult":
+        self.findings.sort()
+        return self
+
+
+def logical_module(path: str) -> str:
+    """The ``repro/...`` logical path for *path*.
+
+    The last ``repro`` component anchors the logical path; files outside
+    any ``repro`` package fall back to their basename, which matches no
+    scoped rule (unscoped rules still run).
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return parts[-1]
+
+
+class Analyzer:
+    """Applies a set of rules to sources, files, and directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(
+            default_rules() if rules is None else rules
+        )
+
+    def analyze_source(
+        self,
+        source: str,
+        path: str,
+        module: Optional[str] = None,
+    ) -> AnalysisResult:
+        """Analyze Python *source*, reporting findings against *path*.
+
+        *module* overrides the logical module path derived from *path*;
+        tests use this to place fixture code on scoped paths like
+        ``repro/stream/fixture.py``.
+        """
+        if module is None:
+            module = logical_module(path)
+        result = AnalysisResult(
+            files_checked=1,
+            rules_run=tuple(rule.id for rule in self.rules),
+        )
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            result.findings.append(
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) or 1,
+                    rule=PARSE_ERROR,
+                    message=f"could not parse file: {error.msg}",
+                )
+            )
+            return result.finalize()
+        suppressions = suppressed_rules(source)
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(tree, module, path):
+                if not is_suppressed(finding, suppressions):
+                    result.findings.append(finding)
+        return result.finalize()
+
+    def analyze_file(self, path: str) -> AnalysisResult:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self.analyze_source(source, path)
+
+    def analyze_paths(self, paths: Iterable[str]) -> AnalysisResult:
+        """Analyze files and (recursively) directories of ``.py`` files."""
+        total = AnalysisResult(
+            rules_run=tuple(rule.id for rule in self.rules)
+        )
+        for path in paths:
+            for file_path in _python_files(path):
+                total.merge(self.analyze_file(file_path))
+        return total.finalize()
+
+
+def _python_files(path: str) -> List[str]:
+    if os.path.isfile(path):
+        return [path]
+    if not os.path.isdir(path):
+        raise FileNotFoundError(f"no such file or directory: {path!r}")
+    collected: List[str] = []
+    for root, directories, files in os.walk(path):
+        directories.sort()
+        directories[:] = [
+            name for name in directories
+            if name not in ("__pycache__", ".git")
+        ]
+        for name in sorted(files):
+            if name.endswith(".py"):
+                collected.append(os.path.join(root, name))
+    return collected

@@ -9,6 +9,7 @@ Commands::
     fingerprint  run the §3.3 bootstrap for one provider
     measure      run one day's measurement and store it columnar on disk
     stream       tail the world day-by-day with the incremental engine
+    analyze      run the determinism & invariant linter over source trees
 
 Every command accepts ``--scale`` and ``--seed``; the world is rebuilt
 deterministically from those, so output is reproducible.
@@ -149,6 +150,27 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--resume", action="store_true",
         help="resume from --checkpoint if it exists",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the determinism & invariant linter (docs/ANALYSIS.md)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument(
+        "--format", dest="output_format", choices=["text", "json"],
+        default="text", help="report format (default text)",
+    )
+    analyze.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE_ID",
+        help="run only this rule (repeatable)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="list available rules and exit",
     )
 
     return parser
@@ -394,6 +416,43 @@ def _print_stream_snapshots(api, engine) -> None:
         print()
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Analyzer,
+        default_rules,
+        render_json,
+        render_text,
+    )
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+    if args.rules:
+        known = {rule.id for rule in rules}
+        unknown = [rule_id for rule_id in args.rules if rule_id not in known]
+        if unknown:
+            print(
+                f"error: unknown rule(s) {', '.join(sorted(unknown))}; "
+                f"see --list-rules",
+                file=sys.stderr,
+            )
+            return 2
+        rules = tuple(rule for rule in rules if rule.id in set(args.rules))
+    analyzer = Analyzer(rules)
+    try:
+        result = analyzer.analyze_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "resolve": _cmd_resolve,
@@ -402,6 +461,7 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "measure": _cmd_measure,
     "stream": _cmd_stream,
+    "analyze": _cmd_analyze,
 }
 
 

@@ -305,13 +305,16 @@ class SegmentDetector:
             providers=providers,
             any_use_by_tld={
                 tld: series.materialize()
-                for tld, series in self._tld_any.items()
+                for tld, series in sorted(self._tld_any.items())
             },
             any_use_combined=self._combined_any.materialize(),
             intervals={
                 key: sorted(values, key=lambda i: i.start)
-                for key, values in self._intervals.items()
+                for key, values in sorted(self._intervals.items())
             },
-            combo_days=self._combo_days,
+            combo_days={
+                provider: dict(sorted(combos.items()))
+                for provider, combos in sorted(self._combo_days.items())
+            },
             domains_seen=self._domains_seen,
         )

@@ -105,7 +105,7 @@ class FluxAnalysis:
                 influx=[0] * self._window_count,
                 outflux=[0] * self._window_count,
             )
-        for (domain, provider), intervals in intervals_by_key.items():
+        for (domain, provider), intervals in sorted(intervals_by_key.items()):
             flux = series.get(provider)
             if flux is None:
                 flux = FluxSeries(

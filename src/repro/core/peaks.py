@@ -102,7 +102,7 @@ class PeakAnalysis:
         stats: Dict[str, PeakStats] = {}
         counts: Dict[str, int] = {}
         durations: Dict[str, List[int]] = {}
-        for (domain, provider), intervals in intervals_by_key.items():
+        for (domain, provider), intervals in sorted(intervals_by_key.items()):
             if len(intervals) < self._min_peaks:
                 continue
             counts[provider] = counts.get(provider, 0) + 1

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.growth import GrowthSeries
 
@@ -52,12 +52,19 @@ def growth_confidence_interval(
     block_days: int = 28,
     confidence: float = 0.95,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> GrowthEstimate:
     """Moving-block bootstrap CI for a series' growth factor.
 
     The cleaned series' daily log-increments are resampled in contiguous
     blocks (preserving short-range dependence), summed to a bootstrap
     growth factor, and the empirical quantiles give the interval.
+
+    Randomness never comes from the module-global RNG: callers either
+    pass an explicitly seeded :class:`random.Random` via *rng* (preferred
+    — it makes the caller's reproducibility contract visible) or rely on
+    *seed*, from which a private instance is constructed. Either way two
+    runs with the same inputs produce the same interval.
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be in (0, 1)")
@@ -66,7 +73,8 @@ def growth_confidence_interval(
     increments = _log_increments(series.cleaned)
     if len(increments) < block_days:
         block_days = max(1, len(increments))
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     blocks_needed = max(1, len(increments) // block_days)
     # Blocks cover blocks_needed·block_days of the len(increments)-day
     # horizon; rescale so bootstrap factors span the full period.

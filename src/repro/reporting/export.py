@@ -57,7 +57,7 @@ def study_to_dict(results: StudyResults) -> Dict:
                 "outflux": flux.outflux,
                 "spread": flux.spread(),
             }
-            for name, flux in results.flux.items()
+            for name, flux in sorted(results.flux.items())
         },
         "peaks": {
             name: {
@@ -65,7 +65,7 @@ def study_to_dict(results: StudyResults) -> Dict:
                 "completed_peaks": len(stats.durations),
                 "p80": stats.p80 if stats.durations else None,
             }
-            for name, stats in results.peaks.items()
+            for name, stats in sorted(results.peaks.items())
         },
         "dataset": [
             {

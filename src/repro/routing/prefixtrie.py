@@ -18,6 +18,7 @@ from typing import (
     Tuple,
     TypeVar,
     Union,
+    cast,
 )
 
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
@@ -133,14 +134,14 @@ class PrefixTrie(Generic[V]):
         best: Optional[Tuple[int, V]] = None
         assert node is not None
         if node.has_value:
-            best = (0, node.value)  # a default route
+            best = (0, cast(V, node.value))  # a default route
         for position in range(width):
             bit = (bits >> (width - 1 - position)) & 1
             node = node.children[bit]
             if node is None:
                 break
             if node.has_value:
-                best = (position + 1, node.value)
+                best = (position + 1, cast(V, node.value))
         if best is None:
             return None
         prefixlen, value = best
@@ -173,7 +174,7 @@ class PrefixTrie(Generic[V]):
                 node, bits, depth = stack.pop()
                 if node.has_value:
                     network = factory((bits << (width - depth), depth))
-                    yield network, node.value  # type: ignore[misc]
+                    yield network, cast(V, node.value)
                 for bit in (1, 0):
                     child = node.children[bit]
                     if child is not None:

@@ -26,13 +26,24 @@ format), which is what makes kill-and-resume byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.detection import DetectionResult, UseInterval
 from repro.core.flux import FluxAnalysis, FluxSeries
 from repro.core.growth import GrowthAnalysis, GrowthSeries
 from repro.core.peaks import PeakAnalysis, PeakStats
-from repro.core.references import SignatureCatalog
+from repro.core.references import RefType, SignatureCatalog
 from repro.measurement.scheduler import ALL_SOURCES, DayPartition
 from repro.measurement.snapshot import DomainObservation
 from repro.stream.state import ScopeState
@@ -71,7 +82,7 @@ class SourceCursor:
     zone_sizes: Dict[int, int] = field(default_factory=dict)
 
     def applied_days(self) -> int:
-        if self.next_day is None:
+        if self.next_day is None or self.start is None:
             return 0
         return self.next_day - self.start - len(self.holes)
 
@@ -88,13 +99,18 @@ class StreamEngine:
         growth: Optional[GrowthAnalysis] = None,
     ):
         self.horizon = horizon
-        self.catalog = catalog or SignatureCatalog.paper_table2()
+        # Configuration, not state: deliberately absent from checkpoints
+        # (load_checkpoint takes the catalog as an argument).
+        self.catalog = (  # repro: ignore[schema-drift]
+            catalog or SignatureCatalog.paper_table2()
+        )
         self.sources = tuple(sources)
         unknown = set(self.sources) - set(SCOPE_OF_SOURCE)
         if unknown:
             raise ValueError(f"unknown sources: {sorted(unknown)}")
         self._windows: Dict[str, Tuple[int, int]] = dict(windows or {})
-        self._growth = growth or GrowthAnalysis()
+        # Configuration, not state (same contract as the catalog).
+        self._growth = growth or GrowthAnalysis()  # repro: ignore[schema-drift]
         self._scopes: Dict[str, ScopeState] = {
             scope: ScopeState(horizon)
             for scope in dict.fromkeys(
@@ -110,7 +126,10 @@ class StreamEngine:
         #: an unchanged domain is a dict hit instead of a DNS-name parse
         #: (the dominant cost of naive daily ingestion). Derived data —
         #: never serialised, rebuilt on demand after a resume.
-        self._match_cache: Dict[tuple, Dict[str, frozenset]] = {}
+        self._match_cache: Dict[  # repro: ignore[schema-drift]
+            Tuple[Tuple[str, ...], Tuple[str, ...], FrozenSet[int]],
+            Dict[str, FrozenSet[RefType]],
+        ] = {}
         self.partitions_applied = 0
         self.late_arrivals = 0
 
@@ -126,25 +145,26 @@ class StreamEngine:
             raise ValueError(f"source {source!r} not tracked by this engine")
         if not 0 <= day < self.horizon:
             raise ValueError(f"day {day} outside horizon {self.horizon}")
-        if cursor.next_day is None:
+        next_day = cursor.next_day
+        if next_day is None:
             window = self._windows.get(source)
-            expected = window[0] if window else day
-            cursor.start = expected
-            cursor.next_day = expected
-        if day < cursor.next_day:
+            next_day = window[0] if window else day
+            cursor.start = next_day
+            cursor.next_day = next_day
+        if day < next_day:
             if day in cursor.holes:
                 self._apply(partition)
                 cursor.holes.discard(day)
                 self.late_arrivals += 1
                 return RECONCILED
             return self._duplicate(source, day, on_duplicate)
-        if day > cursor.next_day:
+        if day > next_day:
             if day in cursor.quarantine:
                 return self._duplicate(source, day, on_duplicate)
             cursor.quarantine[day] = partition
             return QUARANTINED
         self._apply(partition)
-        cursor.next_day += 1
+        cursor.next_day = next_day + 1
         self._drain(cursor)
         return APPLIED
 
@@ -164,7 +184,10 @@ class StreamEngine:
         return gap
 
     def _drain(self, cursor: SourceCursor) -> None:
-        while cursor.next_day in cursor.quarantine:
+        while (
+            cursor.next_day is not None
+            and cursor.next_day in cursor.quarantine
+        ):
             self._apply(cursor.quarantine.pop(cursor.next_day))
             cursor.next_day += 1
 
@@ -193,7 +216,11 @@ class StreamEngine:
             return DUPLICATE
         raise ValueError(f"({source}, {day}) already ingested")
 
-    def ingest_feed(self, partitions, on_duplicate: str = "raise") -> int:
+    def ingest_feed(
+        self,
+        partitions: Iterable[DayPartition],
+        on_duplicate: str = "raise",
+    ) -> int:
         """Ingest every partition of an iterable; returns #applied."""
         before = self.partitions_applied
         for partition in partitions:
@@ -223,12 +250,13 @@ class StreamEngine:
 
     def latest_day(self, scope: str = "gtld") -> Optional[int]:
         """The most recent fully ingested day of *scope*'s sources."""
-        days = [
-            self._cursors[source].next_day
-            for source in self.sources
-            if SCOPE_OF_SOURCE[source] == scope
-            and self._cursors[source].next_day is not None
-        ]
+        days: List[int] = []
+        for source in self.sources:
+            if SCOPE_OF_SOURCE[source] != scope:
+                continue
+            next_day = self._cursors[source].next_day
+            if next_day is not None:
+                days.append(next_day)
         if not days:
             return None
         return min(days) - 1
@@ -270,7 +298,7 @@ class StreamEngine:
     ) -> Dict[str, Dict[str, List[UseInterval]]]:
         """scope → provider → use intervals for one domain."""
         history: Dict[str, Dict[str, List[UseInterval]]] = {}
-        for scope_name, state in self._scopes.items():
+        for scope_name, state in sorted(self._scopes.items()):
             intervals = state.domain_intervals(name)
             if intervals:
                 history[scope_name] = intervals
@@ -279,7 +307,7 @@ class StreamEngine:
     def zone_size_series(self, source: str) -> List[int]:
         """Daily listing size of *source* (0 where not yet ingested)."""
         sizes = [0] * self.horizon
-        for day, size in self._cursors[source].zone_sizes.items():
+        for day, size in sorted(self._cursors[source].zone_sizes.items()):
             sizes[day] = size
         return sizes
 
@@ -289,7 +317,7 @@ class StreamEngine:
         for source in GTLD_SOURCES:
             if source not in self._cursors:
                 continue
-            for day, size in self._cursors[source].zone_sizes.items():
+            for day, size in sorted(self._cursors[source].zone_sizes.items()):
                 combined[day] += size
         return combined
 
@@ -297,12 +325,13 @@ class StreamEngine:
 
     def _scope_extent(self, scope: str) -> Tuple[int, int]:
         """``[start, end)`` of the days every source of *scope* covered."""
-        starts, ends = [], []
+        starts: List[int] = []
+        ends: List[int] = []
         for source in self.sources:
             if SCOPE_OF_SOURCE[source] != scope:
                 continue
             cursor = self._cursors[source]
-            if cursor.next_day is None:
+            if cursor.next_day is None or cursor.start is None:
                 window = self._windows.get(source)
                 starts.append(window[0] if window else 0)
                 ends.append(window[0] if window else 0)
@@ -359,8 +388,8 @@ class StreamEngine:
 
     def fig4_distributions(self) -> Tuple[Dict[str, float], Dict[str, float]]:
         """``(namespace_distribution, dps_distribution)`` over the gTLDs."""
-        zone_averages = {}
-        use_averages = {}
+        zone_averages: Dict[str, float] = {}
+        use_averages: Dict[str, float] = {}
         gtld = self._scopes["gtld"]
         for source in GTLD_SOURCES:
             sizes = self.zone_size_series(source)
@@ -426,7 +455,7 @@ class StreamEngine:
     @classmethod
     def from_dict(
         cls,
-        payload: Mapping[str, object],
+        payload: Mapping[str, Any],
         catalog: Optional[SignatureCatalog] = None,
     ) -> "StreamEngine":
         engine = cls(
@@ -434,15 +463,15 @@ class StreamEngine:
             catalog=catalog,
             sources=payload["sources"],
             windows={
-                source: tuple(window)
-                for source, window in payload["windows"].items()
+                source: (int(window[0]), int(window[1]))
+                for source, window in sorted(payload["windows"].items())
             },
         )
         engine._scopes = {
             name: ScopeState.from_dict(state)
-            for name, state in payload["scopes"].items()
+            for name, state in sorted(payload["scopes"].items())
         }
-        for source, data in payload["cursors"].items():
+        for source, data in sorted(payload["cursors"].items()):
             cursor = engine._cursors[source]
             cursor.start = data["start"]
             cursor.next_day = data["next_day"]
@@ -482,7 +511,7 @@ def _partition_to_dict(partition: DayPartition) -> Dict[str, object]:
     }
 
 
-def _partition_from_dict(payload: Mapping[str, object]) -> DayPartition:
+def _partition_from_dict(payload: Mapping[str, Any]) -> DayPartition:
     return DayPartition(
         source=payload["source"],
         day=int(payload["day"]),

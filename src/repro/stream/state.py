@@ -23,7 +23,7 @@ resume byte-identically.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Set, Tuple
 
 from repro.core.detection import (
     DetectionResult,
@@ -70,7 +70,7 @@ class ScopeState:
         self._domains.add(domain)
         if not matches:
             return
-        for provider, refs in matches.items():
+        for provider, refs in sorted(matches.items()):
             total = self._provider_total.get(provider)
             if total is None:
                 total = self._provider_total[provider] = [0] * self.horizon
@@ -123,7 +123,7 @@ class ScopeState:
         """Current maximal use intervals (open runs included as-is)."""
         return {
             key: builder.intervals()
-            for key, builder in self._builders.items()
+            for key, builder in sorted(self._builders.items())
         }
 
     def domain_intervals(
@@ -132,7 +132,7 @@ class ScopeState:
         """provider → intervals for one domain."""
         return {
             provider: builder.intervals()
-            for (name, provider), builder in self._builders.items()
+            for (name, provider), builder in sorted(self._builders.items())
             if name == domain
         }
 
@@ -156,13 +156,14 @@ class ScopeState:
             horizon=self.horizon,
             providers=providers,
             any_use_by_tld={
-                tld: list(series) for tld, series in self._tld_any.items()
+                tld: list(series)
+                for tld, series in sorted(self._tld_any.items())
             },
             any_use_combined=list(self._combined_any),
             intervals=self.intervals(),
             combo_days={
-                provider: dict(combos)
-                for provider, combos in self._combo_days.items()
+                provider: dict(sorted(combos.items()))
+                for provider, combos in sorted(self._combo_days.items())
             },
             domains_seen=len(self._domains),
         )
@@ -208,24 +209,26 @@ class ScopeState:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, object]) -> "ScopeState":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScopeState":
         state = cls(int(payload["horizon"]))
         state._provider_total = {
             provider: list(series)
-            for provider, series in payload["provider_total"].items()
+            for provider, series in sorted(payload["provider_total"].items())
         }
         state._provider_ref = {
-            provider: {ref: list(series) for ref, series in by_ref.items()}
-            for provider, by_ref in payload["provider_ref"].items()
+            provider: {
+                ref: list(series) for ref, series in sorted(by_ref.items())
+            }
+            for provider, by_ref in sorted(payload["provider_ref"].items())
         }
         state._tld_any = {
             tld: list(series)
-            for tld, series in payload["tld_any"].items()
+            for tld, series in sorted(payload["tld_any"].items())
         }
         state._combined_any = list(payload["combined_any"])
         state._combo_days = {
-            provider: dict(combos)
-            for provider, combos in payload["combo_days"].items()
+            provider: dict(sorted(combos.items()))
+            for provider, combos in sorted(payload["combo_days"].items())
         }
         state._builders = {
             (domain, provider): IntervalBuilder(runs)

@@ -1,0 +1,31 @@
+"""Fixture for the float-equality rule.
+
+Analyzed under ``repro/core/stats.py`` — one of the statistics paths
+where float ``==``/``!=`` comparisons are banned.
+"""
+
+import math
+
+
+def classify(value, count, factor):
+    if value == 0.5:  # expect: float-equality
+        return "half"
+    if factor != -1.0:  # expect: float-equality
+        return "scaled"
+    if value == float(count):  # expect: float-equality
+        return "integral"
+    return "other"
+
+
+def chained(low, mid, high):
+    return low < mid == 0.25 < high  # expect: float-equality
+
+
+def good(value, count, truth):
+    if count == 0:  # integer comparison: fine
+        return None
+    if value < 0.5 or value >= 0.75:  # ordering comparisons: fine
+        return "bounded"
+    if math.isclose(value, truth, rel_tol=1e-9):  # the sanctioned way
+        return "match"
+    return None

@@ -1,0 +1,32 @@
+"""Fixture for the mutable-default rule (applies on every path)."""
+
+from collections import defaultdict
+
+
+def accumulate(value, bucket=[]):  # expect: mutable-default
+    bucket.append(value)
+    return bucket
+
+
+def index_rows(rows, by=dict()):  # expect: mutable-default
+    for row in rows:
+        by[row[0]] = row
+    return by
+
+
+def tally(events, *, counts=defaultdict(int)):  # expect: mutable-default
+    for event in events:
+        counts[event] += 1
+    return counts
+
+
+def label(names, seen={"root"}):  # expect: mutable-default
+    seen.update(names)
+    return seen
+
+
+def good(value, bucket=None, names=(), flags=frozenset()):
+    if bucket is None:
+        bucket = []
+    bucket.append((value, names, flags))
+    return bucket

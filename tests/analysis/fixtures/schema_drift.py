@@ -1,0 +1,72 @@
+"""Fixture for the schema-drift rule (applies on every path).
+
+Findings anchor to the ``__init__`` assignment of the field the codec
+pair forgot, so the fix (and any suppression) happens where the field
+is declared.
+"""
+
+
+class DriftingState:
+    """_seen is never encoded; _horizon is encoded but never decoded."""
+
+    def __init__(self, horizon):
+        self._horizon = horizon  # expect: schema-drift
+        self._totals = {}
+        self._seen = set()  # expect: schema-drift
+
+    def to_dict(self):
+        return {
+            "horizon": self._horizon,
+            "totals": dict(sorted(self._totals.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        state = cls(720)
+        state._totals = dict(sorted(payload["totals"].items()))
+        return state
+
+
+class CoveredState:
+    """Every field crosses the checkpoint boundary in both directions."""
+
+    def __init__(self, horizon):
+        self.horizon = horizon
+        self._totals = {}
+
+    def to_dict(self):
+        return {
+            "horizon": self.horizon,
+            "totals": dict(sorted(self._totals.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        state = cls(payload["horizon"])
+        state._totals = dict(sorted(payload["totals"].items()))
+        return state
+
+
+class DerivedFieldState:
+    """A derived cache opts out with a suppression on its assignment."""
+
+    def __init__(self, horizon):
+        self.horizon = horizon
+        self._cache = {}  # repro: ignore[schema-drift]
+
+    def to_dict(self):
+        return {"horizon": self.horizon}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["horizon"])
+
+
+class NotACodec:
+    """No from_dict → the rule has no schema pair to cross-check."""
+
+    def __init__(self):
+        self._anything = []
+
+    def to_dict(self):
+        return {}

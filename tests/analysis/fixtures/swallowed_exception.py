@@ -1,0 +1,49 @@
+"""Fixture for the swallowed-exception rule.
+
+Analyzed under ``repro/stream/fixture_swallowed.py`` — an ingest path,
+where broad handlers that never re-raise are banned. The bare ``except:``
+finding applies on *any* path; the test re-analyzes this fixture under a
+non-ingest module to check the broad-except findings are scoped.
+"""
+
+
+def parse_row(text):
+    try:
+        return int(text)
+    except:  # expect: swallowed-exception  # noqa: E722
+        return None
+
+
+def ingest_partition(rows, sink):
+    applied = 0
+    for row in rows:
+        try:
+            sink.append(parse_row(row))
+            applied += 1
+        except Exception:  # expect: swallowed-exception
+            continue
+    return applied
+
+
+def ingest_with_tuple(rows):
+    try:
+        return [parse_row(row) for row in rows]
+    except (ValueError, Exception):  # expect: swallowed-exception
+        return []
+
+
+def quarantine_partition(partition, quarantine):
+    # Broad, but re-raises after recording: the error is not swallowed.
+    try:
+        return partition.decode()
+    except Exception:
+        quarantine.add(partition.day)
+        raise
+
+
+def narrow_handler(text):
+    # Narrow excepts are an explicit decision about one failure mode.
+    try:
+        return int(text)
+    except ValueError:
+        return None

@@ -1,0 +1,60 @@
+"""Fixture for the unsorted-iteration rule.
+
+Analyzed under the logical path ``repro/stream/fixture_unsorted.py``.
+Lines carrying ``# expect:`` markers must produce exactly those
+findings; everything else must stay silent.
+"""
+
+
+class Codec:
+    """Defines both to_dict and from_dict → every method is in scope."""
+
+    def __init__(self):
+        self._totals = {"b": 2, "a": 1}
+        self._days = {}
+
+    def to_dict(self):
+        return {
+            "totals": {k: v for k, v in self._totals.items()},  # expect: unsorted-iteration
+            "days": dict(sorted(self._days.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        state = cls()
+        for key, value in payload["totals"].items():  # expect: unsorted-iteration
+            state._totals[key] = value
+        state._days = dict(payload["days"])
+        return state
+
+    def any_method(self, extra):
+        out = []
+        for key in extra.keys():  # expect: unsorted-iteration
+            out.append(key)
+        return out
+
+
+def checkpoint_everything(registry):
+    return [key for key in registry.keys()]  # expect: unsorted-iteration
+
+
+def series_to_dict(series):
+    return {k: v for k, v in sorted(series.items())}
+
+
+def summarize(mapping):
+    # Not a serialization-shaped name and not inside a codec class:
+    # arbitrary iteration order is allowed here.
+    return {k: v for k, v in mapping.items()}
+
+
+def save(rows):
+    local = {"x": 1}
+    # Locals are fresh values the function controls; only state that
+    # crosses the function boundary (self/cls/parameters) is flagged.
+    for key, value in local.items():
+        rows.append((key, value))
+    # A call in the receiver chain yields a fresh object too.
+    for key in dict(rows).keys():
+        pass
+    return rows

@@ -1,0 +1,40 @@
+"""Fixture for the wall-clock rule.
+
+Analyzed under ``repro/core/fixture_wall_clock.py`` — a deterministic
+package, where wall-clock reads and the module-global RNG are banned.
+"""
+
+import random
+import time
+from datetime import date, datetime
+from random import random as uniform01  # expect: wall-clock
+from time import monotonic  # expect: wall-clock
+
+
+def stamp_rows(rows):
+    started = time.time()  # expect: wall-clock
+    deadline = time.monotonic() + 5  # expect: wall-clock
+    return rows, started, deadline
+
+
+def label_run():
+    today = date.today()  # expect: wall-clock
+    at = datetime.now()  # expect: wall-clock
+    return today, at, uniform01(), monotonic()
+
+
+def jitter(values):
+    return [value + random.random() for value in values]  # expect: wall-clock
+
+
+def shuffle_deterministically(values, seed):
+    rng = random.Random(seed)
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    return shuffled
+
+
+def parse_timestamp(text):
+    # Constructing a datetime from input data is fine; only *reading*
+    # the clock is nondeterministic.
+    return datetime.fromisoformat(text)

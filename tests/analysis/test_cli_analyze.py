@@ -1,0 +1,73 @@
+"""The ``repro analyze`` subcommand: exit codes and report formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_analyze_src_exits_clean(capsys):
+    assert main(["analyze", str(REPO / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_analyze_bad_file_exits_nonzero(capsys):
+    # Fixture paths fall outside any repro package, so only unscoped
+    # rules apply — mutable-default is one of them.
+    code = main(["analyze", str(FIXTURES / "mutable_default.py")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "mutable-default" in out
+    assert "mutable_default.py:6:" in out
+
+
+def test_analyze_json_report(capsys):
+    code = main(
+        ["analyze", "--format", "json", str(FIXTURES / "schema_drift.py")]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["finding_count"] == len(payload["findings"]) > 0
+    assert all(f["rule"] == "schema-drift" for f in payload["findings"])
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "column", "rule", "message"}
+
+
+def test_analyze_rule_filter(capsys):
+    code = main(
+        [
+            "analyze",
+            "--rule", "swallowed-exception",
+            str(FIXTURES / "mutable_default.py"),
+        ]
+    )
+    assert code == 0  # mutable-default findings filtered out
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_analyze_unknown_rule_is_an_error(capsys):
+    code = main(["analyze", "--rule", "no-such-rule", str(FIXTURES)])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_analyze_list_rules(capsys):
+    assert main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "unsorted-iteration", "wall-clock", "float-equality",
+        "swallowed-exception", "mutable-default", "schema-drift",
+    ):
+        assert rule_id in out
+
+
+def test_analyze_missing_path(capsys):
+    assert main(["analyze", "does/not/exist"]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,29 @@
+"""The linter's own acceptance bar: the repo's src/ tree is clean.
+
+This is the rule-zero property of any in-repo linter — if the tree it
+ships in doesn't pass, nobody trusts its findings. It also pins the
+serialization-order fixes this subsystem motivated: reintroducing an
+unsorted ``.items()`` walk into a checkpoint codec fails this test
+before it flakes a byte-identity test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Analyzer
+
+SRC = Path(__file__).parents[2] / "src"
+
+
+def test_src_tree_is_clean():
+    result = Analyzer().analyze_paths([str(SRC)])
+    assert result.files_checked > 50
+    assert result.clean, "\n" + "\n".join(
+        finding.format() for finding in result.findings
+    )
+
+
+def test_all_rules_ran():
+    result = Analyzer().analyze_paths([str(SRC / "repro" / "analysis")])
+    assert len(result.rules_run) == 6

@@ -1,0 +1,36 @@
+"""The strict typing gate, runnable wherever mypy is installed.
+
+The container image used for the tier-1 suite does not ship mypy, so
+this test skips there; CI installs mypy and runs the same gate both via
+this test and as a dedicated job. The config (per-module strictness
+ladder) lives in pyproject.toml so every entry point agrees.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip(
+    "mypy.api", reason="mypy not installed; the CI typecheck job runs this"
+)
+
+REPO = Path(__file__).parents[2]
+
+#: The modules held to the strict tier of the ladder.
+STRICT_TARGETS = (
+    "src/repro/stream",
+    "src/repro/routing",
+    "src/repro/core/detection.py",
+)
+
+
+def test_strict_targets_typecheck():
+    stdout, stderr, status = mypy_api.run(
+        [
+            "--config-file", str(REPO / "pyproject.toml"),
+            *(str(REPO / target) for target in STRICT_TARGETS),
+        ]
+    )
+    assert status == 0, f"mypy gate failed:\n{stdout}\n{stderr}"
