@@ -39,6 +39,15 @@ depends on:
     a field one side forgot is exactly the silent state loss that breaks
     kill-and-resume equivalence. Derived/configuration fields opt out
     with a ``repro: ignore[schema-drift]`` comment on the assignment.
+
+``unordered-futures``
+    :mod:`repro.parallel` merges per-shard results on the promise that
+    they arrive in shard-index order; collecting worker results in
+    *completion* order (``concurrent.futures.as_completed``,
+    ``pool.imap_unordered``) would make merged output depend on OS
+    scheduling — the exact nondeterminism the subsystem exists to rule
+    out. Iterate the submitted futures list and call ``.result()`` in
+    shard-index order instead.
 """
 
 from __future__ import annotations
@@ -631,6 +640,63 @@ class SchemaDriftRule(Rule):
         return findings
 
 
+class UnorderedFuturesRule(Rule):
+    id = "unordered-futures"
+    summary = (
+        "completion-order result collection in repro.parallel; merges "
+        "must consume shards in shard-index order"
+    )
+
+    #: Packages whose merge determinism depends on shard-index order.
+    PARALLEL_PACKAGES: Tuple[str, ...] = ("repro/parallel/",)
+    _UNORDERED_CALLS: FrozenSet[str] = frozenset(
+        {"as_completed", "imap_unordered"}
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(self.PARALLEL_PACKAGES)
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = self._called_name(node.func)
+                if name in self._UNORDERED_CALLS:
+                    findings.append(
+                        self._finding(
+                            path,
+                            node,
+                            f"{name}() yields worker results in completion "
+                            f"order, which depends on OS scheduling; "
+                            f"consume futures in shard-index order so "
+                            f"merges stay byte-identical",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in self._UNORDERED_CALLS:
+                        findings.append(
+                            self._finding(
+                                path,
+                                node,
+                                f"importing {alias.name!r} invites "
+                                f"completion-order collection; consume "
+                                f"futures in shard-index order instead",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _called_name(function: ast.expr) -> Optional[str]:
+        if isinstance(function, ast.Name):
+            return function.id
+        if isinstance(function, ast.Attribute):
+            return function.attr
+        return None
+
+
 def default_rules() -> Tuple[Rule, ...]:
     """All shipped rules, in reporting order."""
     return (
@@ -640,6 +706,7 @@ def default_rules() -> Tuple[Rule, ...]:
         SwallowedExceptionRule(),
         MutableDefaultRule(),
         SchemaDriftRule(),
+        UnorderedFuturesRule(),
     )
 
 

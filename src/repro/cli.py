@@ -76,6 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--output", help="also write artifacts + series.json to this dir",
     )
+    study.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "run the measurement phase sharded over N worker processes "
+            "(results are byte-identical to a serial run; default: serial)"
+        ),
+    )
+    study.add_argument(
+        "--shard-count", type=int, default=None, metavar="M",
+        help="number of hash shards for --workers (default: 4 per worker)",
+    )
 
     resolve = commands.add_parser(
         "resolve", help="resolve a name against the world on a given day"
@@ -187,7 +198,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
         wanted = set(ARTIFACTS)
     world = _build_world(args)
     study = AdoptionStudy(world)
-    results = study.run()
+    results = study.run(
+        parallel=args.workers is not None,
+        workers=args.workers,
+        shard_count=args.shard_count,
+    )
     renderers = {
         "table1": lambda: fig.render_table1(results),
         "table2": lambda: fig.render_table2(

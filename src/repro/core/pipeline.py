@@ -115,19 +115,24 @@ class AdoptionStudy:
 
     # -- measurement -----------------------------------------------------------
 
-    def collect_segments(self) -> Dict[str, List[ObservationSegment]]:
-        """Enriched observation segments for every domain in the world."""
+    def collect_segments(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, List[ObservationSegment]]:
+        """Enriched observation segments for *names* (default: all domains)."""
+        if names is None:
+            names = list(self.world.domains)
         segments: Dict[str, List[ObservationSegment]] = {}
-        for name in self.world.domains:
+        for name in names:
             raw = self.prober.observe_segments(name)
             segments[name] = self.enricher.enrich_segments(raw)
         return segments
 
-    def _detect(
+    def detect(
         self,
         segments: Mapping[str, List[ObservationSegment]],
         names: Sequence[str],
     ) -> DetectionResult:
+        """Run the segment detector over *names*."""
         detector = SegmentDetector(self.catalog, self.world.horizon)
         for name in names:
             domain_segments = segments.get(name)
@@ -137,8 +142,10 @@ class AdoptionStudy:
                 )
         return detector.result()
 
-    def _detect_alexa(
-        self, segments: Mapping[str, List[ObservationSegment]]
+    def detect_alexa(
+        self,
+        segments: Mapping[str, List[ObservationSegment]],
+        names: Optional[Sequence[str]] = None,
     ) -> DetectionResult:
         """Detection over the ranking, honouring membership windows.
 
@@ -146,8 +153,10 @@ class AdoptionStudy:
         segment is clipped to the name's membership windows before
         detection.
         """
+        if names is None:
+            names = self.world.alexa_names
         detector = SegmentDetector(self.catalog, self.world.horizon)
-        for name in self.world.alexa_names:
+        for name in names:
             domain_segments = segments.get(name)
             windows = self.world.alexa_membership(name)
             if not domain_segments or not windows:
@@ -169,24 +178,51 @@ class AdoptionStudy:
 
     # -- the full study -----------------------------------------------------------
 
-    def run(self) -> StudyResults:
+    def run(
+        self,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        shard_count: Optional[int] = None,
+    ) -> StudyResults:
+        """Run the full methodology.
+
+        With ``parallel=True`` the measurement + detection phase is
+        hash-sharded over a process pool (see :mod:`repro.parallel`);
+        the merged result — and hence the returned :class:`StudyResults`
+        — is byte-identical to a serial run for any worker/shard count.
+        """
         world = self.world
         horizon = world.horizon
         window_start = CCTLD_START_DAY
 
-        segments = self.collect_segments()
+        if parallel:
+            # Imported lazily: repro.parallel imports from this module.
+            from repro.parallel.study import run_sharded_measurement
 
-        gtld_names = [
-            name for name, timeline in world.domains.items()
-            if timeline.tld in GTLDS
-        ]
-        nl_names = [
-            name for name, timeline in world.domains.items()
-            if timeline.tld == "nl"
-        ]
-        detection_gtld = self._detect(segments, gtld_names)
-        detection_nl = self._detect(segments, nl_names)
-        detection_alexa = self._detect_alexa(segments)
+            measured = run_sharded_measurement(
+                self, workers=workers, shard_count=shard_count
+            )
+            segments = measured.segments
+            detection_gtld = measured.detection_gtld
+            detection_nl = measured.detection_nl
+            detection_alexa = measured.detection_alexa
+            flux = measured.flux
+            peaks = measured.peaks
+        else:
+            segments = self.collect_segments()
+            gtld_names = [
+                name for name, timeline in world.domains.items()
+                if timeline.tld in GTLDS
+            ]
+            nl_names = [
+                name for name, timeline in world.domains.items()
+                if timeline.tld == "nl"
+            ]
+            detection_gtld = self.detect(segments, gtld_names)
+            detection_nl = self.detect(segments, nl_names)
+            detection_alexa = self.detect_alexa(segments)
+            flux = FluxAnalysis(horizon).analyze(detection_gtld)
+            peaks = PeakAnalysis(horizon).analyze(detection_gtld)
 
         zone_sizes = {
             tld: world.zone_size_series(tld)
@@ -216,9 +252,6 @@ class AdoptionStudy:
                 "DPS adoption (Alexa)": alexa_adoption,
             }
         )
-
-        flux = FluxAnalysis(horizon).analyze(detection_gtld)
-        peaks = PeakAnalysis(horizon).analyze(detection_gtld)
 
         lifetimes = {
             name: timeline.lifespan(horizon)

@@ -6,6 +6,16 @@ before the shuffle, like Hadoop's map-side combine). The engine shuffles
 pairs into a configurable number of partitions by key hash and reduces
 each partition independently — the same dataflow a Hadoop job has, scaled
 to one process.
+
+A *backend* (see :class:`repro.parallel.mapreduce.ParallelBackend`) can
+take over the map+combine phase: records are split into contiguous
+chunks, each chunk is mapped and combined in a worker process, and the
+engine merges the per-chunk shuffles **in chunk order** before the
+reduce. Because chunks are contiguous and merged in order, every per-key
+value list arrives at the reducer in exactly the order a sequential pass
+would have produced — so for a fixed chunk count the outputs and
+counters are independent of the worker count, and for associative
+combiners the outputs match the backend-less engine byte for byte.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Tuple,
     TypeVar,
 )
@@ -33,6 +44,9 @@ Out = TypeVar("Out")  # output
 Mapper = Callable[[R], Iterable[Tuple[K, V]]]
 Reducer = Callable[[K, List[V]], Iterable[Out]]
 Combiner = Callable[[K, List[V]], List[V]]
+
+#: partition index → key → values, the engine's shuffle representation.
+Shuffle = List[Dict[K, List[V]]]
 
 
 @dataclass
@@ -55,14 +69,66 @@ class JobCounters:
     keys_reduced: int = 0
     outputs_written: int = 0
 
+    def absorb(self, other: "JobCounters") -> None:
+        """Add *other*'s counts into this one (worker aggregation)."""
+        self.records_read += other.records_read
+        self.pairs_emitted += other.pairs_emitted
+        self.pairs_after_combine += other.pairs_after_combine
+        self.keys_reduced += other.keys_reduced
+        self.outputs_written += other.outputs_written
+
+    @classmethod
+    def merge(cls, parts: Sequence["JobCounters"]) -> "JobCounters":
+        """Summed counters across per-shard map phases."""
+        merged = cls()
+        for part in parts:
+            merged.absorb(part)
+        return merged
+
+
+def map_combine(
+    job: Job, records: Iterable[R], partitions: int
+) -> Tuple[Shuffle, JobCounters]:
+    """The map + map-side-combine phase over one batch of records.
+
+    This is the unit of work a parallel backend ships to a worker; the
+    serial engine runs it once over everything. Returns the partitioned
+    shuffle and the map-side counters (``records_read``,
+    ``pairs_emitted``, ``pairs_after_combine``).
+    """
+    counters = JobCounters()
+    shuffled: Shuffle = [{} for _ in range(partitions)]
+    for record in records:
+        counters.records_read += 1
+        for key, value in job.mapper(record):
+            counters.pairs_emitted += 1
+            bucket = shuffled[stable_hash(repr(key)) % partitions]
+            bucket.setdefault(key, []).append(value)
+
+    if job.combiner is not None:
+        for bucket in shuffled:
+            for key in list(bucket):
+                bucket[key] = list(job.combiner(key, bucket[key]))
+    counters.pairs_after_combine = sum(
+        len(values) for bucket in shuffled for values in bucket.values()
+    )
+    return shuffled, counters
+
 
 class MapReduceEngine:
-    """Runs jobs over in-process record iterables."""
+    """Runs jobs over in-process record iterables.
 
-    def __init__(self, partitions: int = 8):
+    *backend*, when given, must provide ``map_shards(job, records,
+    partitions) -> List[Tuple[Shuffle, JobCounters]]`` returning one
+    ``map_combine`` result per chunk, **in chunk order** (duck-typed so
+    this module never imports :mod:`repro.parallel`).
+    """
+
+    def __init__(self, partitions: int = 8, backend: Optional[Any] = None):
         if partitions < 1:
             raise ValueError("at least one partition is required")
         self._partitions = partitions
+        self._backend = backend
         self.last_counters: Optional[JobCounters] = None
 
     def _partition_of(self, key: Any) -> int:
@@ -70,27 +136,32 @@ class MapReduceEngine:
 
     def run(self, job: Job, records: Iterable[R]) -> List[Out]:
         """Execute *job* over *records* and return all reducer outputs."""
-        counters = JobCounters()
-        # Map phase: pairs land in their shuffle partition immediately.
-        shuffled: List[Dict[K, List[V]]] = [
-            {} for _ in range(self._partitions)
-        ]
-        for record in records:
-            counters.records_read += 1
-            for key, value in job.mapper(record):
-                counters.pairs_emitted += 1
-                bucket = shuffled[self._partition_of(key)]
-                bucket.setdefault(key, []).append(value)
+        if self._backend is not None:
+            return self._run_sharded(job, records)
+        shuffled, counters = map_combine(job, records, self._partitions)
+        outputs = self._reduce(job, shuffled, counters)
+        self.last_counters = counters
+        return outputs
 
-        # Optional map-side combine, per partition.
-        if job.combiner is not None:
-            for bucket in shuffled:
-                for key in list(bucket):
-                    bucket[key] = list(job.combiner(key, bucket[key]))
-        counters.pairs_after_combine = sum(
-            len(values) for bucket in shuffled for values in bucket.values()
-        )
+    def _run_sharded(self, job: Job, records: Iterable[R]) -> List[Out]:
+        """Map/combine in the backend's workers, reduce here."""
+        parts = self._backend.map_shards(job, records, self._partitions)
+        counters = JobCounters.merge([part[1] for part in parts])
+        shuffled: Shuffle = [{} for _ in range(self._partitions)]
+        # Chunk-order merge: per-key value lists concatenate exactly as
+        # a single sequential map pass would have appended them.
+        for shard_shuffled, _ in parts:
+            for index, bucket in enumerate(shard_shuffled):
+                merged = shuffled[index]
+                for key, values in bucket.items():
+                    merged.setdefault(key, []).extend(values)
+        outputs = self._reduce(job, shuffled, counters)
+        self.last_counters = counters
+        return outputs
 
+    def _reduce(
+        self, job: Job, shuffled: Shuffle, counters: JobCounters
+    ) -> List[Out]:
         # Reduce phase: keys within a partition in sorted order, like
         # Hadoop's sort-before-reduce.
         outputs: List[Out] = []
@@ -100,7 +171,6 @@ class MapReduceEngine:
                 for output in job.reducer(key, bucket[key]):
                     counters.outputs_written += 1
                     outputs.append(output)
-        self.last_counters = counters
         return outputs
 
 

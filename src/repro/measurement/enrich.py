@@ -15,10 +15,11 @@ mapping changes.
 
 from __future__ import annotations
 
+import ipaddress
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
-from repro.routing.prefixtrie import PrefixTrie
+from repro.routing.prefixtrie import IPAddress, PrefixTrie
 from repro.world.world import World
 
 
@@ -30,12 +31,45 @@ class AsnEnricher:
         self._change_days = world.routing_change_days()
         #: Prefixes whose announcement ever changes after day 0.
         self._dynamic = PrefixTrie()
-        for day, prefix, _ in world._sorted_routing_events():
+        for day, prefix, _ in world.routing_events():
             if day > 0:
                 self._dynamic.insert(prefix, True)
         #: address → [(start_day, origins)] ascending, deduplicated.
         self._timeline_cache: Dict[str, List[Tuple[int, FrozenSet[int]]]] = {}
+        #: address text → parsed form, so each unique address parses once.
+        self._parsed: Dict[str, IPAddress] = {}
+        #: (observation, origins) → the enriched observation (interning).
+        self._interned: Dict[
+            Tuple[DomainObservation, FrozenSet[int]], DomainObservation
+        ] = {}
         self.lookups = 0
+        self.intern_hits = 0
+
+    def _parse(self, address: str) -> IPAddress:
+        """The parsed form of *address*, parsed at most once per text."""
+        parsed = self._parsed.get(address)
+        if parsed is None:
+            parsed = ipaddress.ip_address(address)
+            self._parsed[address] = parsed
+        return parsed
+
+    def _intern(
+        self, observation: DomainObservation, origins: FrozenSet[int]
+    ) -> DomainObservation:
+        """One shared enriched observation per (payload, origins) pair.
+
+        Segment splitting re-enriches the same observation with the same
+        origin set once per sub-interval; interning keeps a single object
+        per distinct result instead of allocating a copy for every piece.
+        """
+        key = (observation, origins)
+        interned = self._interned.get(key)
+        if interned is None:
+            interned = observation.with_asns(origins)
+            self._interned[key] = interned
+        else:
+            self.intern_hits += 1
+        return interned
 
     # -- daily enrichment -----------------------------------------------------
 
@@ -45,7 +79,7 @@ class AsnEnricher:
         asns: set = set()
         for address in observation.all_addresses():
             self.lookups += 1
-            asns |= pfx2as.lookup(address)
+            asns |= pfx2as.lookup(self._parse(address))
         return observation.with_asns(frozenset(asns))
 
     def enrich_day(
@@ -67,13 +101,14 @@ class AsnEnricher:
         if cached is not None:
             return cached
         self.lookups += 1
-        if self._dynamic.longest_match(address) is None:
-            timeline = [(0, self._world.pfx2as_at(0).lookup(address))]
+        parsed = self._parse(address)
+        if self._dynamic.longest_match(parsed) is None:
+            timeline = [(0, self._world.pfx2as_at(0).lookup(parsed))]
         else:
             timeline = []
             previous: FrozenSet[int] = frozenset({-1})  # sentinel
             for day in [0] + [d for d in self._change_days if d > 0]:
-                origins = self._world.pfx2as_at(day).lookup(address)
+                origins = self._world.pfx2as_at(day).lookup(parsed)
                 if origins != previous:
                     timeline.append((day, origins))
                     previous = origins
@@ -126,7 +161,7 @@ class AsnEnricher:
                     ObservationSegment(
                         sub_start,
                         sub_end,
-                        segment.observation.with_asns(origins),
+                        self._intern(segment.observation, origins),
                     )
                 )
         return enriched

@@ -1,0 +1,39 @@
+"""Deterministic sharded execution for the study and the MapReduce engine.
+
+Three pieces, one contract — parallel results are **byte-identical** to
+serial ones, for any worker count and any shard count:
+
+* :mod:`repro.parallel.sharding` — stable hash partitioning of names and
+  contiguous chunking of record streams;
+* :mod:`repro.parallel.executor` — :class:`ShardedExecutor`, a process
+  pool that collects shard results in shard-index order (worker count
+  from ``REPRO_WORKERS``, serial in-process fallback at one worker);
+* :mod:`repro.parallel.study` / :mod:`repro.parallel.mapreduce` — the
+  sharded measurement phase behind ``AdoptionStudy.run(parallel=True)``
+  and the map+combine backend for :class:`MapReduceEngine`.
+
+See ``docs/PERFORMANCE.md`` for the architecture and tuning knobs.
+"""
+
+from repro.parallel.executor import (
+    REPRO_WORKERS_ENV,
+    SHARDS_PER_WORKER,
+    ShardedExecutor,
+    resolve_workers,
+)
+from repro.parallel.mapreduce import ParallelBackend
+from repro.parallel.sharding import chunk_records, partition_names, shard_of
+from repro.parallel.study import StudyMeasurement, run_sharded_measurement
+
+__all__ = [
+    "REPRO_WORKERS_ENV",
+    "SHARDS_PER_WORKER",
+    "ParallelBackend",
+    "ShardedExecutor",
+    "StudyMeasurement",
+    "chunk_records",
+    "partition_names",
+    "resolve_workers",
+    "run_sharded_measurement",
+    "shard_of",
+]

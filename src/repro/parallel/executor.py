@@ -1,0 +1,106 @@
+"""The sharded process-pool executor behind every parallel path.
+
+:class:`ShardedExecutor` fans an indexed task out over shards and
+collects results **in shard-index order** — never completion order —
+which is what keeps merged outputs byte-identical across worker counts
+(``repro analyze`` enforces this with the ``unordered-futures`` rule).
+
+Worker count resolution: explicit argument > the ``REPRO_WORKERS``
+environment variable > ``os.cpu_count()``. At ``workers=1`` the executor
+degrades to a plain in-process loop — no multiprocessing machinery at
+all — so the serial fallback is always available and trivially
+deterministic.
+
+Heavy shared state (the world, a job description) travels through the
+pool *initializer*: under the default ``fork`` start method it is
+inherited by workers without pickling, so closures (e.g. the mappers in
+:mod:`repro.mapreduce.jobs`) work and the world is shipped once, not
+once per shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+S = TypeVar("S")  # shard payload
+R = TypeVar("R")  # shard result
+
+#: Environment variable that sets the default worker count.
+REPRO_WORKERS_ENV = "REPRO_WORKERS"
+
+#: Default shards per worker — enough slack that uneven shards keep all
+#: workers busy, few enough that per-shard overhead stays negligible.
+SHARDS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count (argument > env > cpu count)."""
+    if workers is None:
+        env = os.environ.get(REPRO_WORKERS_ENV)
+        if env is not None and env.strip():
+            workers = int(env)
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """The ``fork`` context where available (zero-copy initargs)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return multiprocessing.get_context()
+
+
+class ShardedExecutor:
+    """Runs an indexed task over shards with deterministic collection."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_count: Optional[int] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        if shard_count is None:
+            shard_count = self.workers * SHARDS_PER_WORKER
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+
+    def map_shards(
+        self,
+        task: Callable[[int, S], R],
+        shards: Sequence[S],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[R]:
+        """``[task(0, shards[0]), task(1, shards[1]), ...]``.
+
+        Results are returned in shard-index order regardless of which
+        worker finishes first. With ``workers == 1`` everything runs in
+        this process and no multiprocessing path is taken.
+        """
+        if self.workers == 1 or len(shards) <= 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return [
+                task(index, shard) for index, shard in enumerate(shards)
+            ]
+        pool_size = min(self.workers, len(shards))
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            mp_context=_mp_context(),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = [
+                pool.submit(task, index, shard)
+                for index, shard in enumerate(shards)
+            ]
+            # Consume in shard-index order — the determinism contract.
+            return [future.result() for future in futures]

@@ -1,0 +1,72 @@
+"""Multiprocess map+combine backend for :class:`MapReduceEngine`.
+
+:class:`ParallelBackend` plugs into the engine's ``backend`` slot: it
+splits the record stream into contiguous chunks (one per shard), runs
+:func:`repro.mapreduce.engine.map_combine` for each chunk in a worker
+process, and hands the per-chunk shuffles back **in chunk order** for
+the engine's merge + reduce.
+
+The job description travels through the pool initializer, which the
+default ``fork`` start method inherits without pickling — so jobs built
+from closures (every job in :mod:`repro.mapreduce.jobs`) work unchanged.
+Only the record chunks and the (combined, hence small) shuffle results
+cross the process boundary as pickles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.mapreduce.engine import Job, JobCounters, Shuffle, map_combine
+from repro.parallel.executor import ShardedExecutor
+from repro.parallel.sharding import chunk_records
+
+#: Per-worker-process job state (set by the pool initializer).
+_WORKER_JOB: Optional[Job] = None
+_WORKER_PARTITIONS: int = 0
+
+
+def _init_map_worker(job: Job, partitions: int) -> None:
+    global _WORKER_JOB, _WORKER_PARTITIONS
+    _WORKER_JOB = job
+    _WORKER_PARTITIONS = partitions
+
+
+def _map_chunk(
+    shard_index: int, chunk: Iterable[object]
+) -> Tuple[Shuffle, JobCounters]:
+    job = _WORKER_JOB
+    assert job is not None, "worker initializer did not run"
+    return map_combine(job, chunk, _WORKER_PARTITIONS)
+
+
+class ParallelBackend:
+    """Runs the map+combine phase of a job over a process pool.
+
+    For a fixed ``shard_count`` the chunking — and therefore every
+    per-chunk shuffle, their merged concatenation, and the aggregated
+    counters — is independent of ``workers``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_count: Optional[int] = None,
+    ):
+        self._executor = ShardedExecutor(
+            workers=workers, shard_count=shard_count
+        )
+        self.workers = self._executor.workers
+        self.shard_count = self._executor.shard_count
+
+    def map_shards(
+        self, job: Job, records: Iterable[object], partitions: int
+    ) -> List[Tuple[Shuffle, JobCounters]]:
+        """One ``map_combine`` result per contiguous chunk, in order."""
+        chunks = chunk_records(list(records), self.shard_count)
+        return self._executor.map_shards(
+            _map_chunk,
+            chunks,
+            initializer=_init_map_worker,
+            initargs=(job, partitions),
+        )

@@ -1,0 +1,57 @@
+"""Deterministic domain sharding.
+
+Shard assignment reuses :func:`repro.world.ipam.stable_hash` (CRC32), so
+a name lands in the same shard on every run, on every machine, and in
+every process — the property the byte-identity guarantees of
+:mod:`repro.parallel` rest on. Within a shard, names keep their input
+order, so per-shard processing order is a pure function of the input
+order and the shard count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar
+
+from repro.world.ipam import stable_hash
+
+T = TypeVar("T")
+
+
+def shard_of(name: str, shard_count: int) -> int:
+    """The shard index of *name* under *shard_count* shards."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    return stable_hash(name) % shard_count
+
+
+def partition_names(
+    names: Iterable[str], shard_count: int
+) -> List[List[str]]:
+    """Hash-partition *names* into ``shard_count`` ordered shards.
+
+    Every name appears in exactly one shard; each shard preserves the
+    relative input order of its members.
+    """
+    shards: List[List[str]] = [[] for _ in range(shard_count)]
+    for name in names:
+        shards[shard_of(name, shard_count)].append(name)
+    return shards
+
+
+def chunk_records(records: Sequence[T], chunks: int) -> List[Sequence[T]]:
+    """Split *records* into ``chunks`` contiguous, order-preserving runs.
+
+    Contiguity matters: concatenating per-chunk map outputs in chunk
+    order reproduces the exact per-key value order a single sequential
+    pass over *records* would produce.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    size, extra = divmod(len(records), chunks)
+    out: List[Sequence[T]] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        out.append(records[start:end])
+        start = end
+    return out

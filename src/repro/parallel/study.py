@@ -1,0 +1,140 @@
+"""Sharded execution of the full-study measurement + detection phase.
+
+The expensive phase of :meth:`repro.core.pipeline.AdoptionStudy.run` —
+probe → enrich → detect over every domain — is embarrassingly parallel
+per domain. Each worker holds its own :class:`AdoptionStudy` over the
+same world (forked, so the world ships once) and runs the *identical*
+serial code over its shard's domains; the parent then merges the
+per-shard aggregates through the exact merge hooks
+(:meth:`DetectionResult.merge`, :meth:`FluxAnalysis.merge`,
+:meth:`PeakAnalysis.merge`). Because every merge is an integer sum or a
+disjoint keyed union, the merged measurement is byte-identical to a
+serial run — for any worker count and any shard count. Growth, being a
+nonlinear analysis (median smoothing), is not merged per shard: it runs
+in the parent over the merged daily series, which `DetectionResult.merge`
+has already aggregated exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detection import DetectionResult
+from repro.core.flux import FluxAnalysis, FluxSeries
+from repro.core.peaks import PeakAnalysis, PeakStats
+from repro.measurement.snapshot import ObservationSegment
+from repro.parallel.executor import ShardedExecutor
+from repro.parallel.sharding import partition_names
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.core.pipeline import AdoptionStudy
+    from repro.core.references import SignatureCatalog
+    from repro.world.world import World
+
+
+@dataclass
+class StudyMeasurement:
+    """Everything the sharded measurement phase produces."""
+
+    segments: Dict[str, List[ObservationSegment]]
+    detection_gtld: DetectionResult
+    detection_nl: DetectionResult
+    detection_alexa: DetectionResult
+    flux: Dict[str, FluxSeries]
+    peaks: Dict[str, PeakStats]
+
+
+#: Per-worker-process study instance (set by the pool initializer).
+_WORKER_STUDY: Optional["AdoptionStudy"] = None
+
+
+def _init_study_worker(
+    world: "World", catalog: "SignatureCatalog"
+) -> None:
+    """Build this worker's study once; shards reuse its caches."""
+    global _WORKER_STUDY
+    from repro.core.pipeline import AdoptionStudy
+
+    _WORKER_STUDY = AdoptionStudy(world, catalog)
+
+
+def _study_shard(
+    shard_index: int, payload: Tuple[Sequence[str], Sequence[str]]
+) -> StudyMeasurement:
+    """Measure + detect one shard with the serial code paths."""
+    study = _WORKER_STUDY
+    assert study is not None, "worker initializer did not run"
+    domain_names, alexa_names = payload
+    from repro.core.pipeline import GTLDS
+
+    segments = study.collect_segments(domain_names)
+    gtld_names = [
+        name
+        for name in domain_names
+        if study.world.domains[name].tld in GTLDS
+    ]
+    nl_names = [
+        name
+        for name in domain_names
+        if study.world.domains[name].tld == "nl"
+    ]
+    detection_gtld = study.detect(segments, gtld_names)
+    horizon = study.world.horizon
+    return StudyMeasurement(
+        segments=segments,
+        detection_gtld=detection_gtld,
+        detection_nl=study.detect(segments, nl_names),
+        detection_alexa=study.detect_alexa(segments, alexa_names),
+        flux=FluxAnalysis(horizon).analyze(detection_gtld),
+        peaks=PeakAnalysis(horizon).analyze(detection_gtld),
+    )
+
+
+def run_sharded_measurement(
+    study: "AdoptionStudy",
+    workers: Optional[int] = None,
+    shard_count: Optional[int] = None,
+) -> StudyMeasurement:
+    """The parallel equivalent of the serial measurement phase.
+
+    Shards are merged in shard-index order; the result is byte-identical
+    to the serial path for any ``(workers, shard_count)``.
+    """
+    executor = ShardedExecutor(workers=workers, shard_count=shard_count)
+    domain_shards = partition_names(
+        study.world.domains, executor.shard_count
+    )
+    alexa_shards = partition_names(
+        study.world.alexa_names, executor.shard_count
+    )
+    parts = executor.map_shards(
+        _study_shard,
+        list(zip(domain_shards, alexa_shards)),
+        initializer=_init_study_worker,
+        initargs=(study.world, study.catalog),
+    )
+
+    merged_segments: Dict[str, List[ObservationSegment]] = {}
+    for part in parts:
+        merged_segments.update(part.segments)
+    horizon = study.world.horizon
+    return StudyMeasurement(
+        # Re-keyed to world order, matching the serial collection loop.
+        segments={
+            name: merged_segments[name] for name in study.world.domains
+        },
+        detection_gtld=DetectionResult.merge(
+            [part.detection_gtld for part in parts]
+        ),
+        detection_nl=DetectionResult.merge(
+            [part.detection_nl for part in parts]
+        ),
+        detection_alexa=DetectionResult.merge(
+            [part.detection_alexa for part in parts]
+        ),
+        flux=FluxAnalysis(horizon).merge([part.flux for part in parts]),
+        peaks=PeakAnalysis(horizon).merge(
+            [part.peaks for part in parts]
+        ),
+    )

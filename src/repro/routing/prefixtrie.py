@@ -4,11 +4,18 @@ Keys are :class:`ipaddress.IPv4Network`/``IPv6Network`` objects; IPv4 and
 IPv6 live in separate tries internally (their bit-spaces differ). Lookup
 walks at most ``prefixlen`` nodes, so most-specific-prefix queries — the
 core of pfx2as enrichment — are O(32)/O(128) regardless of table size.
+
+On top of the walk sits a bounded LRU cache keyed by the packed address
+integer: enrichment sweeps look the same provider/name-server addresses
+up day after day, and a hit replaces the bit-walk with one dict probe.
+The cache is invalidated wholesale on any :meth:`insert`/:meth:`remove`
+(mutations are rare — tables are built once, queried millions of times).
 """
 
 from __future__ import annotations
 
 import ipaddress
+from collections import OrderedDict
 from typing import (
     Dict,
     Generic,
@@ -24,6 +31,12 @@ from typing import (
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 V = TypeVar("V")
+
+#: Default bound on the longest-match LRU cache (entries, per trie).
+DEFAULT_LPM_CACHE_SIZE = 4096
+
+#: Sentinel distinguishing "not cached" from a cached negative lookup.
+_MISS: object = object()
 
 
 class _Node(Generic[V]):
@@ -43,9 +56,19 @@ def _bits_of(network: IPNetwork) -> Tuple[int, int]:
 class PrefixTrie(Generic[V]):
     """Maps IP prefixes to values; supports exact and longest-prefix match."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, lpm_cache_size: int = DEFAULT_LPM_CACHE_SIZE
+    ) -> None:
+        if lpm_cache_size < 0:
+            raise ValueError("lpm_cache_size must be >= 0")
         self._roots: Dict[int, _Node[V]] = {4: _Node(), 6: _Node()}
         self._sizes: Dict[int, int] = {4: 0, 6: 0}
+        self._lpm_cache_size = lpm_cache_size
+        self._lpm_cache: "OrderedDict[Tuple[int, int], Optional[Tuple[IPNetwork, V]]]" = (
+            OrderedDict()
+        )
+        self.lpm_cache_hits = 0
+        self.lpm_cache_misses = 0
 
     @staticmethod
     def _coerce(prefix: Union[str, IPNetwork]) -> IPNetwork:
@@ -63,6 +86,7 @@ class PrefixTrie(Generic[V]):
 
     def insert(self, prefix: Union[str, IPNetwork], value: V) -> None:
         """Insert or replace the value at *prefix*."""
+        self._lpm_cache.clear()
         network = self._coerce(prefix)
         node = self._roots[network.version]
         for bit in self._walk_bits(network):
@@ -78,6 +102,7 @@ class PrefixTrie(Generic[V]):
 
     def remove(self, prefix: Union[str, IPNetwork]) -> bool:
         """Remove the value at exactly *prefix*; True if it existed."""
+        self._lpm_cache.clear()
         network = self._coerce(prefix)
         node: Optional[_Node[V]] = self._roots[network.version]
         path: List[Tuple[_Node[V], int]] = []
@@ -125,9 +150,33 @@ class PrefixTrie(Generic[V]):
 
         Returns ``(prefix, value)`` or ``None``. This is the §3.2 operation:
         "the most-specific prefix in which an address was contained".
+
+        Accepts a pre-parsed :data:`IPAddress` to skip text parsing on hot
+        paths; results (including negative ones) are LRU-cached by the
+        packed address integer until the next mutation.
         """
         if isinstance(address, str):
             address = ipaddress.ip_address(address)
+        key = (address.version, int(address))
+        if self._lpm_cache_size:
+            cached = self._lpm_cache.get(key, _MISS)
+            if cached is not _MISS:
+                self._lpm_cache.move_to_end(key)
+                self.lpm_cache_hits += 1
+                return cast(
+                    Optional[Tuple[IPNetwork, V]], cached
+                )
+        result = self._longest_match_walk(address)
+        if self._lpm_cache_size:
+            self.lpm_cache_misses += 1
+            self._lpm_cache[key] = result
+            if len(self._lpm_cache) > self._lpm_cache_size:
+                self._lpm_cache.popitem(last=False)
+        return result
+
+    def _longest_match_walk(
+        self, address: IPAddress
+    ) -> Optional[Tuple[IPNetwork, V]]:
         width = address.max_prefixlen
         bits = int(address)
         node: Optional[_Node[V]] = self._roots[address.version]

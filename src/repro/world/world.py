@@ -178,6 +178,14 @@ class World:
             self._routing_sorted = True
         return self._routing_events
 
+    def routing_events(self) -> Sequence[Tuple[int, str, FrozenSet[int]]]:
+        """All ``(day, prefix, origins)`` events, day-ascending.
+
+        The public read-only view of the routing timeline; consumers (ASN
+        enrichment, diagnostics) must not mutate the returned sequence.
+        """
+        return self._sorted_routing_events()
+
     def pfx2as_at(self, day: int) -> Pfx2As:
         """The Routeviews-style pfx2as snapshot for *day* (cached)."""
         cached = self._pfx2as_cache.get(day)

@@ -1,0 +1,38 @@
+"""Fixture for the unordered-futures rule.
+
+Analyzed under ``repro/parallel/fixture_futures.py`` — inside the
+parallel package, where results must be collected in shard-index order,
+never completion order.
+"""
+
+import concurrent.futures
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed  # expect: unordered-futures
+
+
+def merge_in_completion_order(task, shards):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task, shard) for shard in shards]
+        return [
+            future.result()
+            for future in as_completed(futures)  # expect: unordered-futures
+        ]
+
+
+def merge_via_module_attribute(task, shards):
+    with ProcessPoolExecutor() as pool:
+        futures = {pool.submit(task, s): s for s in shards}
+        done = concurrent.futures.as_completed(futures)  # expect: unordered-futures
+        return [future.result() for future in done]
+
+
+def merge_via_imap_unordered(pool, task, shards):
+    return list(pool.imap_unordered(task, shards))  # expect: unordered-futures
+
+
+def merge_in_shard_order(task, shards):
+    # The sanctioned pattern: submit everything, then consume the
+    # futures list in shard-index order.
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task, shard) for shard in shards]
+        return [future.result() for future in futures]

@@ -30,6 +30,7 @@ CASES = [
     ("swallowed_exception.py", "repro/stream/fixture_swallowed.py"),
     ("mutable_default.py", "repro/reporting/fixture_mutable.py"),
     ("schema_drift.py", "repro/core/fixture_schema.py"),
+    ("unordered_futures.py", "repro/parallel/fixture_futures.py"),
 ]
 
 
@@ -94,6 +95,26 @@ def test_wall_clock_scoped_to_deterministic_packages():
     source = (FIXTURES / "wall_clock.py").read_text()
     result = Analyzer().analyze_source(
         source, "wall_clock.py", module="repro/reporting/fixture.py"
+    )
+    assert not result.findings
+
+
+def test_unordered_futures_scoped_to_parallel_package():
+    source = (FIXTURES / "unordered_futures.py").read_text()
+    result = Analyzer().analyze_source(
+        source, "unordered_futures.py", module="repro/stream/fixture.py"
+    )
+    assert not any(f.rule == "unordered-futures" for f in result.findings)
+
+
+def test_parallel_executor_is_clean():
+    # The real executor must satisfy its own rule.
+    path = (
+        Path(__file__).resolve().parents[2]
+        / "src" / "repro" / "parallel" / "executor.py"
+    )
+    result = Analyzer().analyze_source(
+        path.read_text(), str(path), module="repro/parallel/executor.py"
     )
     assert not result.findings
 

@@ -130,3 +130,55 @@ class TestSegmentEnrichment:
         enriched = enricher.enrich_segments(prober.observe_segments(name))
         for left, right in zip(enriched, enriched[1:]):
             assert left.end == right.start
+
+
+class TestHotPathCaches:
+    def test_each_address_parses_once(self, tiny_world):
+        fresh = AsnEnricher(tiny_world)
+        address = tiny_world.hosters[0].host_address("probe.example")
+        first = fresh._parse(address)
+        assert fresh._parse(address) is first
+        assert str(first) == address
+
+    def test_string_and_parsed_lookups_agree(self, tiny_world, enricher):
+        import ipaddress
+
+        pfx2as = tiny_world.pfx2as_at(0)
+        addresses = [
+            hoster.host_address("probe.example")
+            for hoster in tiny_world.hosters[:5]
+        ]
+        for address in addresses:
+            assert pfx2as.lookup(address) == pfx2as.lookup(
+                ipaddress.ip_address(address)
+            )
+
+    def test_interning_shares_enriched_observations(self, tiny_world):
+        fresh = AsnEnricher(tiny_world)
+        prober = FastProber(tiny_world)
+        name = tiny_world.thirdparties["ENOM"].domains[0]
+        raw = prober.observe_segments(name)
+        first = fresh.enrich_segments(raw)
+        hits_after_first = fresh.intern_hits
+        second = fresh.enrich_segments(raw)
+        assert second == first
+        # The rerun re-derives every (observation, origins) pair, so each
+        # segment is an intern hit the second time around.
+        assert fresh.intern_hits >= hits_after_first + len(second)
+        for left, right in zip(first, second):
+            assert left.observation is right.observation
+
+    def test_diversion_reuses_interned_observation(self, tiny_world):
+        """A BGP flap returning to the original origins shares one object."""
+        fresh = AsnEnricher(tiny_world)
+        prober = FastProber(tiny_world)
+        name = tiny_world.thirdparties["ENOM"].domains[0]
+        enriched = fresh.enrich_segments(prober.observe_segments(name))
+        by_key = {}
+        for segment in enriched:
+            key = segment.observation.asns
+            if key in by_key:
+                assert segment.observation is by_key[key]
+            else:
+                by_key[key] = segment.observation
+        assert len(by_key) < len(enriched)

@@ -1,0 +1,80 @@
+"""Sharding primitives: stable assignment, disjoint cover, contiguity."""
+
+import pytest
+
+from repro.parallel.sharding import chunk_records, partition_names, shard_of
+from repro.world.ipam import stable_hash
+
+NAMES = [f"domain-{i:04d}.com" for i in range(500)]
+
+
+class TestShardOf:
+    def test_matches_stable_hash(self):
+        for name in NAMES[:50]:
+            assert shard_of(name, 7) == stable_hash(name) % 7
+
+    def test_stable_across_calls(self):
+        assert [shard_of(n, 13) for n in NAMES] == [
+            shard_of(n, 13) for n in NAMES
+        ]
+
+    def test_in_range(self):
+        assert all(0 <= shard_of(n, 5) < 5 for n in NAMES)
+
+    def test_single_shard(self):
+        assert all(shard_of(n, 1) == 0 for n in NAMES)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_of("example.com", 0)
+
+
+class TestPartitionNames:
+    def test_disjoint_cover(self):
+        shards = partition_names(NAMES, 8)
+        assert len(shards) == 8
+        flat = [name for shard in shards for name in shard]
+        assert sorted(flat) == sorted(NAMES)
+        assert len(flat) == len(set(flat))
+
+    def test_members_keep_input_order(self):
+        shards = partition_names(NAMES, 8)
+        order = {name: index for index, name in enumerate(NAMES)}
+        for shard in shards:
+            assert shard == sorted(shard, key=order.__getitem__)
+
+    def test_assignment_independent_of_membership(self):
+        """A name's shard doesn't depend on which other names are present."""
+        full = partition_names(NAMES, 8)
+        half = partition_names(NAMES[::2], 8)
+        for index, shard in enumerate(half):
+            for name in shard:
+                assert name in full[index]
+
+    def test_roughly_balanced(self):
+        shards = partition_names(NAMES, 8)
+        sizes = [len(shard) for shard in shards]
+        assert min(sizes) > 0
+        assert max(sizes) < 3 * len(NAMES) // 8
+
+
+class TestChunkRecords:
+    def test_contiguous_cover(self):
+        records = list(range(103))
+        chunks = chunk_records(records, 8)
+        assert len(chunks) == 8
+        assert [r for chunk in chunks for r in chunk] == records
+
+    def test_sizes_differ_by_at_most_one(self):
+        chunks = chunk_records(list(range(103)), 8)
+        sizes = {len(chunk) for chunk in chunks}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_records(self):
+        chunks = chunk_records([1, 2], 5)
+        assert [r for chunk in chunks for r in chunk] == [1, 2]
+        assert len(chunks) == 5
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_records([1], 0)

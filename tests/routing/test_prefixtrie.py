@@ -159,3 +159,87 @@ def test_insert_remove_leaves_trie_empty(entries):
     assert len(trie) == 0
     for network in entries:
         assert trie.get(network) is None
+
+
+class TestLpmCache:
+    def _trie(self, **kwargs):
+        trie = PrefixTrie(**kwargs)
+        trie.insert("10.0.0.0/8", "coarse")
+        trie.insert("10.1.0.0/16", "fine")
+        return trie
+
+    def test_repeat_lookup_hits_cache(self):
+        trie = self._trie()
+        first = trie.longest_match("10.1.2.3")
+        assert (trie.lpm_cache_hits, trie.lpm_cache_misses) == (0, 1)
+        second = trie.longest_match("10.1.2.3")
+        assert (trie.lpm_cache_hits, trie.lpm_cache_misses) == (1, 1)
+        assert second == first
+
+    def test_negative_lookup_is_cached(self):
+        trie = self._trie()
+        assert trie.longest_match("192.0.2.1") is None
+        assert trie.longest_match("192.0.2.1") is None
+        assert trie.lpm_cache_hits == 1
+
+    def test_string_and_parsed_forms_share_entries_and_agree(self):
+        trie = self._trie()
+        from_text = trie.longest_match("10.1.2.3")
+        from_parsed = trie.longest_match(ipaddress.ip_address("10.1.2.3"))
+        assert from_parsed == from_text
+        assert trie.lpm_cache_hits == 1  # same packed-int key
+
+    def test_insert_invalidates(self):
+        trie = self._trie()
+        assert trie.longest_match("10.1.2.3")[1] == "fine"
+        trie.insert("10.1.2.0/24", "finer")
+        result = trie.longest_match("10.1.2.3")
+        assert result[1] == "finer"
+        assert trie.lpm_cache_hits == 0
+
+    def test_remove_invalidates(self):
+        trie = self._trie()
+        assert trie.longest_match("10.1.2.3")[1] == "fine"
+        trie.remove("10.1.0.0/16")
+        assert trie.longest_match("10.1.2.3")[1] == "coarse"
+        assert trie.lpm_cache_hits == 0
+
+    def test_size_zero_disables_caching(self):
+        trie = self._trie(lpm_cache_size=0)
+        for _ in range(3):
+            assert trie.longest_match("10.1.2.3")[1] == "fine"
+        assert (trie.lpm_cache_hits, trie.lpm_cache_misses) == (0, 0)
+        assert not trie._lpm_cache
+
+    def test_rejects_negative_cache_size(self):
+        with pytest.raises(ValueError):
+            PrefixTrie(lpm_cache_size=-1)
+
+    def test_lru_eviction_bounds_size(self):
+        trie = self._trie(lpm_cache_size=2)
+        trie.longest_match("10.1.0.1")
+        trie.longest_match("10.1.0.2")
+        trie.longest_match("10.1.0.3")  # evicts 10.1.0.1
+        assert len(trie._lpm_cache) == 2
+        trie.longest_match("10.1.0.1")
+        assert trie.lpm_cache_misses == 4
+        assert trie.lpm_cache_hits == 0
+
+    def test_lru_recency_is_refreshed_on_hit(self):
+        trie = self._trie(lpm_cache_size=2)
+        trie.longest_match("10.1.0.1")
+        trie.longest_match("10.1.0.2")
+        trie.longest_match("10.1.0.1")  # refresh → 10.1.0.2 is now LRU
+        trie.longest_match("10.1.0.3")  # evicts 10.1.0.2
+        trie.longest_match("10.1.0.1")
+        assert trie.lpm_cache_hits == 2
+
+    def test_cached_results_agree_with_uncached(self):
+        cached = self._trie()
+        uncached = self._trie(lpm_cache_size=0)
+        probes = [f"10.{i % 3}.{i % 7}.{i % 11}" for i in range(50)] * 2
+        for probe in probes:
+            assert cached.longest_match(probe) == uncached.longest_match(
+                probe
+            )
+        assert cached.lpm_cache_hits > 0

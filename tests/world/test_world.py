@@ -80,6 +80,15 @@ class TestRoutingView:
         world.add_routing_event(30, "10.200.0.0/24", frozenset({1}))
         assert 30 in world.routing_change_days()
 
+    def test_routing_events_accessor_is_day_sorted(self, world):
+        world.add_routing_event(50, "10.202.0.0/24", frozenset({3}))
+        world.add_routing_event(20, "10.203.0.0/24", frozenset({4}))
+        events = world.routing_events()
+        days = [day for day, _, _ in events]
+        assert days == sorted(days)
+        assert (20, "10.203.0.0/24", frozenset({4})) in events
+        assert (50, "10.202.0.0/24", frozenset({3})) in events
+
     def test_snapshot_caching_invalidated_by_new_events(self, world):
         first = world.pfx2as_at(10)
         assert world.pfx2as_at(10) is first
