@@ -10,6 +10,7 @@ Commands::
     measure      run one day's measurement and store it columnar on disk
     stream       tail the world day-by-day with the incremental engine
     analyze      run the determinism & invariant linter over source trees
+    faults       list fault-injection sites / print an example fault plan
 
 Every command accepts ``--scale`` and ``--seed``; the world is rebuilt
 deterministically from those, so output is reproducible.
@@ -36,6 +37,21 @@ ARTIFACTS = (
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
     "fig8", "anomalies", "exposure",
 )
+
+#: artifact → detection scopes it renders from. An artifact is skipped
+#: when any of its scopes is quarantined by a fault plan (its numbers
+#: would be the zeroed placeholders, not measurements).
+ARTIFACT_SCOPES = {
+    "fig2": ("gtld",),
+    "fig3": ("gtld",),
+    "fig4": ("gtld",),
+    "fig5": ("gtld",),
+    "fig6": ("nl", "alexa"),
+    "fig7": ("gtld",),
+    "fig8": ("gtld",),
+    "anomalies": ("gtld",),
+    "exposure": ("gtld",),
+}
 
 
 def _add_world_options(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--shard-count", type=int, default=None, metavar="M",
         help="number of hash shards for --workers (default: 4 per worker)",
+    )
+    study.add_argument(
+        "--fault-plan", metavar="PLAN.JSON",
+        help=(
+            "run under this fault plan (see 'repro faults'); injected "
+            "faults are retried/contained and accounted in the output"
+        ),
     )
 
     resolve = commands.add_parser(
@@ -184,6 +207,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="list available rules and exit",
     )
 
+    faults = commands.add_parser(
+        "faults",
+        help="inspect the fault-injection harness (docs/ROBUSTNESS.md)",
+    )
+    faults.add_argument(
+        "--list-sites", action="store_true",
+        help="list injection sites and their kinds (the default)",
+    )
+    faults.add_argument(
+        "--example-plan", action="store_true",
+        help="print an example fault plan JSON for --fault-plan",
+    )
+
     return parser
 
 
@@ -196,13 +232,26 @@ def _cmd_study(args: argparse.Namespace) -> int:
     wanted = set(args.artifact or ["all"])
     if "all" in wanted:
         wanted = set(ARTIFACTS)
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        from repro.faults.plan import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as error:
+            print(
+                f"error: cannot load fault plan {args.fault_plan}: {error}",
+                file=sys.stderr,
+            )
+            return 2
     world = _build_world(args)
-    study = AdoptionStudy(world)
+    study = AdoptionStudy(world, fault_plan=fault_plan)
     results = study.run(
         parallel=args.workers is not None,
         workers=args.workers,
         shard_count=args.shard_count,
     )
+    quarantined = results.quarantined_scopes
     renderers = {
         "table1": lambda: fig.render_table1(results),
         "table2": lambda: fig.render_table2(
@@ -220,18 +269,44 @@ def _cmd_study(args: argparse.Namespace) -> int:
             analyze_exposure(results.detection_gtld)
         ),
     }
+    skipped = []
     for name in ARTIFACTS:
-        if name in wanted:
-            print(renderers[name]())
-            print()
+        if name not in wanted:
+            continue
+        if any(
+            scope in quarantined
+            for scope in ARTIFACT_SCOPES.get(name, ())
+        ):
+            skipped.append(name)
+            continue
+        print(renderers[name]())
+        print()
+    for name in skipped:
+        scopes = ", ".join(
+            scope for scope in ARTIFACT_SCOPES[name] if scope in quarantined
+        )
+        print(f";; {name}: skipped (scope {scopes} quarantined)")
     if args.output:
         from repro.reporting.export import export_study
 
         exportable = [
-            name for name in wanted if name != "table2"
+            name for name in wanted
+            if name != "table2" and name not in skipped
         ]
         written = export_study(results, args.output, artifacts=exportable)
         print(f";; wrote {len(written)} files to {args.output}")
+    if results.fault_log is not None:
+        log = results.fault_log.to_dict()
+        print(
+            ";; faults: "
+            f"{results.fault_log.injections()} injected, "
+            f"retries {sum(log['retries'].values())} "
+            f"({log['backoff_ticks']} backoff ticks), "
+            f"dropped {sum(log['dropped'].values())}, "
+            f"shards retried {log['shards_retried']}"
+        )
+        for scope, reason in sorted(quarantined.items()):
+            print(f";; quarantined {scope}: {reason}")
     return 0
 
 
@@ -468,6 +543,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec
+
+    if args.example_plan:
+        plan = FaultPlan(
+            seed=2016,
+            specs=(
+                FaultSpec("feed.partition", "transient", rate=0.05),
+                FaultSpec("prober.observe", "transient", rate=0.01),
+                FaultSpec(
+                    "study.detect", "poison", keys=("nl",), times=1
+                ),
+            ),
+        )
+        print(plan.to_json())
+        return 0
+    width = max(len(site) for site in FAULT_SITES)
+    print(f"{'SITE':<{width}}  KINDS")
+    for site in sorted(FAULT_SITES):
+        description, kinds = FAULT_SITES[site]
+        print(f"{site:<{width}}  {', '.join(kinds)}")
+        print(f"{'':<{width}}    {description}")
+    return 0
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "resolve": _cmd_resolve,
@@ -477,6 +577,7 @@ _COMMANDS = {
     "measure": _cmd_measure,
     "stream": _cmd_stream,
     "analyze": _cmd_analyze,
+    "faults": _cmd_faults,
 }
 
 

@@ -202,6 +202,24 @@ class DetectionResult:
         return sum(len(v) for v in self.intervals.values())
 
     @classmethod
+    def empty(cls, horizon: int) -> "DetectionResult":
+        """A result over zero observations.
+
+        The quarantine placeholder: a poisoned detection scope exports
+        this instead of partial garbage, so downstream consumers see an
+        explicit all-zero series rather than a misleading one.
+        """
+        return cls(
+            horizon=horizon,
+            providers={},
+            any_use_by_tld={},
+            any_use_combined=[0] * horizon,
+            intervals={},
+            combo_days={},
+            domains_seen=0,
+        )
+
+    @classmethod
     def merge(
         cls, parts: Sequence["DetectionResult"]
     ) -> "DetectionResult":

@@ -29,6 +29,10 @@ from repro.core.flux import FluxAnalysis, FluxSeries
 from repro.core.growth import GrowthAnalysis, GrowthSeries
 from repro.core.peaks import PeakAnalysis, PeakStats
 from repro.core.references import SignatureCatalog
+from repro.faults.errors import PersistentFault
+from repro.faults.inject import FaultyProber
+from repro.faults.plan import FaultInjector, FaultLog, FaultPlan
+from repro.faults.report import SCOPE_EXPORT_KEYS
 from repro.measurement.enrich import AsnEnricher
 from repro.measurement.prober import FastProber
 from repro.measurement.scheduler import ClusterManager
@@ -87,6 +91,10 @@ class StudyResults:
     segments: Dict[str, List[ObservationSegment]] = field(
         default_factory=dict, repr=False
     )
+    #: Fault accounting for runs under a fault plan (None on clean runs).
+    fault_log: Optional[FaultLog] = None
+    #: scope → reason for scopes quarantined during this run.
+    quarantined_scopes: Dict[str, str] = field(default_factory=dict)
 
     def provider_growth_factor(self) -> float:
         """The headline number: DPS adoption growth over the gTLD window."""
@@ -105,6 +113,7 @@ class AdoptionStudy:
         catalog: Optional[SignatureCatalog] = None,
         growth: Optional[GrowthAnalysis] = None,
         sample_days_for_storage: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.world = world
         self.catalog = catalog or SignatureCatalog.paper_table2()
@@ -112,6 +121,26 @@ class AdoptionStudy:
         self._sample_days = sample_days_for_storage
         self.prober = FastProber(world)
         self.enricher = AsnEnricher(world)
+        #: Fault-injection state. With a plan, the prober is wrapped in a
+        #: retrying :class:`FaultyProber` and every fault/retry/quarantine
+        #: is accounted to :attr:`fault_log`.
+        self.fault_plan = fault_plan
+        self.fault_log = FaultLog()
+        self.quarantined_scopes: Dict[str, str] = {}
+        self._injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self._injector = fault_plan.injector(self.fault_log)
+            self.prober = FaultyProber(  # type: ignore[assignment]
+                self.prober, world, self._injector
+            )
+
+    def quarantine_scope(self, scope: str, reason: str) -> None:
+        """Contain a poisoned *scope*: its artifacts are zeroed, not trusted."""
+        if scope not in SCOPE_EXPORT_KEYS:
+            raise ValueError(f"unknown scope {scope!r}")
+        if scope not in self.quarantined_scopes:
+            self.quarantined_scopes[scope] = reason
+            self.fault_log.record_quarantine(scope, reason)
 
     # -- measurement -----------------------------------------------------------
 
@@ -123,7 +152,17 @@ class AdoptionStudy:
             names = list(self.world.domains)
         segments: Dict[str, List[ObservationSegment]] = {}
         for name in names:
-            raw = self.prober.observe_segments(name)
+            try:
+                raw = self.prober.observe_segments(name)
+            except PersistentFault as exc:
+                # Retries are exhausted: the domain's history is gone for
+                # this run. Contain the damage — quarantine every scope
+                # the domain feeds and keep measuring the rest.
+                for scope in exc.scopes:
+                    self.quarantine_scope(scope, str(exc))
+                self.fault_log.record_drop("prober.observe")
+                segments[name] = []
+                continue
             segments[name] = self.enricher.enrich_segments(raw)
         return segments
 
@@ -224,34 +263,63 @@ class AdoptionStudy:
             flux = FluxAnalysis(horizon).analyze(detection_gtld)
             peaks = PeakAnalysis(horizon).analyze(detection_gtld)
 
+        # The study.detect fault site: an injected poison here models a
+        # detection stage blowing up on one scope's data.
+        if self._injector is not None:
+            for scope in sorted(SCOPE_EXPORT_KEYS):
+                event = self._injector.fire("study.detect", key=scope)
+                if event is not None:
+                    self.quarantine_scope(
+                        scope, f"injected detection poison ({scope})"
+                    )
+
+        # Quarantined scopes contribute empty artifacts — their export
+        # keys are untrusted and stripped by scope-aware comparison; the
+        # remaining scopes are byte-identical to a clean run.
+        quarantined = set(self.quarantined_scopes)
+        if "gtld" in quarantined:
+            detection_gtld = DetectionResult.empty(horizon)
+            flux = {}
+            peaks = {}
+        if "nl" in quarantined:
+            detection_nl = DetectionResult.empty(horizon)
+        if "alexa" in quarantined:
+            detection_alexa = DetectionResult.empty(horizon)
+
         zone_sizes = {
             tld: world.zone_size_series(tld)
             for tld in list(GTLDS) + ["nl"]
         }
 
         # Fig. 5: gTLD adoption vs expansion, relative to the window start.
+        # Growth labels of a quarantined scope are skipped outright:
+        # an all-zero adoption series has no meaningful growth factor.
         expansion = [
             sum(zone_sizes[tld][day] for tld in GTLDS)
             for day in range(horizon)
         ]
-        growth_gtld = self.growth.compare(
-            {
-                "DPS adoption": detection_gtld.any_use_combined,
-                "Overall expansion": expansion,
-            }
-        )
+        gtld_growth_inputs: Dict[str, Sequence[float]] = {}
+        if "gtld" not in quarantined:
+            gtld_growth_inputs["DPS adoption"] = (
+                detection_gtld.any_use_combined
+            )
+            gtld_growth_inputs["Overall expansion"] = expansion
+        growth_gtld = self.growth.compare(gtld_growth_inputs)
 
         # Fig. 6: .nl and Alexa over the six-month window.
-        nl_adoption = detection_nl.any_use_combined[window_start:]
-        nl_expansion = zone_sizes["nl"][window_start:]
-        alexa_adoption = detection_alexa.any_use_combined[window_start:]
-        growth_cc = self.growth.compare(
-            {
-                "DPS adoption (.nl)": nl_adoption,
-                "Overall expansion (.nl)": nl_expansion,
-                "DPS adoption (Alexa)": alexa_adoption,
-            }
-        )
+        cc_growth_inputs: Dict[str, Sequence[float]] = {}
+        if "nl" not in quarantined:
+            cc_growth_inputs["DPS adoption (.nl)"] = (
+                detection_nl.any_use_combined[window_start:]
+            )
+            cc_growth_inputs["Overall expansion (.nl)"] = (
+                zone_sizes["nl"][window_start:]
+            )
+        if "alexa" not in quarantined:
+            cc_growth_inputs["DPS adoption (Alexa)"] = (
+                detection_alexa.any_use_combined[window_start:]
+            )
+        growth_cc = self.growth.compare(cc_growth_inputs)
 
         lifetimes = {
             name: timeline.lifespan(horizon)
@@ -286,6 +354,10 @@ class AdoptionStudy:
             dataset_table=dataset_table,
             attributions=attributions,
             segments=segments,
+            fault_log=(
+                self.fault_log if self.fault_plan is not None else None
+            ),
+            quarantined_scopes=dict(self.quarantined_scopes),
         )
 
     # -- Fig. 4 -----------------------------------------------------------------

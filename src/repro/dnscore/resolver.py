@@ -20,7 +20,7 @@ from repro.dnscore.message import Flags, Message, make_query
 from repro.dnscore.records import ResourceRecord
 from repro.dnscore.rrtypes import Rcode, RRType
 from repro.dnscore.transport import IPAddress, SimulatedNetwork, TransportError
-from repro.dnscore.wire import decode_message, encode_message
+from repro.dnscore.wire import WireDecodeError, decode_message, encode_message
 
 MAX_REFERRALS = 24
 MAX_CNAME_DEPTH = 12
@@ -171,7 +171,12 @@ class StubResolver:
             except TransportError as exc:
                 last_error = exc
                 continue
-            response = decode_message(raw)
+            try:
+                response = decode_message(raw)
+            except WireDecodeError as exc:
+                # A garbled response is operationally a lost one: retry.
+                last_error = exc
+                continue
             if response.msg_id != request.msg_id:
                 raise ResolutionError("response id mismatch")
             return response
@@ -342,7 +347,13 @@ class IterativeResolver:
                 except TransportError as exc:
                     last_error = exc
                     continue
-                response = decode_message(raw)
+                try:
+                    response = decode_message(raw)
+                except WireDecodeError as exc:
+                    # A garbled response is operationally a lost one:
+                    # count the attempt and try again / move on.
+                    last_error = exc
+                    continue
                 if response.msg_id != request.msg_id:
                     raise ResolutionError("response id mismatch")
                 if response.flags.tc:
@@ -354,7 +365,11 @@ class IterativeResolver:
                     except TransportError as exc:
                         last_error = exc
                         continue
-                    response = decode_message(raw)
+                    try:
+                        response = decode_message(raw)
+                    except WireDecodeError as exc:
+                        last_error = exc
+                        continue
                     if response.msg_id != request.msg_id:
                         raise ResolutionError("response id mismatch")
                 return response

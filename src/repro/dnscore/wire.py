@@ -29,6 +29,11 @@ class WireDecodeError(ValueError):
     """Raised when a wire message is malformed."""
 
 
+#: Public alias: *any* decoder failure is a WireError — the contract the
+#: fuzz suite enforces (never IndexError / struct.error / KeyError).
+WireError = WireDecodeError
+
+
 class _Compressor:
     """Accumulates output bytes and the name-compression table."""
 
@@ -306,6 +311,14 @@ def _decode_record(reader: _Reader):
         except ValueError as exc:
             raise WireDecodeError(f"bad OPT record: {exc}") from exc
     try:
+        rrclass = RRClass(class_value)
+    except ValueError as exc:
+        # Found by fuzzing: an unknown class leaked a plain ValueError
+        # out of the typed WireDecodeError contract.
+        raise WireDecodeError(
+            f"unknown RR class {class_value}"
+        ) from exc
+    try:
         rrtype = RRType(type_value)
         rdata_cls = RDATA_CLASSES.get(rrtype)
     except ValueError:
@@ -315,7 +328,7 @@ def _decode_record(reader: _Reader):
         rdata = OpaqueData(type_value, reader.read(rdlength))
         record_type = rrtype if rrtype is not None else type_value
         record = ResourceRecord(
-            name, record_type, rdata, ttl=ttl, rrclass=RRClass(class_value)
+            name, record_type, rdata, ttl=ttl, rrclass=rrclass
         )
     else:
         try:
@@ -328,7 +341,7 @@ def _decode_record(reader: _Reader):
                 f"(expected end {end}, at {reader.offset})"
             )
         record = ResourceRecord(
-            name, rrtype, rdata, ttl=ttl, rrclass=RRClass(class_value)
+            name, rrtype, rdata, ttl=ttl, rrclass=rrclass
         )
     return record
 

@@ -1,0 +1,69 @@
+"""Typed exceptions for injected faults.
+
+Injected faults are first-class, typed errors so hardened code can react
+by *policy* — retry a transient, quarantine on a persistent, re-execute
+a crashed shard — instead of pattern-matching strings. Production code
+never raises these itself; only the injection shims do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, Tuple
+
+
+class FaultError(Exception):
+    """Base class for every fault-harness error."""
+
+
+class InjectedFault(FaultError):
+    """An artificial failure produced by a :class:`FaultInjector`.
+
+    Carries the site and kind so retry layers and logs can attribute it.
+    """
+
+    def __init__(self, site: str, kind: str, key: str = "") -> None:
+        detail = f" [{key}]" if key else ""
+        super().__init__(f"injected {kind} fault at {site}{detail}")
+        self.site = site
+        self.kind = kind
+        self.key = key
+
+    def __reduce__(self) -> Tuple[Callable[..., Any], Tuple[Any, ...]]:
+        # Exception pickling replays the constructor with ``args`` (the
+        # formatted message) — wrong arity here. A worker-raised crash
+        # must survive the trip back through the process pool intact.
+        return (type(self), (self.site, self.kind, self.key))
+
+
+class TransientFault(InjectedFault):
+    """A fault that a bounded retry is expected to clear."""
+
+
+class PersistentFault(FaultError):
+    """A fault that survived every retry attempt.
+
+    *scopes* names the detection scopes the failure poisons; the caller
+    quarantines them instead of aborting the run.
+    """
+
+    def __init__(
+        self, message: str, scopes: Sequence[str] = ()
+    ) -> None:
+        super().__init__(message)
+        self.scopes: Tuple[str, ...] = tuple(scopes)
+
+    def __reduce__(self) -> Tuple[Callable[..., Any], Tuple[Any, ...]]:
+        # Without this, unpickling rebuilds from the message alone and
+        # silently drops the poisoned scopes.
+        return (type(self), (str(self), self.scopes))
+
+
+class WorkerCrash(InjectedFault):
+    """A worker process dying mid-shard (simulated).
+
+    ``shard_retryable`` is the duck-typed marker
+    :class:`~repro.parallel.executor.ShardedExecutor` looks for when
+    deciding to re-execute the shard in the parent process.
+    """
+
+    shard_retryable = True

@@ -100,6 +100,9 @@ class WireProber:
         self._loss_rate = loss_rate
         self._seed = seed
         self.queries_sent = 0
+        #: Lookups that fell back to an empty answer after resolution
+        #: failed outright — the wire path's visible degradation counter.
+        self.degraded_lookups = 0
 
     def observe_day(
         self, names: Sequence[str], day: int
@@ -157,6 +160,7 @@ class WireProber:
         try:
             result = resolver.resolve(name, rrtype)
         except ResolutionError:
+            self.degraded_lookups += 1
             return []
         self.queries_sent += result.queries_sent
         if result.rcode != Rcode.NOERROR:
@@ -169,6 +173,7 @@ class WireProber:
         try:
             result = resolver.resolve(name, rrtype)
         except ResolutionError:
+            self.degraded_lookups += 1
             return [], ()
         self.queries_sent += result.queries_sent
         if result.rcode != Rcode.NOERROR:
@@ -183,6 +188,7 @@ class WireProber:
         try:
             result = resolver.resolve(name, RRType.NS)
         except ResolutionError:
+            self.degraded_lookups += 1
             return []
         self.queries_sent += result.queries_sent
         if result.rcode != Rcode.NOERROR:

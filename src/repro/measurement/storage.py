@@ -35,6 +35,16 @@ _COLUMNS = (
 )
 
 
+class StorageError(Exception):
+    """A stored partition is missing, truncated, or fails its checksum.
+
+    Every load-path failure surfaces as this type — never a raw
+    ``zlib.error`` / ``JSONDecodeError`` / ``OSError`` leaking encoding
+    internals — so callers can degrade by policy (skip the partition,
+    quarantine its scope) instead of dying on a damaged segment.
+    """
+
+
 def _encode_column(values: Sequence) -> bytes:
     """Dictionary+run-length encode one column, then deflate it.
 
@@ -83,6 +93,8 @@ class ColumnStore:
     def __init__(self) -> None:
         self._partitions: Dict[Tuple[str, int], Dict[str, list]] = {}
         self._encoded: Dict[Tuple[str, int], Dict[str, bytes]] = {}
+        #: (source, day, reason) for partitions dropped by a lenient load.
+        self.skipped_partitions: List[Tuple[str, int, str]] = []
 
     # -- writing ------------------------------------------------------------
 
@@ -193,6 +205,10 @@ class ColumnStore:
                     "day": day,
                     "rows": self.row_count(source, day),
                     "columns": sorted(encoded),
+                    "checksums": {
+                        column: zlib.crc32(encoded[column])
+                        for column in sorted(encoded)
+                    },
                 }
             )
         manifest_path = os.path.join(directory, "manifest.json")
@@ -203,25 +219,79 @@ class ColumnStore:
         return written
 
     @classmethod
-    def load(cls, directory: str) -> "ColumnStore":
-        """Rebuild a store from :meth:`save` output."""
+    def load(cls, directory: str, on_error: str = "raise") -> "ColumnStore":
+        """Rebuild a store from :meth:`save` output.
+
+        Segment files are verified against the manifest's CRC-32
+        checksums (when present — older manifests lack them) and row
+        counts. A damaged partition raises :class:`StorageError`, or —
+        with ``on_error="skip"`` — is dropped whole and recorded in
+        :attr:`skipped_partitions`, so one rotten day costs one day of
+        data, not the run.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError("on_error must be 'raise' or 'skip'")
         manifest_path = os.path.join(directory, "manifest.json")
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise StorageError(f"cannot read manifest: {exc}") from exc
+        except ValueError as exc:
+            raise StorageError(f"corrupt manifest: {exc}") from exc
         store = cls()
         for entry in manifest:
             source = entry["source"]
             day = int(entry["day"])
-            partition_dir = os.path.join(directory, source, str(day))
-            columns: Dict[str, list] = {}
-            for column in entry["columns"]:
-                path = os.path.join(partition_dir, f"{column}.col")
-                with open(path, "rb") as handle:
-                    columns[column] = _decode_column(handle.read())
+            try:
+                columns = cls._load_partition(directory, entry)
+            except (StorageError, OSError) as exc:
+                if on_error == "raise":
+                    raise
+                store.skipped_partitions.append((source, day, str(exc)))
+                continue
             store._partitions[(source, day)] = {
                 column: columns.get(column, []) for column in _COLUMNS
             }
         return store
+
+    @staticmethod
+    def _load_partition(
+        directory: str, entry: Dict[str, object]
+    ) -> Dict[str, list]:
+        """Read and verify one manifest entry's column files."""
+        source = str(entry["source"])
+        day = int(entry["day"])  # type: ignore[arg-type]
+        partition_dir = os.path.join(directory, source, str(day))
+        checksums = entry.get("checksums", {})
+        rows = entry.get("rows")
+        columns: Dict[str, list] = {}
+        for column in entry["columns"]:  # type: ignore[attr-defined]
+            path = os.path.join(partition_dir, f"{column}.col")
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except OSError as exc:
+                raise StorageError(
+                    f"missing segment file {path}: {exc}"
+                ) from exc
+            expected = checksums.get(column)  # type: ignore[union-attr]
+            if expected is not None and zlib.crc32(blob) != expected:
+                raise StorageError(f"checksum mismatch in {path}")
+            try:
+                values = _decode_column(blob)
+            except (zlib.error, ValueError, KeyError, IndexError,
+                    TypeError) as exc:
+                raise StorageError(
+                    f"cannot decode segment {path}: {exc}"
+                ) from exc
+            if rows is not None and len(values) != rows:
+                raise StorageError(
+                    f"row count mismatch in {path}: "
+                    f"{len(values)} != {rows}"
+                )
+            columns[column] = values
+        return columns
 
     def total_stats(self, source: Optional[str] = None) -> PartitionStats:
         """Aggregate stats over all (or one source's) partitions."""

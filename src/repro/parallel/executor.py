@@ -16,6 +16,14 @@ pool *initializer*: under the default ``fork`` start method it is
 inherited by workers without pickling, so closures (e.g. the mappers in
 :mod:`repro.mapreduce.jobs`) work and the world is shipped once, not
 once per shard.
+
+Worker-death containment: a shard whose worker dies (a broken pool, or
+an exception marked ``shard_retryable`` such as
+:class:`~repro.faults.errors.WorkerCrash`) is re-executed **in the
+parent process, in shard-index order, under fault suppression** — the
+same fault plan cannot re-kill the retried shard, and the merged output
+stays byte-identical because retried results land back at their shard
+index. :attr:`ShardedExecutor.shards_retried` counts the re-executions.
 """
 
 from __future__ import annotations
@@ -23,7 +31,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    cast,
+)
+
+from repro.faults.runtime import fault_suppression
 
 S = TypeVar("S")  # shard payload
 R = TypeVar("R")  # shard result
@@ -57,6 +77,11 @@ def _mp_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
+def _shard_retryable(error: BaseException) -> bool:
+    """Whether a failed shard should be re-executed in the parent."""
+    return bool(getattr(error, "shard_retryable", False))
+
+
 class ShardedExecutor:
     """Runs an indexed task over shards with deterministic collection."""
 
@@ -71,6 +96,8 @@ class ShardedExecutor:
         if shard_count < 1:
             raise ValueError("shard_count must be >= 1")
         self.shard_count = shard_count
+        #: Shards re-executed in the parent after a worker death.
+        self.shards_retried = 0
 
     def map_shards(
         self,
@@ -83,15 +110,27 @@ class ShardedExecutor:
 
         Results are returned in shard-index order regardless of which
         worker finishes first. With ``workers == 1`` everything runs in
-        this process and no multiprocessing path is taken.
+        this process and no multiprocessing path is taken. A shard lost
+        to a worker death is re-executed here in the parent (see module
+        docstring); any other shard exception propagates unchanged.
         """
         if self.workers == 1 or len(shards) <= 1:
             if initializer is not None:
                 initializer(*initargs)
-            return [
-                task(index, shard) for index, shard in enumerate(shards)
-            ]
+            results: List[R] = []
+            for index, shard in enumerate(shards):
+                try:
+                    results.append(task(index, shard))
+                except Exception as error:
+                    if not _shard_retryable(error):
+                        raise
+                    self.shards_retried += 1
+                    with fault_suppression():
+                        results.append(task(index, shard))
+            return results
         pool_size = min(self.workers, len(shards))
+        collected: List[Optional[R]] = []
+        failed: List[int] = []
         with ProcessPoolExecutor(
             max_workers=pool_size,
             mp_context=_mp_context(),
@@ -103,4 +142,28 @@ class ShardedExecutor:
                 for index, shard in enumerate(shards)
             ]
             # Consume in shard-index order — the determinism contract.
-            return [future.result() for future in futures]
+            for index, future in enumerate(futures):
+                try:
+                    collected.append(future.result())
+                except BrokenProcessPool:
+                    # The worker process died outright; every pending
+                    # future on this pool fails the same way, and all of
+                    # them are re-executed below.
+                    collected.append(None)
+                    failed.append(index)
+                except Exception as error:
+                    if not _shard_retryable(error):
+                        raise
+                    collected.append(None)
+                    failed.append(index)
+        if failed:
+            # Re-execute lost shards here: initialise the parent like a
+            # worker, then run each shard with fault injection
+            # suppressed so the same plan cannot re-kill the retry.
+            if initializer is not None:
+                initializer(*initargs)
+            with fault_suppression():
+                for index in failed:
+                    self.shards_retried += 1
+                    collected[index] = task(index, shards[index])
+        return cast(List[R], collected)

@@ -17,12 +17,14 @@ has already aggregated exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.detection import DetectionResult
 from repro.core.flux import FluxAnalysis, FluxSeries
 from repro.core.peaks import PeakAnalysis, PeakStats
+from repro.faults.errors import WorkerCrash
+from repro.faults.plan import FaultLog, FaultPlan
 from repro.measurement.snapshot import ObservationSegment
 from repro.parallel.executor import ShardedExecutor
 from repro.parallel.sharding import partition_names
@@ -43,6 +45,10 @@ class StudyMeasurement:
     detection_alexa: DetectionResult
     flux: Dict[str, FluxSeries]
     peaks: Dict[str, PeakStats]
+    #: This shard's fault accounting (empty on clean runs).
+    fault_log: FaultLog = field(default_factory=FaultLog)
+    #: scope → reason quarantined while measuring this shard.
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
 
 #: Per-worker-process study instance (set by the pool initializer).
@@ -50,13 +56,15 @@ _WORKER_STUDY: Optional["AdoptionStudy"] = None
 
 
 def _init_study_worker(
-    world: "World", catalog: "SignatureCatalog"
+    world: "World",
+    catalog: "SignatureCatalog",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Build this worker's study once; shards reuse its caches."""
     global _WORKER_STUDY
     from repro.core.pipeline import AdoptionStudy
 
-    _WORKER_STUDY = AdoptionStudy(world, catalog)
+    _WORKER_STUDY = AdoptionStudy(world, catalog, fault_plan=fault_plan)
 
 
 def _study_shard(
@@ -67,6 +75,21 @@ def _study_shard(
     assert study is not None, "worker initializer did not run"
     domain_names, alexa_names = payload
     from repro.core.pipeline import GTLDS
+
+    # Per-shard accounting: a worker process handles many shards with
+    # one study, so reset the log/quarantine surfaces between shards —
+    # otherwise each returned part would snapshot the cumulative log
+    # and the parent merge would double-count.
+    study.fault_log = FaultLog()
+    study.quarantined_scopes = {}
+    injector = study._injector
+    if injector is not None:
+        injector.log = study.fault_log
+        event = injector.fire("parallel.executor", key=str(shard_index))
+        if event is not None:
+            # Models this worker dying mid-shard; the executor
+            # re-executes the shard in the parent under suppression.
+            raise WorkerCrash(event.site, event.kind, event.key)
 
     segments = study.collect_segments(domain_names)
     gtld_names = [
@@ -88,6 +111,8 @@ def _study_shard(
         detection_alexa=study.detect_alexa(segments, alexa_names),
         flux=FluxAnalysis(horizon).analyze(detection_gtld),
         peaks=PeakAnalysis(horizon).analyze(detection_gtld),
+        fault_log=study.fault_log,
+        quarantined=dict(study.quarantined_scopes),
     )
 
 
@@ -112,8 +137,17 @@ def run_sharded_measurement(
         _study_shard,
         list(zip(domain_shards, alexa_shards)),
         initializer=_init_study_worker,
-        initargs=(study.world, study.catalog),
+        initargs=(study.world, study.catalog, study.fault_plan),
     )
+
+    # Fold worker-side fault accounting and quarantines back into the
+    # parent study (shard-index order keeps the merge deterministic).
+    for part in parts:
+        for scope, reason in sorted(part.quarantined.items()):
+            study.quarantine_scope(scope, reason)
+        study.fault_log.absorb(part.fault_log)
+    for _ in range(executor.shards_retried):
+        study.fault_log.record_shard_retry()
 
     merged_segments: Dict[str, List[ObservationSegment]] = {}
     for part in parts:

@@ -17,9 +17,14 @@ from repro.reporting import figures
 
 
 def study_to_dict(results: StudyResults) -> Dict:
-    """A JSON-serialisable summary of a study's numeric results."""
+    """A JSON-serialisable summary of a study's numeric results.
+
+    Runs under a fault plan additionally carry ``faults`` (the
+    :class:`~repro.faults.plan.FaultLog` counters) and ``quarantined``
+    (scope → reason) — a degraded run never masquerades as clean.
+    """
     detection = results.detection_gtld
-    return {
+    payload = {
         "horizon": results.horizon,
         "growth": {
             label: {
@@ -99,6 +104,12 @@ def study_to_dict(results: StudyResults) -> Dict:
             ).items()
         },
     }
+    if results.fault_log is not None:
+        payload["faults"] = results.fault_log.to_dict()
+        payload["quarantined"] = dict(
+            sorted(results.quarantined_scopes.items())
+        )
+    return payload
 
 
 #: artifact name → renderer; mirrors the benchmark harness.

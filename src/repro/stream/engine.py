@@ -18,6 +18,14 @@ Ordering discipline per source:
 * a partition for an already-applied day is a duplicate (error, or
   skipped when resuming over a replayed feed).
 
+Containment discipline per *scope* (the detection universe a source
+feeds): a partition whose rows cannot be read — bit rot, a poisoned
+upstream — **quarantines the scope** instead of killing the run. While a
+scope is quarantined its partitions are dropped and recorded as holes;
+:meth:`release_quarantine` lifts it, after which later days apply
+normally and re-delivered dropped days reconcile as late arrivals, so a
+healed scope converges to exactly the clean state.
+
 The engine's whole state round-trips through :meth:`to_dict` /
 :meth:`from_dict` (see :mod:`repro.stream.checkpoint` for the on-disk
 format), which is what makes kill-and-resume byte-identical.
@@ -64,6 +72,10 @@ APPLIED = "applied"
 QUARANTINED = "quarantined"
 RECONCILED = "reconciled"
 DUPLICATE = "duplicate"
+#: The partition could not be read; its scope is now quarantined.
+POISONED = "poisoned"
+#: The partition was dropped because its scope is quarantined.
+DROPPED = "dropped"
 
 
 @dataclass
@@ -130,8 +142,11 @@ class StreamEngine:
             Tuple[Tuple[str, ...], Tuple[str, ...], FrozenSet[int]],
             Dict[str, FrozenSet[RefType]],
         ] = {}
+        #: scope → reason, for scopes under quarantine escalation.
+        self._quarantined: Dict[str, str] = {}
         self.partitions_applied = 0
         self.late_arrivals = 0
+        self.partitions_dropped = 0
 
     # -- ingestion ----------------------------------------------------------
 
@@ -151,9 +166,12 @@ class StreamEngine:
             next_day = window[0] if window else day
             cursor.start = next_day
             cursor.next_day = next_day
+        if SCOPE_OF_SOURCE[source] in self._quarantined:
+            return self._drop(cursor, source, day, next_day, on_duplicate)
         if day < next_day:
             if day in cursor.holes:
-                self._apply(partition)
+                if not self._apply_or_quarantine(partition):
+                    return POISONED
                 cursor.holes.discard(day)
                 self.late_arrivals += 1
                 return RECONCILED
@@ -163,10 +181,36 @@ class StreamEngine:
                 return self._duplicate(source, day, on_duplicate)
             cursor.quarantine[day] = partition
             return QUARANTINED
-        self._apply(partition)
+        if not self._apply_or_quarantine(partition):
+            # The poisoned day becomes a hole: a clean redelivery after
+            # release_quarantine reconciles it like any late arrival.
+            cursor.holes.add(day)
+            cursor.next_day = next_day + 1
+            return POISONED
         cursor.next_day = next_day + 1
-        self._drain(cursor)
+        self._drain(source, cursor)
         return APPLIED
+
+    def _drop(
+        self,
+        cursor: SourceCursor,
+        source: str,
+        day: int,
+        next_day: int,
+        on_duplicate: str,
+    ) -> str:
+        """Drop a partition for a quarantined scope, recording holes."""
+        if day < next_day:
+            if day in cursor.holes:
+                self.partitions_dropped += 1
+                return DROPPED
+            return self._duplicate(source, day, on_duplicate)
+        for missing in range(next_day, day + 1):
+            cursor.quarantine.pop(missing, None)
+            cursor.holes.add(missing)
+        cursor.next_day = day + 1
+        self.partitions_dropped += 1
+        return DROPPED
 
     def skip_missing(self, source: str) -> List[int]:
         """Declare the gap before the quarantine missing and move on.
@@ -180,24 +224,36 @@ class StreamEngine:
         gap = list(range(cursor.next_day, min(cursor.quarantine)))
         cursor.holes.update(gap)
         cursor.next_day = min(cursor.quarantine)
-        self._drain(cursor)
+        self._drain(source, cursor)
         return gap
 
-    def _drain(self, cursor: SourceCursor) -> None:
+    def _drain(self, source: str, cursor: SourceCursor) -> None:
+        scope_name = SCOPE_OF_SOURCE[source]
         while (
             cursor.next_day is not None
             and cursor.next_day in cursor.quarantine
         ):
-            self._apply(cursor.quarantine.pop(cursor.next_day))
+            partition = cursor.quarantine.pop(cursor.next_day)
+            if scope_name in self._quarantined:
+                cursor.holes.add(cursor.next_day)
+                self.partitions_dropped += 1
+            elif not self._apply_or_quarantine(partition):
+                cursor.holes.add(cursor.next_day)
             cursor.next_day += 1
 
     def _apply(self, partition: DayPartition) -> None:
+        """Fold one partition into its scope state.
+
+        Signature matching runs for every row *before* any state
+        mutation, so a partition with unreadable rows raises without
+        half-applying — a clean redelivery later reconciles exactly.
+        """
         cursor = self._cursors[partition.source]
-        cursor.zone_sizes[partition.day] = partition.zone_size
         scope = self._scopes[SCOPE_OF_SOURCE[partition.source]]
         match = self.catalog.match
         cache = self._match_cache
         day = partition.day
+        rows: List[Tuple[str, str, Dict[str, FrozenSet[RefType]]]] = []
         for observation in partition.observations:
             key = (
                 observation.ns_names,
@@ -207,8 +263,60 @@ class StreamEngine:
             matches = cache.get(key)
             if matches is None:
                 matches = cache[key] = match(observation)
-            scope.observe(observation.domain, observation.tld, day, matches)
+            rows.append((observation.domain, observation.tld, matches))
+        cursor.zone_sizes[day] = partition.zone_size
+        for domain, tld, matches in rows:
+            scope.observe(domain, tld, day, matches)
         self.partitions_applied += 1
+
+    def _apply_or_quarantine(self, partition: DayPartition) -> bool:
+        """Apply a partition; a poisoned one quarantines its scope.
+
+        This is the designed containment point of the ingest path: any
+        failure to read a partition's rows escalates to a scope
+        quarantine (recorded, releasable) instead of killing the run.
+        """
+        try:
+            self._apply(partition)
+            return True
+        except Exception as exc:  # repro: ignore[swallowed-exception]
+            self.quarantine_scope(
+                SCOPE_OF_SOURCE[partition.source],
+                f"poisoned partition ({partition.source}, "
+                f"{partition.day}): {exc}",
+            )
+            return False
+
+    # -- scope quarantine ----------------------------------------------------
+
+    def quarantine_scope(self, scope: str, reason: str) -> None:
+        """Quarantine *scope*: drop its partitions until released.
+
+        Idempotent — the first reason sticks.
+        """
+        if scope not in self._scopes:
+            raise ValueError(f"unknown scope {scope!r}")
+        self._quarantined.setdefault(scope, reason)
+
+    def release_quarantine(self, scope: str) -> str:
+        """Lift *scope*'s quarantine; returns the recorded reason.
+
+        Days dropped while quarantined remain holes: a re-delivered
+        partition for one reconciles as a late arrival, so replaying the
+        dropped days heals the scope to exactly the clean state.
+        """
+        reason = self._quarantined.pop(scope, None)
+        if reason is None:
+            raise ValueError(f"scope {scope!r} is not quarantined")
+        return reason
+
+    def is_quarantined(self, scope: str) -> bool:
+        return scope in self._quarantined
+
+    @property
+    def quarantined_scopes(self) -> Dict[str, str]:
+        """scope → reason, for every currently quarantined scope."""
+        return dict(sorted(self._quarantined.items()))
 
     @staticmethod
     def _duplicate(source: str, day: int, on_duplicate: str) -> str:
@@ -220,11 +328,22 @@ class StreamEngine:
         self,
         partitions: Iterable[DayPartition],
         on_duplicate: str = "raise",
+        skip_gaps: bool = False,
     ) -> int:
-        """Ingest every partition of an iterable; returns #applied."""
+        """Ingest every partition of an iterable; returns #applied.
+
+        With ``skip_gaps`` any days still blocking a source's quarantine
+        buffer afterwards are declared missing via :meth:`skip_missing`
+        — a feed that skipped unreadable partitions would otherwise
+        stall its source forever.
+        """
         before = self.partitions_applied
         for partition in partitions:
             self.ingest(partition, on_duplicate=on_duplicate)
+        if skip_gaps:
+            for source in self.sources:
+                while self._cursors[source].quarantine:
+                    self.skip_missing(source)
         return self.partitions_applied - before
 
     # -- ingest introspection -----------------------------------------------
@@ -448,8 +567,10 @@ class StreamEngine:
                 }
                 for source, cursor in sorted(self._cursors.items())
             },
+            "quarantined_scopes": dict(sorted(self._quarantined.items())),
             "partitions_applied": self.partitions_applied,
             "late_arrivals": self.late_arrivals,
+            "partitions_dropped": self.partitions_dropped,
         }
 
     @classmethod
@@ -483,8 +604,14 @@ class StreamEngine:
             cursor.zone_sizes = {
                 day: size for day, size in data["zone_sizes"]
             }
+        engine._quarantined = dict(
+            sorted(payload.get("quarantined_scopes", {}).items())
+        )
         engine.partitions_applied = int(payload["partitions_applied"])
         engine.late_arrivals = int(payload["late_arrivals"])
+        engine.partitions_dropped = int(
+            payload.get("partitions_dropped", 0)
+        )
         return engine
 
 

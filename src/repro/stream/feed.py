@@ -14,17 +14,39 @@ data that already exists:
 Both honour landing order (day-major, source order as configured), so an
 engine fed from a replay ends in exactly the state a live run would have
 produced.
+
+:class:`ResilientFeed` wraps any of them (or an injected-fault shim)
+with bounded retry and deterministic backoff: a transiently failing
+partition read is retried per :class:`~repro.faults.retry.RetryPolicy`;
+an exhausted one either raises a typed :class:`FeedError` or — under
+``on_exhausted="skip"`` — is dropped and recorded, letting the engine
+declare the day missing instead of the run dying.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.faults.plan import FaultLog
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.measurement.scheduler import ALL_SOURCES, DayPartition
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
 from repro.measurement.storage import ColumnStore
 from repro.world.timeline import CCTLD_START_DAY
 from repro.world.world import World
+
+
+class FeedError(Exception):
+    """A partition could not be produced after exhausting retries."""
 
 
 class StoreReplayFeed:
@@ -155,3 +177,86 @@ class SegmentReplayFeed:
                 window_start, window_end = windows[source]
                 if window_start <= day < window_end:
                     yield self.partition(source, day)
+
+
+class ResilientFeed:
+    """Bounded retry with deterministic backoff around any feed.
+
+    Wraps anything exposing ``windows()`` and ``partition(source, day)``.
+    Each failing read is retried up to ``retry_policy.attempts`` total
+    tries with the policy's logical backoff ticks accounted to *log*.
+    Exhaustion behaviour: ``on_exhausted="raise"`` raises a
+    :class:`FeedError` chaining the last error; ``"skip"`` records the
+    partition in :attr:`skipped` and drops it — combine with the
+    engine's ``ingest_feed(..., skip_gaps=True)`` so the dropped day is
+    declared missing and a later redelivery reconciles it.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        on_exhausted: str = "raise",
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        if on_exhausted not in ("raise", "skip"):
+            raise ValueError("on_exhausted must be 'raise' or 'skip'")
+        self._inner = inner
+        self._policy = retry_policy
+        self._on_exhausted = on_exhausted
+        self.log = log if log is not None else FaultLog()
+        #: (source, day) pairs dropped after exhausting retries.
+        self.skipped: List[Tuple[str, int]] = []
+
+    site = "feed.partition"
+
+    def windows(self) -> Dict[str, Tuple[int, int]]:
+        return dict(self._inner.windows())
+
+    def partition(self, source: str, day: int) -> Optional[DayPartition]:
+        """The partition, retried; None when skipped after exhaustion."""
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self._policy.attempts + 1):
+            try:
+                partition = self._inner.partition(source, day)
+            except Exception as exc:  # repro: ignore[swallowed-exception]
+                # Containment by policy: the error is either retried
+                # below or re-raised as a typed FeedError/recorded skip
+                # after the bounded attempts run out — never discarded.
+                last_error = exc
+                if attempt < self._policy.attempts:
+                    self.log.record_retry(
+                        self.site, self._policy.backoff_ticks(attempt)
+                    )
+                continue
+            if attempt > 1:
+                self.log.record_recovery(self.site)
+            return partition
+        if self._on_exhausted == "skip":
+            self.log.record_drop(self.site)
+            self.skipped.append((source, day))
+            return None
+        raise FeedError(
+            f"partition ({source!r}, {day}) failed after "
+            f"{self._policy.attempts} attempts: {last_error}"
+        ) from last_error
+
+    def days(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> Iterator[DayPartition]:
+        """Day-major partitions over the windows, skipping exhausted ones."""
+        windows = self.windows()
+        lo = min(window[0] for window in windows.values())
+        hi = max(window[1] for window in windows.values())
+        if start is not None:
+            lo = max(lo, start)
+        if end is not None:
+            hi = min(hi, end)
+        for day in range(lo, hi):
+            for source in windows:
+                window_start, window_end = windows[source]
+                if not window_start <= day < window_end:
+                    continue
+                partition = self.partition(source, day)
+                if partition is not None:
+                    yield partition

@@ -1,0 +1,112 @@
+"""Fuzz corpus for the wire decoder: garbage in, typed errors out.
+
+Whatever bytes arrive — random noise, truncations of a valid message,
+targeted mutations of length fields and pointers — ``decode_message``
+must either return a Message or raise :class:`WireError`. Any other
+exception type is a crash site leaking encoding internals to callers
+(the resolver's retry logic catches ``WireError`` only).
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.dnscore.message import make_query, make_response
+from repro.dnscore.name import DomainName
+from repro.dnscore.records import make_record
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.wire import WireError, decode_message, encode_message
+
+CORPUS_SEED = 1337
+CORPUS_SIZE = 256
+
+
+def assert_decodes_or_raises_typed(blob):
+    try:
+        decode_message(blob)
+    except WireError:
+        pass
+
+
+def valid_message_bytes():
+    query = make_query(
+        DomainName.from_text("www.examp.com"), RRType.A, msg_id=77
+    )
+    response = make_response(query, authoritative=True)
+    response.answers.append(
+        make_record("www.examp.com", RRType.CNAME, "x1.foob.ar.")
+    )
+    response.answers.append(make_record("x1.foob.ar", RRType.A, "10.0.0.2"))
+    response.answers.append(
+        make_record("x1.foob.ar", RRType.AAAA, "2001:db8::2")
+    )
+    response.authority.append(
+        make_record("examp.com", RRType.NS, "ns.examp.com.")
+    )
+    return encode_message(response)
+
+
+class TestRandomCorpus:
+    def test_random_byte_strings_never_crash(self):
+        rng = random.Random(CORPUS_SEED)
+        for _ in range(CORPUS_SIZE):
+            length = rng.randrange(0, 64)
+            blob = bytes(rng.randrange(256) for _ in range(length))
+            assert_decodes_or_raises_typed(blob)
+
+    def test_random_tails_on_valid_header_never_crash(self):
+        """A plausible header followed by noise exercises the section
+        parsers, not just the header length check."""
+        rng = random.Random(CORPUS_SEED + 1)
+        header = valid_message_bytes()[:12]
+        for _ in range(CORPUS_SIZE):
+            length = rng.randrange(0, 48)
+            tail = bytes(rng.randrange(256) for _ in range(length))
+            assert_decodes_or_raises_typed(header + tail)
+
+
+class TestStructuredDamage:
+    def test_every_truncation_of_a_valid_message(self):
+        blob = valid_message_bytes()
+        for cut in range(len(blob)):
+            assert_decodes_or_raises_typed(blob[:cut])
+
+    def test_every_single_byte_mutation(self):
+        blob = valid_message_bytes()
+        for position in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[position] ^= 0xFF
+            assert_decodes_or_raises_typed(bytes(mutated))
+
+    def test_overlong_label_length(self):
+        # A label claiming 63 bytes with only 2 present.
+        blob = struct.pack(">HHHHHH", 1, 0, 1, 0, 0, 0) + b"\x3fab"
+        with pytest.raises(WireError):
+            decode_message(blob)
+
+    def test_forward_compression_pointer(self):
+        # A name that is just a pointer to bytes beyond the message.
+        blob = struct.pack(">HHHHHH", 1, 0, 1, 0, 0, 0) + b"\xff\xfe"
+        with pytest.raises(WireError):
+            decode_message(blob)
+
+    def test_self_referential_pointer_terminates(self):
+        # A pointer that points at itself must error, not loop forever.
+        blob = struct.pack(">HHHHHH", 1, 0, 1, 0, 0, 0) + b"\xc0\x0c"
+        with pytest.raises(WireError):
+            decode_message(blob)
+
+    def test_empty_input(self):
+        with pytest.raises(WireError):
+            decode_message(b"")
+
+    def test_trailing_garbage_after_valid_message(self):
+        blob = valid_message_bytes() + b"\x00\x01\x02\x03"
+        assert_decodes_or_raises_typed(blob)
+
+    def test_counts_larger_than_payload(self):
+        # Header promising 65535 answers with an empty body.
+        blob = struct.pack(">HHHHHH", 1, 0x8000, 0, 0xFFFF, 0, 0)
+        with pytest.raises(WireError):
+            decode_message(blob)

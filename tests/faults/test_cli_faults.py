@@ -1,0 +1,88 @@
+"""CLI surface of the fault harness: ``repro faults`` and ``--fault-plan``."""
+
+from repro.cli import main
+from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec
+
+SCALE = ["--scale", "60000", "--seed", "7"]
+
+
+class TestFaultsCommand:
+    def test_list_sites_names_every_site(self, capsys):
+        code = main(["faults", "--list-sites"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for site, (_description, kinds) in FAULT_SITES.items():
+            assert site in out
+            for kind in kinds:
+                assert kind in out
+
+    def test_list_sites_is_the_default(self, capsys):
+        code = main(["faults"])
+        assert code == 0
+        assert "storage.segment_read" in capsys.readouterr().out
+
+    def test_example_plan_parses_back(self, capsys):
+        code = main(["faults", "--example-plan"])
+        out = capsys.readouterr().out
+        assert code == 0
+        plan = FaultPlan.from_json(out)
+        assert plan.specs
+
+
+class TestStudyWithFaultPlan:
+    def plan_path(self, tmp_path, plan):
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        return str(path)
+
+    def test_faulted_study_completes_and_reports(self, tmp_path, capsys):
+        path = self.plan_path(
+            tmp_path,
+            FaultPlan(
+                seed=23,
+                specs=(
+                    FaultSpec("prober.observe", "transient", rate=0.05),
+                ),
+            ),
+        )
+        code = main(
+            ["study", "--artifact", "table1", "--fault-plan", path] + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ";; faults:" in out
+        assert "Table 1" in out
+
+    def test_quarantined_scope_skips_its_artifacts(self, tmp_path, capsys):
+        path = self.plan_path(
+            tmp_path,
+            FaultPlan(
+                seed=23,
+                specs=(
+                    FaultSpec("study.detect", "poison", keys=("nl", "alexa")),
+                ),
+            ),
+        )
+        code = main(
+            ["study", "--artifact", "fig6", "--artifact", "table1",
+             "--fault-plan", path] + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ";; fig6: skipped" in out
+        assert ";; quarantined nl:" in out
+        assert ";; quarantined alexa:" in out
+        assert "Table 1" in out
+
+    def test_missing_plan_file_is_a_usage_error(self, capsys):
+        code = main(
+            ["study", "--fault-plan", "/nonexistent/plan.json"] + SCALE
+        )
+        assert code == 2
+        assert "fault plan" in capsys.readouterr().err
+
+    def test_invalid_plan_json_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        code = main(["study", "--fault-plan", str(path)] + SCALE)
+        assert code == 2

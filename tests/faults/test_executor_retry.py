@@ -1,0 +1,99 @@
+"""Worker-death containment in the sharded executor.
+
+The tasks live at module level so the fork-based pool can run them; the
+crash helpers consult :func:`faults_suppressed` so the parent's
+re-execution of a lost shard succeeds where the worker died.
+"""
+
+import os
+
+import pytest
+
+from repro.faults.errors import WorkerCrash
+from repro.faults.runtime import faults_suppressed
+from repro.parallel.executor import ShardedExecutor
+
+
+def double(index, shard):
+    return (index, shard * 2)
+
+
+def crash_on_two(index, shard):
+    if index == 2 and not faults_suppressed():
+        raise WorkerCrash("parallel.executor", "worker_crash", key="2")
+    return (index, shard * 2)
+
+
+def fail_on_two(index, shard):
+    if index == 2:
+        raise ValueError("shard 2 is broken for real")
+    return (index, shard * 2)
+
+
+def die_on_two(index, shard):
+    if index == 2 and not faults_suppressed():
+        # A real worker death: the process vanishes without an exception,
+        # which surfaces to the parent as a broken pool.
+        os._exit(1)
+    return (index, shard * 2)
+
+
+SHARDS = [10, 20, 30, 40]
+EXPECTED = [(0, 20), (1, 40), (2, 60), (3, 80)]
+
+
+class TestSerialPath:
+    def test_clean_run(self):
+        executor = ShardedExecutor(workers=1)
+        assert executor.map_shards(double, SHARDS) == EXPECTED
+        assert executor.shards_retried == 0
+
+    def test_crashed_shard_reexecuted_in_order(self):
+        executor = ShardedExecutor(workers=1)
+        assert executor.map_shards(crash_on_two, SHARDS) == EXPECTED
+        assert executor.shards_retried == 1
+
+    def test_non_retryable_error_propagates(self):
+        executor = ShardedExecutor(workers=1)
+        with pytest.raises(ValueError, match="broken for real"):
+            executor.map_shards(fail_on_two, SHARDS)
+        assert executor.shards_retried == 0
+
+
+class TestPoolPath:
+    def test_clean_run(self):
+        executor = ShardedExecutor(workers=2, shard_count=4)
+        assert executor.map_shards(double, SHARDS) == EXPECTED
+        assert executor.shards_retried == 0
+
+    def test_worker_crash_retries_only_that_shard(self):
+        executor = ShardedExecutor(workers=2, shard_count=4)
+        assert executor.map_shards(crash_on_two, SHARDS) == EXPECTED
+        assert executor.shards_retried == 1
+
+    def test_non_retryable_error_propagates(self):
+        executor = ShardedExecutor(workers=2, shard_count=4)
+        with pytest.raises(ValueError, match="broken for real"):
+            executor.map_shards(fail_on_two, SHARDS)
+
+    def test_dead_worker_process_breaks_pool_but_not_run(self):
+        """``os._exit`` kills the worker outright; every shard the broken
+        pool lost is re-executed in the parent and the output is intact."""
+        executor = ShardedExecutor(workers=2, shard_count=4)
+        assert executor.map_shards(die_on_two, SHARDS) == EXPECTED
+        assert executor.shards_retried >= 1
+
+
+class TestWorkerCrashPickling:
+    def test_roundtrip_preserves_site_kind_key(self):
+        import pickle
+
+        crash = WorkerCrash("parallel.executor", "worker_crash", key="3")
+        clone = pickle.loads(pickle.dumps(crash))
+        assert isinstance(clone, WorkerCrash)
+        assert (clone.site, clone.kind, clone.key) == (
+            crash.site,
+            crash.kind,
+            crash.key,
+        )
+        assert clone.shard_retryable

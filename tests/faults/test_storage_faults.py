@@ -1,0 +1,162 @@
+"""Segment-read faults: corruption helpers and the hardened store load."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.inject import corrupt_blob, corrupt_store_files
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.measurement.snapshot import DomainObservation
+from repro.measurement.storage import ColumnStore, StorageError
+
+
+def observation(domain, day, tld="com"):
+    return DomainObservation(
+        day=day,
+        domain=domain,
+        tld=tld,
+        ns_names=(f"ns1.{domain}.",),
+        apex_addrs=("192.0.2.1",),
+        asns=frozenset({64500}),
+    )
+
+
+def populated_store():
+    store = ColumnStore()
+    for day in range(3):
+        store.append(
+            "com", day, [observation(f"a{i}.com", day) for i in range(4)]
+        )
+        store.append(
+            "nl",
+            day,
+            [observation(f"b{i}.nl", day, tld="nl") for i in range(2)],
+        )
+    return store
+
+
+def rows_of(store):
+    return {
+        key: list(store.rows(*key)) for key in store.partitions()
+    }
+
+
+class TestCorruptBlob:
+    def test_truncate_halves(self):
+        blob = bytes(range(16))
+        assert corrupt_blob(blob, "truncate") == blob[:8]
+
+    def test_bitflip_is_deterministic_and_single_bit(self):
+        blob = bytes(range(64))
+        mutated = corrupt_blob(blob, "bitflip", salt="com/1")
+        assert mutated == corrupt_blob(blob, "bitflip", salt="com/1")
+        assert mutated != blob
+        diffs = [
+            (a ^ b) for a, b in zip(blob, mutated) if a != b
+        ]
+        assert len(diffs) == 1
+        assert bin(diffs[0]).count("1") == 1
+
+    def test_different_salts_differ(self):
+        blob = bytes(range(64))
+        assert corrupt_blob(blob, "bitflip", salt="com/1") != corrupt_blob(
+            blob, "bitflip", salt="nl/2"
+        )
+
+    def test_empty_blob_untouched(self):
+        assert corrupt_blob(b"", "truncate") == b""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="corruption kind"):
+            corrupt_blob(b"xy", "melt")
+
+
+class TestCorruptStoreFiles:
+    def plan(self, kind, keys=None):
+        return FaultPlan(
+            seed=11,
+            specs=(
+                FaultSpec("storage.segment_read", kind, keys=keys),
+            ),
+        )
+
+    def test_missing_removes_partition_dir(self, tmp_path):
+        store = populated_store()
+        store.save(str(tmp_path))
+        affected = corrupt_store_files(
+            str(tmp_path), self.plan("missing", keys=("com/1",)).injector()
+        )
+        assert affected == [str(tmp_path / "com" / "1")]
+        assert not os.path.exists(affected[0])
+
+    def test_bitflip_touches_one_column_file(self, tmp_path):
+        store = populated_store()
+        store.save(str(tmp_path))
+        affected = corrupt_store_files(
+            str(tmp_path), self.plan("bitflip", keys=("nl/0",)).injector()
+        )
+        assert len(affected) == 1
+        assert affected[0].endswith(".col")
+        assert os.sep + "nl" + os.sep + "0" + os.sep in affected[0]
+
+
+class TestHardenedLoad:
+    def damage(self, directory, kind, keys):
+        plan = FaultPlan(
+            seed=11,
+            specs=(FaultSpec("storage.segment_read", kind, keys=keys),),
+        )
+        return corrupt_store_files(str(directory), plan.injector())
+
+    @pytest.mark.parametrize("kind", ["truncate", "bitflip", "missing"])
+    def test_damage_raises_typed_error(self, tmp_path, kind):
+        populated_store().save(str(tmp_path))
+        self.damage(tmp_path, kind, keys=("com/1",))
+        with pytest.raises(StorageError):
+            ColumnStore.load(str(tmp_path))
+
+    @pytest.mark.parametrize("kind", ["truncate", "bitflip", "missing"])
+    def test_lenient_load_drops_only_damaged_partition(
+        self, tmp_path, kind
+    ):
+        store = populated_store()
+        store.save(str(tmp_path))
+        self.damage(tmp_path, kind, keys=("com/1",))
+        loaded = ColumnStore.load(str(tmp_path), on_error="skip")
+        assert [
+            (source, day)
+            for source, day, _reason in loaded.skipped_partitions
+        ] == [("com", 1)]
+        expected = rows_of(store)
+        expected.pop(("com", 1))
+        assert rows_of(loaded) == expected
+
+    def test_checksum_mismatch_is_named(self, tmp_path):
+        populated_store().save(str(tmp_path))
+        self.damage(tmp_path, "bitflip", keys=("com/0",))
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            ColumnStore.load(str(tmp_path))
+
+    def test_legacy_manifest_without_checksums_loads(self, tmp_path):
+        store = populated_store()
+        store.save(str(tmp_path))
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        for entry in manifest:
+            del entry["checksums"]
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = ColumnStore.load(str(tmp_path))
+        assert rows_of(loaded) == rows_of(store)
+
+    def test_clean_roundtrip_is_exact(self, tmp_path):
+        store = populated_store()
+        store.save(str(tmp_path))
+        loaded = ColumnStore.load(str(tmp_path))
+        assert loaded.skipped_partitions == []
+        assert rows_of(loaded) == rows_of(store)
+
+    def test_invalid_on_error_rejected(self, tmp_path):
+        populated_store().save(str(tmp_path))
+        with pytest.raises(ValueError, match="on_error"):
+            ColumnStore.load(str(tmp_path), on_error="ignore")

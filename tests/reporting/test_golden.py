@@ -1,0 +1,62 @@
+"""Golden-fixture regression suite for detection output.
+
+The fixtures under ``tests/fixtures/golden/`` pin the rendered artifacts
+and the Table-2-style detection summary of a study over the same world
+``tiny_world`` builds (``scale=40000, seed=7``). A failure here means
+detection output changed: if the change is intentional, regenerate with
+
+    PYTHONPATH=src python tests/fixtures/golden/regen.py
+
+and review the diff; if not, you just caught a regression.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.pipeline import AdoptionStudy
+from repro.reporting import figures
+from repro.reporting.export import study_to_dict
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "fixtures", "golden"
+)
+
+RENDERERS = {
+    "table1.txt": figures.render_table1,
+    "fig2.txt": figures.render_figure2,
+    "fig6.txt": figures.render_figure6,
+}
+
+
+def read_golden(filename):
+    with open(os.path.join(GOLDEN_DIR, filename)) as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def golden_results(tiny_world):
+    return AdoptionStudy(tiny_world).run()
+
+
+class TestGoldenArtifacts:
+    @pytest.mark.parametrize("filename", sorted(RENDERERS))
+    def test_rendered_artifact_matches_fixture(
+        self, golden_results, filename
+    ):
+        rendered = RENDERERS[filename](golden_results) + "\n"
+        assert rendered == read_golden(filename)
+
+    def test_detection_summary_matches_fixture(self, golden_results):
+        payload = study_to_dict(golden_results)
+        summary = {
+            "any_use": payload["any_use"],
+            "providers": payload["providers"],
+            "growth": payload["growth"],
+            "dps_distribution": payload["dps_distribution"],
+        }
+        golden = json.loads(read_golden("detection.json"))
+        # Round-trip through JSON so both sides carry JSON's type system
+        # (tuples become lists, enum keys become strings).
+        assert json.loads(json.dumps(summary, sort_keys=True)) == golden
