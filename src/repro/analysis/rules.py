@@ -48,6 +48,15 @@ depends on:
     scheduling — the exact nondeterminism the subsystem exists to rule
     out. Iterate the submitted futures list and call ``.result()`` in
     shard-index order instead.
+
+``row-boxing-in-hot-path``
+    The measurement and streaming layers move data as columnar
+    :class:`repro.batch.batch.ObservationBatch` objects; constructing a
+    ``DomainObservation`` per row inside a loop there reintroduces the
+    per-row boxing the batch plane exists to eliminate. Stay columnar
+    (or use ``batch.row(i)`` lazily); the sanctioned row-shaped
+    compatibility sites carry a ``repro: ignore[row-boxing-in-hot-path]``
+    suppression.
 """
 
 from __future__ import annotations
@@ -697,6 +706,85 @@ class UnorderedFuturesRule(Rule):
         return None
 
 
+class RowBoxingRule(Rule):
+    id = "row-boxing-in-hot-path"
+    summary = (
+        "per-row DomainObservation construction inside a loop on a "
+        "batch-first hot path"
+    )
+
+    #: Packages whose data plane is columnar ObservationBatch.
+    HOT_PACKAGES: Tuple[str, ...] = (
+        "repro/measurement/",
+        "repro/stream/",
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(self.HOT_PACKAGES)
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        rule = self
+        findings: List[Finding] = []
+
+        class Visitor(ast.NodeVisitor):
+            """Tracks lexical loop depth (loops and comprehensions)."""
+
+            def __init__(self) -> None:
+                self.loop_depth = 0
+
+            def _visit_loop(self, node: ast.AST) -> None:
+                self.loop_depth += 1
+                self.generic_visit(node)
+                self.loop_depth -= 1
+
+            def visit_For(self, node: ast.For) -> None:
+                self._visit_loop(node)
+
+            def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+                self._visit_loop(node)
+
+            def visit_While(self, node: ast.While) -> None:
+                self._visit_loop(node)
+
+            def visit_ListComp(self, node: ast.ListComp) -> None:
+                self._visit_loop(node)
+
+            def visit_SetComp(self, node: ast.SetComp) -> None:
+                self._visit_loop(node)
+
+            def visit_DictComp(self, node: ast.DictComp) -> None:
+                self._visit_loop(node)
+
+            def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+                self._visit_loop(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                function = node.func
+                name: Optional[str] = None
+                if isinstance(function, ast.Name):
+                    name = function.id
+                elif isinstance(function, ast.Attribute):
+                    name = function.attr
+                if name == "DomainObservation" and self.loop_depth > 0:
+                    findings.append(
+                        rule._finding(
+                            path,
+                            node,
+                            "DomainObservation built per row inside a "
+                            "loop; this layer's hot paths are columnar "
+                            "(ObservationBatch) — keep the data in "
+                            "columns or materialise lazily via "
+                            "batch.row(i)",
+                        )
+                    )
+                self.generic_visit(node)
+
+        Visitor().visit(tree)
+        return findings
+
+
 def default_rules() -> Tuple[Rule, ...]:
     """All shipped rules, in reporting order."""
     return (
@@ -707,6 +795,7 @@ def default_rules() -> Tuple[Rule, ...]:
         MutableDefaultRule(),
         SchemaDriftRule(),
         UnorderedFuturesRule(),
+        RowBoxingRule(),
     )
 
 

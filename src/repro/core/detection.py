@@ -27,6 +27,7 @@ from typing import (
     Tuple,
 )
 
+from repro.batch.batch import MatchKey, ObservationBatch
 from repro.core.references import RefType, SignatureCatalog
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
 
@@ -342,13 +343,75 @@ class SegmentDetector:
         self, domain: str, tld: str, segments: Iterable[ObservationSegment]
     ) -> None:
         """Ingest one domain's full (enriched) observation history."""
+        ordered = sorted(segments, key=lambda s: s.start)
+        self._ingest_spans(
+            domain,
+            tld,
+            (
+                (
+                    segment.start,
+                    segment.end,
+                    self._catalog.match(segment.observation),
+                )
+                for segment in ordered
+            ),
+        )
+
+    def process_batch(self, batch: ObservationBatch) -> None:
+        """Ingest a whole-history batch of daily observations.
+
+        The batch must contain each of its domains' *complete* daily
+        history (one detector call per domain, like
+        :meth:`process_domain`) — partial histories would close use
+        intervals early. Signature matching is deduplicated by the
+        batch's pool-relative match key — the catalog reads only NS
+        names, CNAMEs, and ASNs, so rows sharing those columns share one
+        match — and each domain's day rows run through the same span
+        ingestion as the segment path, making the aggregate
+        value-identical to per-row detection.
+        """
+        matches_by_key: Dict[MatchKey, Dict[str, FrozenSet[RefType]]] = {}
+        grouped: Dict[int, List[Tuple[int, Dict[str, FrozenSet[RefType]]]]]
+        grouped = {}
+        tld_of: Dict[int, int] = {}
+        for index in range(len(batch)):
+            key = batch.match_key(index)
+            matches = matches_by_key.get(key)
+            if matches is None:
+                matches = self._catalog.match(batch.row(index))
+                matches_by_key[key] = matches
+            domain_id = batch.domains[index]
+            bucket = grouped.get(domain_id)
+            if bucket is None:
+                bucket = []
+                grouped[domain_id] = bucket
+                tld_of[domain_id] = batch.tlds[index]
+            bucket.append((batch.days[index], matches))
+        names = batch.names
+        for domain_id, day_rows in grouped.items():
+            day_rows.sort(key=lambda item: item[0])
+            self._ingest_spans(
+                names.value(domain_id),
+                names.value(tld_of[domain_id]),
+                (
+                    (day, day + 1, matches)
+                    for day, matches in day_rows
+                ),
+            )
+
+    def _ingest_spans(
+        self,
+        domain: str,
+        tld: str,
+        spans: Iterable[Tuple[int, int, Dict[str, FrozenSet[RefType]]]],
+    ) -> None:
+        """Shared span loop: ``(start, end, matches)`` in start order."""
         self._domains_seen += 1
         per_provider_open: Dict[str, Tuple[int, int]] = {}
         any_open: Optional[Tuple[int, int]] = None
 
-        for segment in sorted(segments, key=lambda s: s.start):
-            matches = self._catalog.match(segment.observation)
-            start, end = segment.start, min(segment.end, self._horizon)
+        for raw_start, raw_end, matches in spans:
+            start, end = raw_start, min(raw_end, self._horizon)
             if start >= end:
                 continue
             for provider, refs in matches.items():

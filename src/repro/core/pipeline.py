@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.batch.batch import BatchBuilder, ObservationBatch
 from repro.core.attribution import AnomalyAttributor, Attribution
 from repro.core.classification import DomainUsage, UsageClassifier
 from repro.core.detection import DetectionResult, SegmentDetector
@@ -213,6 +214,33 @@ class AdoptionStudy:
                 detector.process_domain(
                     name, self.world.domains[name].tld, clipped
                 )
+        return detector.result()
+
+    def detect_from_store(
+        self, store: ColumnStore, sources: Sequence[str]
+    ) -> DetectionResult:
+        """Whole-history columnar detection over landed partitions.
+
+        Concatenates every ``(source, day)`` partition of *sources* into
+        one :class:`ObservationBatch` (pools shared across partitions,
+        so each domain/NS/address strings interns once for the whole
+        history) and runs :meth:`SegmentDetector.process_batch` over it.
+        The store must hold the complete daily history of each domain
+        for those sources — the process_batch contract; given that, the
+        result is value-identical to streaming the same partitions
+        through a :class:`repro.stream.engine.StreamEngine` or running
+        the per-domain segment detector over the equivalent segments.
+        """
+        detector = SegmentDetector(self.catalog, self.world.horizon)
+        builder = BatchBuilder()
+        wanted = set(sources)
+        parts = [
+            store.batch(source, day, builder=builder)
+            for source, day in store.partitions()
+            if source in wanted
+        ]
+        if parts:
+            detector.process_batch(ObservationBatch.concat(parts))
         return detector.result()
 
     # -- the full study -----------------------------------------------------------

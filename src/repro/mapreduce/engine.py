@@ -95,6 +95,11 @@ def map_combine(
     serial engine runs it once over everything. Returns the partitioned
     shuffle and the map-side counters (``records_read``,
     ``pairs_emitted``, ``pairs_after_combine``).
+
+    *records* is any iterable — in particular a columnar
+    :class:`repro.batch.batch.ObservationBatch`, whose iteration yields
+    lazy row views one at a time, so a worker never holds a boxed copy
+    of its whole chunk.
     """
     counters = JobCounters()
     shuffled: Shuffle = [{} for _ in range(partitions)]

@@ -16,9 +16,11 @@ mapping changes.
 from __future__ import annotations
 
 import ipaddress
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
+from repro.batch.batch import ObservationBatch
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
+from repro.routing.pfx2as import Pfx2As
 from repro.routing.prefixtrie import IPAddress, PrefixTrie
 from repro.world.world import World
 
@@ -26,7 +28,7 @@ from repro.world.world import World
 class AsnEnricher:
     """Maps observed addresses to origin-AS sets, day-aware."""
 
-    def __init__(self, world: World):
+    def __init__(self, world: World) -> None:
         self._world = world
         self._change_days = world.routing_change_days()
         #: Prefixes whose announcement ever changes after day 0.
@@ -76,7 +78,7 @@ class AsnEnricher:
     def enrich(self, observation: DomainObservation) -> DomainObservation:
         """Attach the origin ASNs of every observed address."""
         pfx2as = self._world.pfx2as_at(observation.day)
-        asns: set = set()
+        asns: Set[int] = set()
         for address in observation.all_addresses():
             self.lookups += 1
             asns |= pfx2as.lookup(self._parse(address))
@@ -86,6 +88,47 @@ class AsnEnricher:
         self, observations: Sequence[DomainObservation]
     ) -> List[DomainObservation]:
         return [self.enrich(observation) for observation in observations]
+
+    def enrich_batch(self, batch: ObservationBatch) -> ObservationBatch:
+        """The batch counterpart of :meth:`enrich_day`.
+
+        Addresses parse once in the batch's pool and each distinct
+        ``(day, address)`` pair hits the LPM trie once, however many
+        rows share it (mass hosters give thousands of rows the same
+        address). Row unions are memoised by the row's deduplicated
+        address-id tuple, so identical rows cost one set union total.
+        The returned sibling batch's rows equal ``enrich_day`` output
+        value-for-value.
+        """
+        pool = batch.addresses
+        pfx2as_by_day: Dict[int, Pfx2As] = {}
+        origins_by_address: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        union_memo: Dict[
+            Tuple[int, Tuple[int, ...]], Tuple[int, ...]
+        ] = {}
+        asns_column: List[Tuple[int, ...]] = []
+        for index in range(len(batch)):
+            day = batch.days[index]
+            address_ids = batch.row_address_ids(index)
+            key = (day, address_ids)
+            merged = union_memo.get(key)
+            if merged is None:
+                pfx2as = pfx2as_by_day.get(day)
+                if pfx2as is None:
+                    pfx2as = self._world.pfx2as_at(day)
+                    pfx2as_by_day[day] = pfx2as
+                combined: Set[int] = set()
+                for address_id in address_ids:
+                    origins = origins_by_address.get((day, address_id))
+                    if origins is None:
+                        self.lookups += 1
+                        origins = pfx2as.lookup(pool.parsed(address_id))
+                        origins_by_address[(day, address_id)] = origins
+                    combined |= origins
+                merged = tuple(sorted(combined))
+                union_memo[key] = merged
+            asns_column.append(merged)
+        return batch.with_asns(asns_column)
 
     # -- segment enrichment ------------------------------------------------------
 
@@ -132,7 +175,7 @@ class AsnEnricher:
         ordered = sorted(boundaries)
         pieces: List[Tuple[int, int, FrozenSet[int]]] = []
         for sub_start, sub_end in zip(ordered, ordered[1:]):
-            origins: set = set()
+            origins: Set[int] = set()
             for timeline in timelines:
                 current: FrozenSet[int] = frozenset()
                 for day, value in timeline:

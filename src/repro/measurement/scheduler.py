@@ -9,9 +9,10 @@ paper's, even though the workers here run in one process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.batch.batch import BatchBuilder, BatchRows, ObservationBatch
 from repro.measurement.enrich import AsnEnricher
 from repro.measurement.prober import FastProber
 from repro.measurement.snapshot import DomainObservation
@@ -64,6 +65,9 @@ class ClusterManager:
         self._enricher = AsnEnricher(world) if enrich else None
         self.store = store if store is not None else ColumnStore()
         self._shard_count = shard_count
+        #: One pool pair for every batch this manager lands — domains
+        #: repeat daily, so interning compounds across rounds.
+        self._builder = BatchBuilder()
         self.runs: List[MeasurementRun] = []
 
     @property
@@ -76,22 +80,23 @@ class ClusterManager:
             listing = self._feed.alexa_listing(day)
         else:
             listing = self._feed.listing(source, day)
-        observations: List[DomainObservation] = []
+        probed: List[DomainObservation] = []
         shards = shard(listing.names, self._shard_count)
         for worker_names in shards:
-            observations.extend(self._prober.observe_day(worker_names, day))
+            probed.extend(self._prober.observe_day(worker_names, day))
+        batch = self._builder.build(probed)
         if self._enricher is not None:
-            observations = self._enricher.enrich_day(observations)
-        self.store.append(source, day, observations)
+            batch = self._enricher.enrich_batch(batch)
+        self.store.append_batch(source, day, batch)
         self.runs.append(
             MeasurementRun(
                 source=source,
                 day=day,
                 shards=len(shards),
-                observations=len(observations),
+                observations=len(batch),
             )
         )
-        return observations
+        return batch.rows()
 
     def measure_range(
         self, source: str, start: int, days: int
@@ -114,10 +119,33 @@ class DayPartition:
     source: str
     day: int
     zone_size: int
-    observations: List[DomainObservation]
+    observations: Sequence[DomainObservation]
+    #: The columnar form of ``observations``, when the partition was
+    #: produced batch-first (excluded from equality: two partitions with
+    #: equal rows are equal whether or not one carries columns).
+    batch: Optional[ObservationBatch] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.observations)
+
+    @classmethod
+    def from_batch(
+        cls,
+        source: str,
+        day: int,
+        zone_size: int,
+        batch: ObservationBatch,
+    ) -> "DayPartition":
+        """A partition whose rows are lazy views over *batch*."""
+        return cls(
+            source=source,
+            day=day,
+            zone_size=zone_size,
+            observations=BatchRows(batch),
+            batch=batch,
+        )
 
 
 class PartitionFeed:
@@ -145,6 +173,7 @@ class PartitionFeed:
         self._enricher = AsnEnricher(world) if enrich else None
         self._store = store
         self._shard_count = shard_count
+        self._builder = BatchBuilder()
         self.sources = tuple(sources) if sources else ALL_SOURCES
         unknown = set(self.sources) - set(ALL_SOURCES)
         if unknown:
@@ -168,18 +197,19 @@ class PartitionFeed:
             listing = self._feed.alexa_listing(day)
         else:
             listing = self._feed.listing(source, day)
-        observations: List[DomainObservation] = []
+        probed: List[DomainObservation] = []
         for worker_names in shard(listing.names, self._shard_count):
-            observations.extend(self._prober.observe_day(worker_names, day))
+            probed.extend(self._prober.observe_day(worker_names, day))
+        batch = self._builder.build(probed)
         if self._enricher is not None:
-            observations = self._enricher.enrich_day(observations)
+            batch = self._enricher.enrich_batch(batch)
         if self._store is not None:
-            self._store.append(source, day, observations)
-        return DayPartition(
+            self._store.append_batch(source, day, batch)
+        return DayPartition.from_batch(
             source=source,
             day=day,
             zone_size=len(listing),
-            observations=observations,
+            batch=batch,
         )
 
     def days(

@@ -46,14 +46,14 @@ class DomainObservation:
     asns: FrozenSet[int] = frozenset()
 
     def all_addresses(self) -> Tuple[str, ...]:
-        seen = []
-        for address in (
-            self.apex_addrs + self.www_addrs
-            + self.apex_addrs6 + self.www_addrs6
-        ):
-            if address not in seen:
-                seen.append(address)
-        return tuple(seen)
+        # dict.fromkeys: first-seen order, O(n) — same order and dedup
+        # semantics as the old linear `seen` scan without the O(n^2).
+        return tuple(
+            dict.fromkeys(
+                self.apex_addrs + self.www_addrs
+                + self.apex_addrs6 + self.www_addrs6
+            )
+        )
 
     def ns_slds(self) -> FrozenSet[str]:
         """SLDs referenced by the NS records (§3.3 detection input)."""

@@ -15,8 +15,19 @@ import json
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
 
+from repro.batch.batch import BatchBuilder, ObservationBatch
 from repro.measurement.snapshot import (
     DomainObservation,
     MEASUREMENTS_PER_DOMAIN_DAY,
@@ -45,7 +56,7 @@ class StorageError(Exception):
     """
 
 
-def _encode_column(values: Sequence) -> bytes:
+def _encode_column(values: Sequence[Any]) -> bytes:
     """Dictionary+run-length encode one column, then deflate it.
 
     The format is a JSON head (dictionary and runs of dictionary indexes)
@@ -67,10 +78,10 @@ def _encode_column(values: Sequence) -> bytes:
     return zlib.compress(payload, level=6)
 
 
-def _decode_column(blob: bytes) -> List:
+def _decode_column(blob: bytes) -> List[Any]:
     payload = json.loads(zlib.decompress(blob))
     dictionary = [json.loads(key) for key in payload["dict"]]
-    values: List = []
+    values: List[Any] = []
     for index, count in payload["runs"]:
         values.extend([dictionary[index]] * count)
     return values
@@ -91,7 +102,7 @@ class ColumnStore:
     """In-memory columnar partitions of observations."""
 
     def __init__(self) -> None:
-        self._partitions: Dict[Tuple[str, int], Dict[str, list]] = {}
+        self._partitions: Dict[Tuple[str, int], Dict[str, List[Any]]] = {}
         self._encoded: Dict[Tuple[str, int], Dict[str, bytes]] = {}
         #: (source, day, reason) for partitions dropped by a lenient load.
         self.skipped_partitions: List[Tuple[str, int, str]] = []
@@ -117,6 +128,45 @@ class ColumnStore:
             partition["www_addrs6"].append(list(observation.www_addrs6))
             partition["asns"].append(sorted(observation.asns))
 
+    def append_batch(
+        self, source: str, day: int, batch: ObservationBatch
+    ) -> None:
+        """Write a batch into the (source, day) partition.
+
+        Value-identical to ``append(source, day, batch.rows())`` — the
+        stored column lists, and therefore the encoded partition bytes
+        backing Table 1's size accounting, come out the same — without
+        boxing a row view per observation.
+        """
+        partition = self._partitions.setdefault(
+            (source, day), {column: [] for column in _COLUMNS}
+        )
+        self._encoded.pop((source, day), None)
+        names = batch.names
+        addresses = batch.addresses
+        for index in range(len(batch)):
+            partition["domain"].append(names.value(batch.domains[index]))
+            partition["tld"].append(names.value(batch.tlds[index]))
+            partition["ns_names"].append(
+                list(names.values(batch.ns_names[index]))
+            )
+            partition["apex_addrs"].append(
+                list(addresses.texts(batch.apex_addrs[index]))
+            )
+            partition["www_cnames"].append(
+                list(names.values(batch.www_cnames[index]))
+            )
+            partition["www_addrs"].append(
+                list(addresses.texts(batch.www_addrs[index]))
+            )
+            partition["apex_addrs6"].append(
+                list(addresses.texts(batch.apex_addrs6[index]))
+            )
+            partition["www_addrs6"].append(
+                list(addresses.texts(batch.www_addrs6[index]))
+            )
+            partition["asns"].append(list(batch.asns[index]))
+
     # -- reading --------------------------------------------------------------
 
     def partitions(self) -> List[Tuple[str, int]]:
@@ -128,7 +178,9 @@ class ColumnStore:
         if partition is None:
             return
         for index in range(len(partition["domain"])):
-            yield DomainObservation(
+            # The row-shaped compatibility path; bulk consumers use
+            # batches() instead.
+            yield DomainObservation(  # repro: ignore[row-boxing-in-hot-path]
                 day=day,
                 domain=partition["domain"][index],
                 tld=partition["tld"][index],
@@ -144,6 +196,60 @@ class ColumnStore:
     def row_count(self, source: str, day: int) -> int:
         partition = self._partitions.get((source, day))
         return len(partition["domain"]) if partition else 0
+
+    def batch(
+        self,
+        source: str,
+        day: int,
+        builder: Optional[BatchBuilder] = None,
+    ) -> ObservationBatch:
+        """One partition as a columnar batch — the bulk counterpart of
+        :meth:`rows`, interning straight from the stored columns with no
+        per-row :class:`DomainObservation` boxing. Pass a shared
+        *builder* to intern many partitions into one pool pair.
+        """
+        out = (
+            builder if builder is not None else BatchBuilder()
+        ).new_batch()
+        partition = self._partitions.get((source, day))
+        if partition is None:
+            return out
+        names = out.names
+        addresses = out.addresses
+        domains = partition["domain"]
+        tlds = partition["tld"]
+        ns_names = partition["ns_names"]
+        apex_addrs = partition["apex_addrs"]
+        www_cnames = partition["www_cnames"]
+        www_addrs = partition["www_addrs"]
+        apex_addrs6 = partition["apex_addrs6"]
+        www_addrs6 = partition["www_addrs6"]
+        asns = partition["asns"]
+        for index in range(len(domains)):
+            out.append_ids(
+                day=day,
+                domain=names.intern(domains[index]),
+                tld=names.intern(tlds[index]),
+                ns_names=names.intern_tuple(ns_names[index]),
+                www_cnames=names.intern_tuple(www_cnames[index]),
+                apex_addrs=addresses.intern_tuple(apex_addrs[index]),
+                www_addrs=addresses.intern_tuple(www_addrs[index]),
+                apex_addrs6=addresses.intern_tuple(apex_addrs6[index]),
+                www_addrs6=addresses.intern_tuple(www_addrs6[index]),
+                # append() stores sorted(asns), so the stored column is
+                # already in canonical tuple form.
+                asns=tuple(asns[index]),
+            )
+        return out
+
+    def batches(
+        self, builder: Optional[BatchBuilder] = None
+    ) -> Iterator[Tuple[str, int, ObservationBatch]]:
+        """Every partition as ``(source, day, batch)``, in sorted
+        partition order, sharing one pool pair across all yields."""
+        shared = builder if builder is not None else BatchBuilder()
+        for source, day in self.partitions():
+            yield source, day, self.batch(source, day, builder=shared)
 
     # -- encoding and statistics --------------------------------------------------
 
@@ -162,7 +268,7 @@ class ColumnStore:
 
     def decode_partition(
         self, source: str, day: int
-    ) -> Dict[str, list]:
+    ) -> Dict[str, List[Any]]:
         """Round-trip check helper: decode an encoded partition."""
         return {
             column: _decode_column(blob)
@@ -241,8 +347,8 @@ class ColumnStore:
             raise StorageError(f"corrupt manifest: {exc}") from exc
         store = cls()
         for entry in manifest:
-            source = entry["source"]
-            day = int(entry["day"])
+            source = cast(str, entry["source"])
+            day = int(cast(int, entry["day"]))
             try:
                 columns = cls._load_partition(directory, entry)
             except (StorageError, OSError) as exc:
@@ -258,15 +364,17 @@ class ColumnStore:
     @staticmethod
     def _load_partition(
         directory: str, entry: Dict[str, object]
-    ) -> Dict[str, list]:
+    ) -> Dict[str, List[Any]]:
         """Read and verify one manifest entry's column files."""
         source = str(entry["source"])
-        day = int(entry["day"])  # type: ignore[arg-type]
+        day = int(cast(int, entry["day"]))
         partition_dir = os.path.join(directory, source, str(day))
-        checksums = entry.get("checksums", {})
-        rows = entry.get("rows")
-        columns: Dict[str, list] = {}
-        for column in entry["columns"]:  # type: ignore[attr-defined]
+        checksums = cast(
+            Dict[str, int], entry.get("checksums", {})
+        )
+        rows = cast(Optional[int], entry.get("rows"))
+        columns: Dict[str, List[Any]] = {}
+        for column in cast(List[str], entry["columns"]):
             path = os.path.join(partition_dir, f"{column}.col")
             try:
                 with open(path, "rb") as handle:
@@ -275,7 +383,7 @@ class ColumnStore:
                 raise StorageError(
                     f"missing segment file {path}: {exc}"
                 ) from exc
-            expected = checksums.get(column)  # type: ignore[union-attr]
+            expected = checksums.get(column)
             if expected is not None and zlib.crc32(blob) != expected:
                 raise StorageError(f"checksum mismatch in {path}")
             try:
@@ -298,7 +406,7 @@ class ColumnStore:
         rows = 0
         data_points = 0
         encoded_bytes = 0
-        days = set()
+        days: Set[int] = set()
         for key in self._partitions:
             if source is not None and key[0] != source:
                 continue

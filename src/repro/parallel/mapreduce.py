@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from repro.batch.batch import ObservationBatch
 from repro.mapreduce.engine import Job, JobCounters, Shuffle, map_combine
 from repro.parallel.executor import ShardedExecutor
-from repro.parallel.sharding import chunk_records
+from repro.parallel.sharding import chunk_batches, chunk_records
 
 #: Per-worker-process job state (set by the pool initializer).
 _WORKER_JOB: Optional[Job] = None
@@ -62,8 +63,18 @@ class ParallelBackend:
     def map_shards(
         self, job: Job, records: Iterable[object], partitions: int
     ) -> List[Tuple[Shuffle, JobCounters]]:
-        """One ``map_combine`` result per contiguous chunk, in order."""
-        chunks = chunk_records(list(records), self.shard_count)
+        """One ``map_combine`` result per contiguous chunk, in order.
+
+        A columnar :class:`ObservationBatch` is chunked as compacted
+        sub-batches — never boxed into a row list — so what crosses the
+        fork boundary is each chunk's interned columns; workers iterate
+        the rows lazily inside ``map_combine``.
+        """
+        chunks: List[Iterable[object]]
+        if isinstance(records, ObservationBatch):
+            chunks = list(chunk_batches(records, self.shard_count))
+        else:
+            chunks = list(chunk_records(list(records), self.shard_count))
         return self._executor.map_shards(
             _map_chunk,
             chunks,

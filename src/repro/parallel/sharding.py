@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, TypeVar
 
+from repro.batch.batch import ObservationBatch
 from repro.world.ipam import stable_hash
 
 T = TypeVar("T")
@@ -53,5 +54,29 @@ def chunk_records(records: Sequence[T], chunks: int) -> List[Sequence[T]]:
     for index in range(chunks):
         end = start + size + (1 if index < extra else 0)
         out.append(records[start:end])
+        start = end
+    return out
+
+
+def chunk_batches(
+    batch: ObservationBatch, chunks: int
+) -> List[ObservationBatch]:
+    """:func:`chunk_records` for a columnar batch.
+
+    Same contiguous divmod-balanced split, so chunk *i* holds exactly
+    the rows ``chunk_records(batch.rows(), chunks)[i]`` would — but each
+    chunk stays columnar and is compacted (re-interned into fresh pools
+    holding only its own strings), so shipping a chunk across a fork
+    boundary pickles one small column set instead of thousands of boxed
+    rows.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    size, extra = divmod(len(batch), chunks)
+    out: List[ObservationBatch] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        out.append(batch.slice(start, end).compact())
         start = end
     return out

@@ -47,6 +47,7 @@ from typing import (
     Tuple,
 )
 
+from repro.batch.batch import MatchKey, ObservationBatch
 from repro.core.detection import DetectionResult, UseInterval
 from repro.core.flux import FluxAnalysis, FluxSeries
 from repro.core.growth import GrowthAnalysis, GrowthSeries
@@ -248,6 +249,10 @@ class StreamEngine:
         mutation, so a partition with unreadable rows raises without
         half-applying — a clean redelivery later reconciles exactly.
         """
+        batch = partition.batch
+        if batch is not None:
+            self._apply_batch(partition, batch)
+            return
         cursor = self._cursors[partition.source]
         scope = self._scopes[SCOPE_OF_SOURCE[partition.source]]
         match = self.catalog.match
@@ -264,6 +269,54 @@ class StreamEngine:
             if matches is None:
                 matches = cache[key] = match(observation)
             rows.append((observation.domain, observation.tld, matches))
+        cursor.zone_sizes[day] = partition.zone_size
+        for domain, tld, matches in rows:
+            scope.observe(domain, tld, day, matches)
+        self.partitions_applied += 1
+
+    def _apply_batch(
+        self, partition: DayPartition, batch: ObservationBatch
+    ) -> None:
+        """The columnar :meth:`_apply`: no per-row boxing on a hit.
+
+        Rows are first deduplicated by the batch's pool-relative match
+        key (cheap int-tuple hashing), then each distinct key falls back
+        to the persistent text-keyed match cache — pool ids are
+        batch-builder-local and never survive a resume, so the
+        persistent memo stays keyed by the text tuples. A row view is
+        materialised only for genuinely new signatures. State mutation
+        order (zone size, then rows in partition order) matches the row
+        path exactly, so either path yields identical engine state.
+        """
+        cursor = self._cursors[partition.source]
+        scope = self._scopes[SCOPE_OF_SOURCE[partition.source]]
+        match = self.catalog.match
+        cache = self._match_cache
+        day = partition.day
+        names = batch.names
+        by_key: Dict[MatchKey, Dict[str, FrozenSet[RefType]]] = {}
+        rows: List[Tuple[str, str, Dict[str, FrozenSet[RefType]]]] = []
+        for index in range(len(batch)):
+            id_key = batch.match_key(index)
+            matches = by_key.get(id_key)
+            if matches is None:
+                text_key = (
+                    batch.ns_texts(index),
+                    batch.cname_texts(index),
+                    batch.asn_set(index),
+                )
+                matches = cache.get(text_key)
+                if matches is None:
+                    matches = match(batch.row(index))
+                    cache[text_key] = matches
+                by_key[id_key] = matches
+            rows.append(
+                (
+                    names.value(batch.domains[index]),
+                    names.value(batch.tlds[index]),
+                    matches,
+                )
+            )
         cursor.zone_sizes[day] = partition.zone_size
         for domain, tld, matches in rows:
             scope.observe(domain, tld, day, matches)
@@ -644,7 +697,8 @@ def _partition_from_dict(payload: Mapping[str, Any]) -> DayPartition:
         day=int(payload["day"]),
         zone_size=int(payload["zone_size"]),
         observations=[
-            DomainObservation(
+            # Checkpoint decode is row-shaped by format; cold path.
+            DomainObservation(  # repro: ignore[row-boxing-in-hot-path]
                 day=int(row["day"]),
                 domain=row["domain"],
                 tld=row["tld"],

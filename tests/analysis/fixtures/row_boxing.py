@@ -1,0 +1,65 @@
+"""Fixture for the ``row-boxing-in-hot-path`` rule.
+
+Analyzed as a ``repro/measurement`` module (see CASES in
+``test_rules.py``), where the data plane is columnar and per-row
+``DomainObservation`` construction inside loops is a smell.
+"""
+
+from repro.measurement.snapshot import DomainObservation
+
+
+def boxed_in_loop(rows):
+    out = []
+    for day, domain in rows:
+        out.append(
+            DomainObservation(  # expect: row-boxing-in-hot-path
+                day=day,
+                domain=domain,
+                tld="com",
+                ns_names=(),
+                apex_addrs=(),
+                www_cnames=(),
+                www_addrs=(),
+            )
+        )
+    return out
+
+
+def boxed_in_comprehension(rows):
+    return [
+        DomainObservation(day=d, domain=n, tld="com")  # expect: row-boxing-in-hot-path
+        for d, n in rows
+    ]
+
+
+def boxed_in_while(queue):
+    out = []
+    while queue:
+        day, domain = queue.pop()
+        obs = DomainObservation(  # expect: row-boxing-in-hot-path
+            day=day, domain=domain, tld="com"
+        )
+        out.append(obs)
+    return out
+
+
+def boxed_via_attribute(snapshot, rows):
+    # Attribute-style constructor calls count too.
+    return [
+        snapshot.DomainObservation(day=d)  # expect: row-boxing-in-hot-path
+        for d in rows
+    ]
+
+
+def single_row(day, domain):
+    # Not in a loop: a one-off construction is fine.
+    return DomainObservation(day=day, domain=domain, tld="com")
+
+
+def sanctioned_lazy_view(rows):
+    # The batch plane's compatibility shims may box per row when the
+    # caller asks for row objects; those sites carry a suppression.
+    return [
+        DomainObservation(day=d)  # repro: ignore[row-boxing-in-hot-path]
+        for d in rows
+    ]

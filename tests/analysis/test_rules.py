@@ -31,6 +31,7 @@ CASES = [
     ("mutable_default.py", "repro/reporting/fixture_mutable.py"),
     ("schema_drift.py", "repro/core/fixture_schema.py"),
     ("unordered_futures.py", "repro/parallel/fixture_futures.py"),
+    ("row_boxing.py", "repro/measurement/fixture_row_boxing.py"),
 ]
 
 
@@ -105,6 +106,25 @@ def test_unordered_futures_scoped_to_parallel_package():
         source, "unordered_futures.py", module="repro/stream/fixture.py"
     )
     assert not any(f.rule == "unordered-futures" for f in result.findings)
+
+
+def test_row_boxing_scoped_to_batch_first_packages():
+    source = (FIXTURES / "row_boxing.py").read_text()
+    # Outside the columnar hot paths (measurement, stream) the same
+    # code is fine — e.g. reporting builds rows for human output.
+    result = Analyzer().analyze_source(
+        source, "row_boxing.py", module="repro/reporting/fixture.py"
+    )
+    assert not any(
+        f.rule == "row-boxing-in-hot-path" for f in result.findings
+    )
+    # Under repro/stream it fires just like under repro/measurement.
+    result = Analyzer().analyze_source(
+        source, "row_boxing.py", module="repro/stream/fixture.py"
+    )
+    assert any(
+        f.rule == "row-boxing-in-hot-path" for f in result.findings
+    )
 
 
 def test_parallel_executor_is_clean():

@@ -26,4 +26,4 @@ def test_src_tree_is_clean():
 
 def test_all_rules_ran():
     result = Analyzer().analyze_paths([str(SRC / "repro" / "analysis")])
-    assert len(result.rules_run) == 7
+    assert len(result.rules_run) == 8

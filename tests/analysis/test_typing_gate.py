@@ -23,6 +23,8 @@ STRICT_TARGETS = (
     "src/repro/stream",
     "src/repro/routing",
     "src/repro/core/detection.py",
+    "src/repro/batch",
+    "src/repro/measurement",
 )
 
 

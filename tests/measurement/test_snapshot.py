@@ -40,6 +40,38 @@ class TestObservation:
         )
         assert obs.all_addresses() == ("10.0.0.1", "10.0.0.2")
 
+    def test_all_addresses_first_seen_order_across_columns(self):
+        """Regression: the dict.fromkeys rewrite must keep the exact
+        apex → www → apex6 → www6 first-seen order and dedup of the old
+        linear scan."""
+        obs = observation(
+            apex_addrs=("10.0.0.2", "10.0.0.1"),
+            www_addrs=("10.0.0.1", "10.0.0.3"),
+            apex_addrs6=("2001:db8::1", "2001:db8::2"),
+            www_addrs6=("2001:db8::2", "10.0.0.2"),
+        )
+        assert obs.all_addresses() == (
+            "10.0.0.2",
+            "10.0.0.1",
+            "10.0.0.3",
+            "2001:db8::1",
+            "2001:db8::2",
+        )
+
+    def test_all_addresses_scales_linearly_enough(self):
+        """Regression for the O(n^2) `addr not in seen-list` scan: a
+        many-address observation must dedup in well under a second."""
+        import time
+
+        addrs = tuple(f"10.{i // 65536 % 256}.{i // 256 % 256}.{i % 256}"
+                      for i in range(20000))
+        obs = observation(apex_addrs=addrs, www_addrs=addrs)
+        started = time.perf_counter()
+        result = obs.all_addresses()
+        elapsed = time.perf_counter() - started
+        assert result == addrs
+        assert elapsed < 1.0
+
     def test_ns_slds(self):
         obs = observation(
             ns_names=("ns1.hostco-dns.com", "kate.ns.cloudflare.com")

@@ -50,6 +50,54 @@ class TestCodecRoundtrip:
         values = [[] for _ in range(20)]
         assert _decode_column(_encode_column(values)) == values
 
+    def test_non_ascii_strings_roundtrip(self):
+        # IDNs land in zone files both as punycode and (in sloppy feeds)
+        # as raw unicode; the codec must not mangle either. The JSON
+        # head escapes non-ASCII (ensure_ascii), so the zlib payload is
+        # pure ASCII but the decoded values carry the original text.
+        values = [
+            "xn--mnchen-3ya.de",
+            "münchen.de",
+            "例え.jp",
+            "кириллица.рф",
+            "emoji-\U0001f310.example",
+            "mixed-ß-ascii.com",
+        ]
+        blob = _encode_column(values)
+        assert _decode_column(blob) == values
+
+    def test_non_ascii_list_values_roundtrip(self):
+        values = [["ns1.münchen.de", "ns2.例え.jp"], [], ["ascii.net"]]
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_column_larger_than_64kib_roundtrips(self):
+        # A full .com day is tens of thousands of rows; the encoded JSON
+        # head far exceeds zlib's 32 KiB window and any 16-bit length
+        # assumption. Use distinct values so dictionary encoding cannot
+        # shrink the head below the threshold.
+        values = [f"domain-{i:07d}.example-{i % 97}.com" for i in range(20000)]
+        head = sum(len(v) for v in values)
+        assert head > 64 * 1024
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_high_codepoints_and_controls_roundtrip(self):
+        values = [
+            "\x01weird",
+            "tab\tseparated",
+            "nul\x00nul",
+            "\uffff",
+            "\U0010ffff",
+        ]
+        assert _decode_column(_encode_column(values)) == values
+
+    def test_run_boundaries_roundtrip_exactly(self):
+        # Runs of repeated values interleaved with singletons: the RLE
+        # must restore exact multiplicities and positions.
+        values = (
+            ["a"] * 1000 + ["b"] + ["a"] * 3 + ["c"] * 500 + ["b"] * 2
+        )
+        assert _decode_column(_encode_column(values)) == values
+
 
 class TestStoreRoundtrip:
     def test_in_memory_rows_keep_every_field(self):

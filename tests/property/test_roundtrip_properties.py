@@ -156,6 +156,49 @@ class TestStorageRoundtrip:
             decoded = store.decode_partition(source, day)
             assert decoded == store._partitions[(source, day)]
 
+    @RELAXED
+    @given(store=stores())
+    def test_batches_equal_rows(self, store):
+        """The columnar read path re-materialises exactly the rows the
+        row path yields, partition for partition, in order."""
+        streamed = [
+            (source, day, batch.rows())
+            for source, day, batch in store.batches()
+        ]
+        assert streamed == [
+            (source, day, list(store.rows(source, day)))
+            for source, day in store.partitions()
+        ]
+
+
+#: Values a stored column can legally hold: strings (unicode included),
+#: ints, and flat lists of strings — the shapes append()/append_batch()
+#: actually write.
+column_value = st.one_of(
+    st.text(max_size=24),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.lists(st.text(max_size=12), max_size=4),
+)
+
+
+class TestColumnCodecProperties:
+    @RELAXED
+    @given(values=st.lists(column_value, max_size=60))
+    def test_encode_decode_is_identity(self, values):
+        from repro.measurement.storage import (
+            _decode_column,
+            _encode_column,
+        )
+
+        assert _decode_column(_encode_column(values)) == values
+
+    @RELAXED
+    @given(values=st.lists(column_value, max_size=60))
+    def test_encoding_is_deterministic(self, values):
+        from repro.measurement.storage import _encode_column
+
+        assert _encode_column(values) == _encode_column(list(values))
+
 
 # -- stream.checkpoint ---------------------------------------------------------
 
