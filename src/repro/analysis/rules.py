@@ -86,7 +86,11 @@ SERIALIZATION_SUFFIXES: Tuple[str, ...] = (
 )
 
 #: Modules that must stay free of wall-clock and global-RNG reads.
-DETERMINISTIC_PACKAGES: Tuple[str, ...] = ("repro/core/", "repro/stream/")
+DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
+    "repro/core/",
+    "repro/stream/",
+    "repro/serve/",
+)
 
 #: Statistics paths where float == / != comparisons are banned.
 STATS_MODULES: FrozenSet[str] = frozenset(
@@ -320,7 +324,10 @@ class UnsortedIterationRule(Rule):
 
 class WallClockRule(Rule):
     id = "wall-clock"
-    summary = "wall-clock or module-global RNG use in repro.core/repro.stream"
+    summary = (
+        "wall-clock or module-global RNG use in deterministic packages "
+        "(repro.core/repro.stream/repro.serve)"
+    )
 
     def applies_to(self, module: str) -> bool:
         return module.startswith(DETERMINISTIC_PACKAGES)

@@ -9,6 +9,7 @@ Commands::
     fingerprint  run the §3.3 bootstrap for one provider
     measure      run one day's measurement and store it columnar on disk
     stream       tail the world day-by-day with the incremental engine
+    serve        run the live adoption query service (docs/SERVING.md)
     analyze      run the determinism & invariant linter over source trees
     faults       list fault-injection sites / print an example fault plan
 
@@ -184,6 +185,52 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--resume", action="store_true",
         help="resume from --checkpoint if it exists",
+    )
+    stream.add_argument(
+        "--json", action="store_true",
+        help=(
+            "print snapshots as canonical JSON lines (the serve "
+            "protocol encoding) instead of the counter tables"
+        ),
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="ingest the world and serve adoption queries over TCP",
+    )
+    _add_world_options(serve)
+    serve.add_argument(
+        "--days", type=int, default=None,
+        help="ingest through this calendar day (default: full horizon)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0: ephemeral)",
+    )
+    serve.add_argument(
+        "--strategy", choices=["sliding", "token", "none"],
+        default="sliding",
+        help="per-client rate-limit strategy (default sliding)",
+    )
+    serve.add_argument(
+        "--limit", type=int, default=60,
+        help="requests admitted per client per window (default 60)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=1000,
+        help=(
+            "rate-limit window in ticks; live serving ticks are "
+            "milliseconds, --self-test ticks are requests "
+            "(default 1000)"
+        ),
+    )
+    serve.add_argument(
+        "--self-test", action="store_true",
+        help=(
+            "serve on an ephemeral port, run a concurrent client mix "
+            "and a deterministic limiter demonstration, then exit"
+        ),
     )
 
     analyze = commands.add_parser(
@@ -459,7 +506,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             if last_day is not None:
                 days_done = last_day + 1
                 if args.interval and days_done % args.interval == 0:
-                    _print_stream_snapshots(api, engine)
+                    _print_stream_snapshots(api, engine, args.json)
                 if (
                     args.checkpoint
                     and args.checkpoint_every
@@ -473,7 +520,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f";; tailed through day {last_day} "
         f"({engine.partitions_applied} partitions applied)"
     )
-    _print_stream_snapshots(api, engine)
+    _print_stream_snapshots(api, engine, args.json)
     for scope in engine.scope_names:
         try:
             growth = engine.growth(scope)
@@ -491,12 +538,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_stream_snapshots(api, engine) -> None:
+def _print_stream_snapshots(api, engine, as_json: bool = False) -> None:
     from repro.reporting.figures import render_stream_counters
+    from repro.serve.protocol import canonical_json
 
     for scope in engine.scope_names:
         snapshot = api.snapshot(scope)
         if snapshot.day is None:
+            continue
+        if as_json:
+            print(canonical_json(snapshot.to_dict()))
             continue
         print(
             render_stream_counters(
@@ -504,6 +555,146 @@ def _print_stream_snapshots(api, engine) -> None:
             )
         )
         print()
+
+
+def _build_serve_guard(args: argparse.Namespace):
+    from repro.serve import (
+        AdmissionGuard,
+        SlidingWindowLimiter,
+        TokenBucketLimiter,
+    )
+
+    if args.strategy == "none":
+        return None
+    if args.strategy == "token":
+        strategy = TokenBucketLimiter(
+            capacity=args.limit,
+            ticks_per_token=max(1, args.window // max(1, args.limit)),
+        )
+    else:
+        strategy = SlidingWindowLimiter(
+            limit=args.limit, window=args.window
+        )
+    return AdmissionGuard(strategy)
+
+
+def _serve_self_test(args: argparse.Namespace, swapper) -> int:
+    """Deterministic serve demo: client mix + limiter behaviour."""
+    from repro.serve import (
+        AdmissionGuard,
+        ServeDispatcher,
+        SlidingWindowLimiter,
+        ThreadedServer,
+        request_mix,
+    )
+    from repro.serve.protocol import Request
+
+    # Round-trip phase runs unguarded (all local connections share one
+    # peer key, so any real limit would throttle the test itself); the
+    # limiter phase below exercises --limit on its own dispatcher.
+    index = swapper.current_index()
+    dispatcher = ServeDispatcher(swapper.current_index)
+    requests = [("health", {})] + [
+        ("aggregate", {"scope": scope}) for scope in index.scope_names
+    ] * 3 + [("snapshot", {})]
+    with ThreadedServer(dispatcher) as (host, port):
+        responses = request_mix(host, port, requests, connections=4)
+    succeeded = sum(1 for response in responses if response.get("ok"))
+    print(
+        f";; self-test: {succeeded}/{len(responses)} responses ok "
+        f"over 4 connections"
+    )
+    if succeeded != len(responses):
+        return 1
+
+    # Limiter demonstration at the dispatcher level: logical ticks, one
+    # per request, so the outcome is exact and replayable.
+    limit = max(1, min(args.limit, 10))
+    demo = ServeDispatcher(
+        swapper.current_index,
+        guard=AdmissionGuard(
+            SlidingWindowLimiter(limit=limit, window=10 * limit)
+        ),
+    )
+    burst_total = 3 * limit
+    burst_ok = sum(
+        1
+        for _ in range(burst_total)
+        if demo.handle_request(
+            Request(op="snapshot", params={}, id=None), "burster"
+        ).get("ok")
+    )
+    steady_ok = demo.handle_request(
+        Request(op="snapshot", params={}, id=None), "steady"
+    ).get("ok")
+    print(
+        f";; limiter: burst client {burst_ok}/{burst_total} admitted, "
+        f"compliant client {'admitted' if steady_ok else 'denied'}"
+    )
+    if burst_ok != limit or not steady_ok:
+        return 1
+    print(";; serve self-test ok")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.measurement.scheduler import ALL_SOURCES, PartitionFeed
+    from repro.serve import (
+        ServeDispatcher,
+        SnapshotSwapper,
+        ThreadedServer,
+    )
+    from repro.stream import StreamEngine
+
+    world = _build_world(args)
+    feed = PartitionFeed(world, tuple(ALL_SOURCES))
+    engine = StreamEngine(world.horizon, windows=feed.windows())
+    swapper = SnapshotSwapper(engine)
+    swapper.attach()
+
+    start = min(window[0] for window in feed.windows().values())
+    end = (
+        world.horizon
+        if args.days is None
+        else min(args.days, world.horizon)
+    )
+    for partition in feed.days(start=start, end=end):
+        engine.ingest(partition, on_duplicate="skip")
+    index = swapper.current_index()
+    days = ", ".join(
+        f"{name}@{index.scope(name).day}" for name in index.scope_names
+    )
+    print(
+        f";; ingested {engine.partitions_applied} partitions "
+        f"({days}); index version {index.version}"
+    )
+
+    if args.self_test:
+        return _serve_self_test(args, swapper)
+
+    # Live serving uses millisecond ticks injected at this edge; the
+    # decision path below it stays clock-free (see docs/SERVING.md).
+    dispatcher = ServeDispatcher(
+        swapper.current_index,
+        guard=_build_serve_guard(args),
+        tick_source=lambda: time.monotonic_ns() // 1_000_000,
+    )
+    server = ThreadedServer(dispatcher, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f";; serving on {host}:{port} (Ctrl-C to drain and stop)")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(
+        f";; drained: {dispatcher.requests_handled} requests handled"
+    )
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -576,6 +767,7 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "measure": _cmd_measure,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "analyze": _cmd_analyze,
     "faults": _cmd_faults,
 }

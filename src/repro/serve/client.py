@@ -1,0 +1,144 @@
+"""Protocol clients: the asyncio connection and sync conveniences.
+
+:class:`ServeClient` is one framed connection — what an operator
+integration would embed. The module-level helpers wrap it for callers
+without an event loop (tests, the CLI self-test, benchmarks): one-shot
+requests, and a concurrent mix spread over several connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.serve.protocol import Request
+
+#: One queued request: ``(op, params)``.
+RequestSpec = Tuple[str, Mapping[str, Any]]
+
+
+class ServeClient:
+    """One newline-framed protocol connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def call(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        request_id: Optional[object] = None,
+    ) -> Dict[str, Any]:
+        """Send one request, await its response document."""
+        if request_id is None:
+            self._next_id += 1
+            request_id = self._next_id
+        frame = Request(
+            op=op, params=dict(params or {}), id=request_id
+        ).to_frame()
+        return await self.call_frame(frame)
+
+    async def call_frame(self, frame: bytes) -> Dict[str, Any]:
+        """Send a raw frame (tests use this for malformed input)."""
+        self._writer.write(frame)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        document = json.loads(line.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("response is not a JSON object")
+        return document
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run_mix(
+    host: str,
+    port: int,
+    requests: Sequence[RequestSpec],
+    connections: int,
+) -> List[Dict[str, Any]]:
+    connections = max(1, min(connections, len(requests) or 1))
+    clients = [
+        await ServeClient.connect(host, port)
+        for _ in range(connections)
+    ]
+    try:
+        lanes: List[List[Tuple[int, RequestSpec]]] = [
+            [] for _ in range(connections)
+        ]
+        for position, spec in enumerate(requests):
+            lanes[position % connections].append((position, spec))
+
+        async def run_lane(
+            client: ServeClient, lane: List[Tuple[int, RequestSpec]]
+        ) -> List[Tuple[int, Dict[str, Any]]]:
+            responses = []
+            for position, (op, params) in lane:
+                responses.append(
+                    (position, await client.call(op, params))
+                )
+            return responses
+
+        gathered = await asyncio.gather(
+            *(
+                run_lane(client, lane)
+                for client, lane in zip(clients, lanes)
+            )
+        )
+    finally:
+        for client in clients:
+            await client.close()
+    ordered: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+    for lane_responses in gathered:
+        for position, response in lane_responses:
+            ordered[position] = response
+    return [response for response in ordered if response is not None]
+
+
+def request_once(
+    host: str,
+    port: int,
+    op: str,
+    params: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One-shot synchronous request (opens and closes a connection)."""
+
+    async def run() -> Dict[str, Any]:
+        client = await ServeClient.connect(host, port)
+        try:
+            return await client.call(op, params)
+        finally:
+            await client.close()
+
+    return asyncio.run(run())
+
+
+def request_mix(
+    host: str,
+    port: int,
+    requests: Sequence[RequestSpec],
+    connections: int = 4,
+) -> List[Dict[str, Any]]:
+    """Run *requests* concurrently over up to *connections* connections.
+
+    Responses come back in request order regardless of how the lanes
+    interleaved on the wire.
+    """
+    return asyncio.run(_run_mix(host, port, requests, connections))

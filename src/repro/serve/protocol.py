@@ -1,0 +1,181 @@
+"""The versioned wire protocol of the adoption query service.
+
+Newline-delimited JSON, one request per line, canonical encoding on the
+way out (sorted keys, compact separators, UTF-8): two servers in the
+same logical state answer the same request with byte-identical frames.
+That canonical form is the contract the equivalence suite tests against
+the batch pipeline, so it is centralised here and shared with everything
+else that emits snapshot JSON (``repro stream --json``).
+
+Request::
+
+    {"v": 1, "id": <any>, "op": "lookup", "params": {"domain": ...}}
+
+Response::
+
+    {"v": 1, "id": <echoed>, "ok": true, "result": {...}}
+    {"v": 1, "id": <echoed>, "ok": false,
+     "error": {"code": "rate-limited", "message": ..., "retry_after": 3}}
+
+Operations: ``lookup`` (point query), ``history`` (interval history),
+``aggregate`` (provider-level counters), ``snapshot`` (per-scope live
+counters), ``health`` (liveness + index version; never rate-limited).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Bump when the request/response layout changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one framed request line (bytes, newline included).
+MAX_REQUEST_BYTES = 64 * 1024
+
+#: Every operation the dispatcher understands.
+OPERATIONS: Tuple[str, ...] = (
+    "lookup", "history", "aggregate", "snapshot", "health",
+)
+
+# Error codes.
+BAD_REQUEST = "bad-request"
+UNKNOWN_OP = "unknown-op"
+BAD_PARAMS = "bad-params"
+TOO_LARGE = "too-large"
+RATE_LIMITED = "rate-limited"
+BLOCKED = "blocked"
+
+
+class ProtocolError(ValueError):
+    """A request frame the server cannot honour (code + message)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def canonical_json(payload: object) -> str:
+    """The canonical text form: sorted keys, no whitespace."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    )
+
+
+def encode_frame(payload: Mapping[str, object]) -> bytes:
+    """One canonical newline-terminated protocol frame."""
+    return canonical_json(payload).encode("utf-8") + b"\n"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded, validated request."""
+
+    op: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Echoed verbatim in the response (client correlation).
+    id: Optional[object] = None
+
+    def to_frame(self) -> bytes:
+        return encode_frame(
+            {
+                "v": PROTOCOL_VERSION,
+                "id": self.id,
+                "op": self.op,
+                "params": dict(sorted(self.params.items())),
+            }
+        )
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` (with a wire error code) on any
+    malformed input; the transport never sees raw JSON errors.
+    """
+    if len(line) > MAX_REQUEST_BYTES:
+        raise ProtocolError(
+            TOO_LARGE,
+            f"request exceeds {MAX_REQUEST_BYTES} bytes",
+        )
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(
+            BAD_REQUEST, f"request is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ProtocolError(BAD_REQUEST, "request must be a JSON object")
+    version = document.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks {PROTOCOL_VERSION})",
+        )
+    op = document.get("op")
+    if not isinstance(op, str) or op not in OPERATIONS:
+        raise ProtocolError(
+            UNKNOWN_OP,
+            f"unknown op {op!r}; expected one of {', '.join(OPERATIONS)}",
+        )
+    params = document.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(BAD_PARAMS, "params must be a JSON object")
+    return Request(op=op, params=params, id=document.get("id"))
+
+
+def ok_response(
+    request_id: Optional[object], result: Mapping[str, object]
+) -> Dict[str, object]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": dict(sorted(result.items())),
+    }
+
+
+def error_response(
+    request_id: Optional[object],
+    code: str,
+    message: str,
+    retry_after: Optional[int] = None,
+) -> Dict[str, object]:
+    error: Dict[str, object] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error,
+    }
+
+
+def param_str(
+    params: Mapping[str, Any], name: str, default: Optional[str] = None
+) -> str:
+    """A required (or defaulted) string parameter."""
+    value = params.get(name, default)
+    if not isinstance(value, str):
+        raise ProtocolError(
+            BAD_PARAMS, f"param {name!r} must be a string"
+        )
+    return value
+
+
+def param_opt_int(
+    params: Mapping[str, Any], name: str
+) -> Optional[int]:
+    """An optional integer parameter (bool is not an int here)."""
+    value = params.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            BAD_PARAMS, f"param {name!r} must be an integer"
+        )
+    return value

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -145,9 +146,33 @@ class StreamEngine:
         ] = {}
         #: scope → reason, for scopes under quarantine escalation.
         self._quarantined: Dict[str, str] = {}
+        #: Called after every applied/reconciled partition with
+        #: ``(source, day)``. Derived wiring (the serve plane's snapshot
+        #: swapper hangs off this) — never serialised, re-attached after
+        #: a resume.
+        self._apply_listeners: List[  # repro: ignore[schema-drift]
+            Callable[[str, int], None]
+        ] = []
         self.partitions_applied = 0
         self.late_arrivals = 0
         self.partitions_dropped = 0
+
+    def add_apply_listener(
+        self, listener: Callable[[str, int], None]
+    ) -> None:
+        """Register *listener* to run after each applied partition.
+
+        Listeners fire synchronously on the ingest path, after the
+        partition's state mutations are complete — a listener therefore
+        never observes a torn day. They are configuration, not state:
+        checkpoints do not carry them and a resumed engine starts with
+        none.
+        """
+        self._apply_listeners.append(listener)
+
+    def _notify_applied(self, source: str, day: int) -> None:
+        for listener in self._apply_listeners:
+            listener(source, day)
 
     # -- ingestion ----------------------------------------------------------
 
@@ -175,6 +200,7 @@ class StreamEngine:
                     return POISONED
                 cursor.holes.discard(day)
                 self.late_arrivals += 1
+                self._notify_applied(source, day)
                 return RECONCILED
             return self._duplicate(source, day, on_duplicate)
         if day > next_day:
@@ -189,6 +215,7 @@ class StreamEngine:
             cursor.next_day = next_day + 1
             return POISONED
         cursor.next_day = next_day + 1
+        self._notify_applied(source, day)
         self._drain(source, cursor)
         return APPLIED
 
@@ -234,13 +261,18 @@ class StreamEngine:
             cursor.next_day is not None
             and cursor.next_day in cursor.quarantine
         ):
-            partition = cursor.quarantine.pop(cursor.next_day)
+            day = cursor.next_day
+            partition = cursor.quarantine.pop(day)
             if scope_name in self._quarantined:
-                cursor.holes.add(cursor.next_day)
+                cursor.holes.add(day)
                 self.partitions_dropped += 1
+                cursor.next_day = day + 1
             elif not self._apply_or_quarantine(partition):
-                cursor.holes.add(cursor.next_day)
-            cursor.next_day += 1
+                cursor.holes.add(day)
+                cursor.next_day = day + 1
+            else:
+                cursor.next_day = day + 1
+                self._notify_applied(source, day)
 
     def _apply(self, partition: DayPartition) -> None:
         """Fold one partition into its scope state.
@@ -331,7 +363,6 @@ class StreamEngine:
         """
         try:
             self._apply(partition)
-            return True
         except Exception as exc:  # repro: ignore[swallowed-exception]
             self.quarantine_scope(
                 SCOPE_OF_SOURCE[partition.source],
@@ -339,6 +370,7 @@ class StreamEngine:
                 f"{partition.day}): {exc}",
             )
             return False
+        return True
 
     # -- scope quarantine ----------------------------------------------------
 

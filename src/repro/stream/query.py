@@ -4,12 +4,18 @@
 issue tracker of a monitoring deployment would make against the always-on
 engine — current adoption counters, growth-to-date, one domain's
 protection history — without touching ingest state.
+
+When a read-optimized snapshot index is attached (the serve plane's
+:class:`repro.serve.index.SnapshotSwapper`), the point-lookup reads are
+routed through it instead of walking live engine state, so the served
+path and the in-process path answer from one implementation and cannot
+drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.core.detection import UseInterval
 from repro.core.growth import GrowthSeries
@@ -31,6 +37,24 @@ class LiveSnapshot:
             self.providers, key=lambda p: (-self.providers[p], p)
         )[:limit]
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-compatible form (shared with the serve protocol).
+
+        Keys are stable and provider counters are emitted sorted by name,
+        so two equal snapshots always encode to identical bytes under
+        :func:`repro.serve.protocol.canonical_json`.
+        """
+        return {
+            "scope": self.scope,
+            "day": self.day,
+            "domains_seen": self.domains_seen,
+            "any_use": self.any_use,
+            "providers": {
+                provider: self.providers[provider]
+                for provider in sorted(self.providers)
+            },
+        }
+
 
 @dataclass(frozen=True)
 class DomainHistory:
@@ -49,31 +73,81 @@ class DomainHistory:
         }
         return sorted(names)
 
+    @property
+    def scopes(self) -> List[str]:
+        return sorted(self.intervals)
+
     def total_days(self, scope: str = "gtld") -> int:
+        """Summed interval days across *scope*'s providers.
+
+        A scope with no recorded protection (including one this history
+        has never seen) contributes 0 days.
+        """
+        by_provider = self.intervals.get(scope, {})
         return sum(
             interval.days
-            for by_provider in (
-                [self.intervals[scope]] if scope in self.intervals else []
-            )
             for intervals in by_provider.values()
             for interval in intervals
         )
 
 
-class QueryAPI:
-    """Read-only adoption queries against a :class:`StreamEngine`."""
+class SnapshotIndex(Protocol):
+    """The reads :class:`QueryAPI` can route through a serve index.
 
-    def __init__(self, engine: StreamEngine):
+    Structural: :class:`repro.serve.index.ServeIndex` satisfies it
+    without this module importing the serve plane (which imports this
+    one).
+    """
+
+    def live_snapshot(self, scope: str) -> LiveSnapshot:
+        ...
+
+    def history(
+        self, domain: str
+    ) -> Dict[str, Dict[str, List[UseInterval]]]:
+        ...
+
+    def adoption(
+        self, provider: str, day: Optional[int], scope: str
+    ) -> int:
+        ...
+
+
+class QueryAPI:
+    """Read-only adoption queries against a :class:`StreamEngine`.
+
+    *index_source*, when given, is a zero-argument callable returning the
+    current immutable :class:`SnapshotIndex` (typically
+    ``SnapshotSwapper.current_index``); snapshot, adoption and
+    domain-history reads then come from the index instead of live engine
+    state. Growth stays on the engine — it is not part of the serve
+    read path.
+    """
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        index_source: Optional[Callable[[], SnapshotIndex]] = None,
+    ):
         self._engine = engine
+        self._index_source = index_source
 
     @property
     def engine(self) -> StreamEngine:
         return self._engine
 
+    def _index(self) -> Optional[SnapshotIndex]:
+        if self._index_source is None:
+            return None
+        return self._index_source()
+
     def adoption(
         self, provider: str, day: Optional[int] = None, scope: str = "gtld"
     ) -> int:
         """Distinct SLDs using *provider* on *day* (default: latest)."""
+        index = self._index()
+        if index is not None:
+            return index.adoption(provider, day, scope)
         return self._engine.adoption(provider, day=day, scope=scope)
 
     def growth(self, source: str) -> Dict[str, GrowthSeries]:
@@ -82,12 +156,18 @@ class QueryAPI:
 
     def domain_history(self, name: str) -> DomainHistory:
         """The engine's full protection history for one domain."""
+        index = self._index()
+        if index is not None:
+            return DomainHistory(domain=name, intervals=index.history(name))
         return DomainHistory(
             domain=name, intervals=self._engine.domain_history(name)
         )
 
     def snapshot(self, scope: str = "gtld") -> LiveSnapshot:
         """Current counters for *scope* (what the CLI tail prints)."""
+        index = self._index()
+        if index is not None:
+            return index.live_snapshot(scope)
         engine = self._engine
         state = engine.scope(scope)
         day = engine.latest_day(scope)

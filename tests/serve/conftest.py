@@ -1,0 +1,62 @@
+"""Shared fixtures for the serve subsystem tests.
+
+Mirrors ``tests/stream/conftest.py``: one session world with nonzero
+adoption in every scope, the batch study as ground truth, and a replay
+feed. On top of those, a fully ingested engine with an attached
+:class:`SnapshotSwapper` — the serving stack most tests read from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import AdoptionStudy
+from repro.serve.index import SnapshotSwapper
+from repro.stream.engine import StreamEngine
+from repro.stream.feed import SegmentReplayFeed
+from repro.world.scenario import ScenarioConfig, build_paper_world
+
+SERVE_SCALE = 150000
+SERVE_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def serve_world():
+    """A small paper world (~1.2k domains), same as the stream suite."""
+    return build_paper_world(
+        ScenarioConfig(scale=SERVE_SCALE, seed=SERVE_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def batch_results(serve_world):
+    """The batch study over the same world — the ground truth."""
+    return AdoptionStudy(serve_world).run()
+
+
+@pytest.fixture(scope="session")
+def replay_feed(serve_world, batch_results):
+    """Daily partitions replayed from the batch study's segments."""
+    return SegmentReplayFeed(serve_world, batch_results.segments)
+
+
+@pytest.fixture(scope="session")
+def served_stack(serve_world, replay_feed):
+    """(engine, swapper) after a full-horizon replay with live swaps."""
+    engine = StreamEngine(
+        serve_world.horizon, windows=replay_feed.windows()
+    )
+    swapper = SnapshotSwapper(engine)
+    swapper.attach()
+    engine.ingest_feed(replay_feed.days())
+    return engine, swapper
+
+
+@pytest.fixture(scope="session")
+def protected_domain(served_stack):
+    """(domain, provider) with recorded gTLD protection."""
+    _, swapper = served_stack
+    scope_index = swapper.current_index().scope("gtld")
+    for domain, provider in sorted(scope_index.intervals):
+        return domain, provider
+    raise AssertionError("world has no protected gTLD domain")

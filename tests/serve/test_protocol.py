@@ -1,0 +1,138 @@
+"""Wire protocol: canonical encoding and request validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_REQUEST_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    canonical_json,
+    decode_request,
+    encode_frame,
+    error_response,
+    ok_response,
+    param_opt_int,
+    param_str,
+)
+
+
+class TestCanonicalEncoding:
+    def test_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": {"d": 2, "c": 3}}) == (
+            '{"a":{"c":3,"d":2},"b":1}'
+        )
+
+    def test_equal_payloads_encode_identically(self):
+        left = {"z": [1, 2], "a": {"k": None}}
+        right = {"a": {"k": None}, "z": [1, 2]}
+        assert canonical_json(left) == canonical_json(right)
+
+    def test_frame_is_one_newline_terminated_line(self):
+        frame = encode_frame({"a": 1})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+
+
+class TestDecodeRequest:
+    def test_round_trip(self):
+        request = Request(
+            op="lookup", params={"domain": "x.com"}, id=42
+        )
+        decoded = decode_request(request.to_frame())
+        assert decoded == Request(
+            op="lookup", params={"domain": "x.com"}, id=42
+        )
+
+    def test_id_defaults_to_none(self):
+        decoded = decode_request(
+            encode_frame({"v": PROTOCOL_VERSION, "op": "health"})
+        )
+        assert decoded.id is None
+        assert decoded.params == {}
+
+    @pytest.mark.parametrize(
+        "line, code",
+        [
+            (b"x" * (MAX_REQUEST_BYTES + 1), protocol.TOO_LARGE),
+            (b"{not json}\n", protocol.BAD_REQUEST),
+            (b"[1,2,3]\n", protocol.BAD_REQUEST),
+            (b"\xff\xfe\n", protocol.BAD_REQUEST),
+            (
+                encode_frame({"v": 99, "op": "health"}),
+                protocol.BAD_REQUEST,
+            ),
+            (
+                encode_frame({"op": "health"}),
+                protocol.BAD_REQUEST,
+            ),
+            (
+                encode_frame({"v": PROTOCOL_VERSION, "op": "nope"}),
+                protocol.UNKNOWN_OP,
+            ),
+            (
+                encode_frame({"v": PROTOCOL_VERSION, "op": 7}),
+                protocol.UNKNOWN_OP,
+            ),
+            (
+                encode_frame(
+                    {"v": PROTOCOL_VERSION, "op": "health", "params": 3}
+                ),
+                protocol.BAD_PARAMS,
+            ),
+        ],
+    )
+    def test_malformed_requests(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.code == code
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response(5, {"b": 1, "a": 2})
+        assert response == {
+            "v": PROTOCOL_VERSION,
+            "id": 5,
+            "ok": True,
+            "result": {"a": 2, "b": 1},
+        }
+
+    def test_error_response_retry_after_optional(self):
+        bare = error_response(None, protocol.BAD_PARAMS, "nope")
+        assert "retry_after" not in bare["error"]
+        limited = error_response(
+            1, protocol.RATE_LIMITED, "slow down", retry_after=7
+        )
+        assert limited["ok"] is False
+        assert limited["error"]["retry_after"] == 7
+
+    def test_responses_encode_canonically(self):
+        frame = encode_frame(ok_response(1, {"x": 1}))
+        assert json.loads(frame) == json.loads(
+            canonical_json(json.loads(frame))
+        )
+        assert frame == encode_frame(json.loads(frame))
+
+
+class TestParamHelpers:
+    def test_param_str(self):
+        assert param_str({"scope": "nl"}, "scope", "gtld") == "nl"
+        assert param_str({}, "scope", "gtld") == "gtld"
+        with pytest.raises(ProtocolError):
+            param_str({}, "domain")
+        with pytest.raises(ProtocolError):
+            param_str({"domain": 3}, "domain")
+
+    def test_param_opt_int(self):
+        assert param_opt_int({}, "day") is None
+        assert param_opt_int({"day": 4}, "day") == 4
+        with pytest.raises(ProtocolError):
+            param_opt_int({"day": "4"}, "day")
+        with pytest.raises(ProtocolError):
+            param_opt_int({"day": True}, "day")

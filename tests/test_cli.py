@@ -175,3 +175,51 @@ class TestStream:
     def test_unknown_source_fails(self, capsys):
         code = main(["stream", "--sources", "bogus", "--days", "2"] + SCALE)
         assert code == 1
+
+    def test_json_tail_emits_canonical_snapshots(self, capsys):
+        import json
+
+        from repro.serve.protocol import canonical_json
+
+        code = main(
+            ["stream", "--days", "5", "--sources", "com,org", "--json"]
+            + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tailed through day 4" in out
+        lines = [
+            line for line in out.splitlines() if line.startswith("{")
+        ]
+        assert lines, "expected at least one JSON snapshot line"
+        snapshot = json.loads(lines[-1])
+        assert snapshot["scope"] == "gtld"
+        assert snapshot["day"] == 4
+        # The line is the shared canonical encoding, byte for byte.
+        assert lines[-1] == canonical_json(snapshot)
+        # The human table is replaced, not duplicated.
+        assert "any provider" not in out
+
+
+class TestServe:
+    def test_self_test_round_trip_and_limiter(self, capsys):
+        code = main(
+            ["serve", "--days", "5", "--self-test", "--limit", "4"]
+            + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "index version" in out
+        assert "responses ok" in out
+        assert "burst client 4/12 admitted" in out
+        assert "compliant client admitted" in out
+        assert "serve self-test ok" in out
+
+    def test_self_test_without_guard(self, capsys):
+        code = main(
+            ["serve", "--days", "3", "--self-test", "--strategy",
+             "none"] + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serve self-test ok" in out
