@@ -1,0 +1,80 @@
+"""Analysis engine — incremental cache payoff, warm vs cold.
+
+The claim the cache has to earn: a warm ``repro analyze`` over the
+whole src tree is at least 5x faster than a cold one (docs/ANALYSIS.md
+§caching). Cold builds every per-module summary and runs the
+interprocedural fixpoint; warm short-circuits through the project
+fingerprint and replays the assembled result. Both the ratio and the
+absolute times land in ``extra_info`` of the benchmark JSON, and the
+two runs must agree finding-for-finding — a cache that changes the
+report is worse than no cache.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.project import ProjectAnalyzer
+
+REPO = Path(__file__).parents[1]
+SRC = REPO / "src"
+
+
+def test_warm_analysis_is_5x_faster_than_cold(benchmark, tmp_path):
+    cache = AnalysisCache(str(tmp_path / "cache"))
+    analyzer = ProjectAnalyzer(cache=cache, root=str(REPO))
+
+    start = time.perf_counter()
+    cold = analyzer.analyze_paths([str(SRC)])
+    cold_seconds = time.perf_counter() - start
+    assert cold.files_checked > 50
+    assert cold.cache_stats["module_misses"] == cold.files_checked
+
+    warm = benchmark(lambda: analyzer.analyze_paths([str(SRC)]))
+    warm_seconds = benchmark.stats.stats.mean
+
+    # The cache must be invisible in the report itself.
+    assert warm.cache_stats["project_hit"]
+    assert warm.findings == cold.findings
+    assert warm.rules_run == cold.rules_run
+    assert warm.files_checked == cold.files_checked
+
+    speedup = cold_seconds / warm_seconds
+    benchmark.extra_info["files_checked"] = cold.files_checked
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_speedup"] = round(speedup, 1)
+    print(
+        f"\ncold {cold_seconds:.2f}s over {cold.files_checked} files, "
+        f"warm {warm_seconds * 1e3:.1f}ms ({speedup:.0f}x)"
+    )
+    assert speedup >= 5, f"warm run only {speedup:.1f}x faster than cold"
+
+
+def test_invalidation_rebuilds_only_reachable_modules(
+    benchmark, tmp_path
+):
+    """One edited module costs one rebuild plus the (cheap) fixpoint,
+    not a cold start: the per-module layer absorbs everything else."""
+    cache = AnalysisCache(str(tmp_path / "cache"))
+    analyzer = ProjectAnalyzer(cache=cache, root=str(REPO))
+    analyzer.analyze_paths([str(SRC)])
+
+    target = SRC / "repro" / "analysis" / "findings.py"
+    original = target.read_text()
+    edits = iter(range(1_000_000))
+
+    def edit_and_reanalyze():
+        target.write_text(
+            original + f"\n# cache-buster {next(edits)}\n"
+        )
+        try:
+            return analyzer.analyze_paths([str(SRC)])
+        finally:
+            target.write_text(original)
+
+    result = benchmark.pedantic(edit_and_reanalyze, rounds=3)
+    assert result.cache_stats["module_misses"] == 1
+    assert result.cache_stats["module_hits"] == result.files_checked - 1
+    benchmark.extra_info["module_misses"] = (
+        result.cache_stats["module_misses"]
+    )

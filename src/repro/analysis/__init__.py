@@ -1,4 +1,4 @@
-"""repro.analysis — AST-based determinism & invariant linter.
+"""repro.analysis — determinism & invariant analysis, local and interprocedural.
 
 The streaming engine's guarantees (checkpoint byte-identity,
 stream-vs-batch equivalence, kill-and-resume) are enforced by tests but
@@ -8,12 +8,42 @@ float equality on statistics paths, no swallowed ingest errors, no
 mutable defaults, and checkpoint codecs that cover every field of
 state. This package checks those invariants statically, via
 ``python -m repro analyze`` (see ``docs/ANALYSIS.md``).
+
+Two layers:
+
+* **local rules** (:mod:`repro.analysis.rules`) — single-file AST
+  checks, run by :class:`Analyzer`;
+* **project rules** (:mod:`repro.analysis.interproc`) — cross-function
+  checks over a project-wide call graph
+  (:mod:`repro.analysis.callgraph`) and dataflow/taint framework
+  (:mod:`repro.analysis.dataflow`), run by
+  :class:`~repro.analysis.project.ProjectAnalyzer` with incremental
+  caching (:mod:`repro.analysis.cache`), SARIF output
+  (:mod:`repro.analysis.sarif`), and a ratcheting suppression baseline
+  (:mod:`repro.analysis.baseline`).
 """
 
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.findings import (
     Finding,
     is_suppressed,
     suppressed_rules,
+)
+from repro.analysis.interproc import (
+    ProjectRule,
+    project_rule_ids,
+    project_rules,
+)
+from repro.analysis.project import (
+    ProjectAnalyzer,
+    ProjectResult,
+    all_rule_descriptions,
 )
 from repro.analysis.report import render_json, render_text
 from repro.analysis.rules import Rule, default_rules, rule_ids
@@ -23,18 +53,31 @@ from repro.analysis.runner import (
     Analyzer,
     logical_module,
 )
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
-    "Analyzer",
+    "AnalysisCache",
     "AnalysisResult",
+    "Analyzer",
+    "Baseline",
+    "BaselineError",
     "Finding",
     "PARSE_ERROR",
+    "ProjectAnalyzer",
+    "ProjectResult",
+    "ProjectRule",
     "Rule",
+    "all_rule_descriptions",
     "default_rules",
     "is_suppressed",
+    "load_baseline",
     "logical_module",
+    "project_rule_ids",
+    "project_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
     "suppressed_rules",
+    "write_baseline",
 ]

@@ -1,0 +1,169 @@
+"""Suppression baseline: sanctioned legacy findings, with reasons.
+
+The analyzer gate is *ratcheting*: new findings fail CI immediately,
+while pre-existing ones burn down through a checked-in baseline file
+(``analysis-baseline.json``). Every entry must carry a written
+justification — an entry without one is a configuration error, not a
+suppression — so each sanctioned finding is an auditable decision, not
+a silent `# noqa`.
+
+Entries match findings by ``(rule, path, message)``, deliberately
+*without* the line number: unrelated edits that shift a sanctioned
+finding up or down the file must not resurrect it, while any change to
+the finding itself (different message, moved file) surfaces it again.
+Entries that no longer match anything are reported as *stale* so the
+baseline shrinks as debt is paid, never just accretes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Placeholder written by ``--write-baseline``; load() rejects it so a
+#: human must replace it before the entry counts as sanctioned.
+JUSTIFICATION_PLACEHOLDER = "TODO: justify this finding"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing justifications."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One sanctioned finding."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path.replace("\\", "/"), self.message)
+
+
+@dataclass
+class BaselineMatch:
+    """What applying a baseline to a set of findings produced."""
+
+    new_findings: List[Finding]
+    suppressed: List[Finding]
+    stale_entries: List[BaselineEntry]
+
+
+def _finding_key(finding: Finding) -> Tuple[str, str, str]:
+    return (
+        finding.rule,
+        finding.path.replace("\\", "/"),
+        finding.message,
+    )
+
+
+class Baseline:
+    """A set of sanctioned findings loaded from disk (or empty)."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = tuple(entries)
+        self._by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+
+    def apply(self, findings: Sequence[Finding]) -> BaselineMatch:
+        new_findings: List[Finding] = []
+        suppressed: List[Finding] = []
+        matched: set = set()
+        for finding in findings:
+            key = _finding_key(finding)
+            if key in self._by_key:
+                matched.add(key)
+                suppressed.append(finding)
+            else:
+                new_findings.append(finding)
+        stale = [
+            entry for entry in self.entries if entry.key() not in matched
+        ]
+        return BaselineMatch(
+            new_findings=new_findings,
+            suppressed=suppressed,
+            stale_entries=stale,
+        )
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load and validate a baseline file.
+
+    Raises :class:`BaselineError` on malformed documents and on any
+    entry whose justification is missing, empty, or still the
+    ``--write-baseline`` placeholder.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path}: invalid JSON: {error}") from error
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(
+            f"{path}: expected an object with an 'entries' list"
+        )
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(document["entries"]):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: entry {index} is not an object")
+        missing = [
+            field for field in ("rule", "path", "message", "justification")
+            if not isinstance(raw.get(field), str)
+        ]
+        if missing:
+            raise BaselineError(
+                f"{path}: entry {index} is missing {', '.join(missing)}"
+            )
+        justification = raw["justification"].strip()
+        if not justification or justification == JUSTIFICATION_PLACEHOLDER:
+            raise BaselineError(
+                f"{path}: entry {index} ({raw['rule']} at {raw['path']}) "
+                f"has no written justification; every baselined finding "
+                f"must explain why it is sanctioned"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                message=raw["message"],
+                justification=justification,
+            )
+        )
+    return Baseline(entries)
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """A baseline document covering *findings*, pending justification."""
+    seen: set = set()
+    entries: List[Dict[str, str]] = []
+    for finding in sorted(findings):
+        key = _finding_key(finding)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path.replace("\\", "/"),
+                "message": finding.message,
+                "justification": JUSTIFICATION_PLACEHOLDER,
+            }
+        )
+    return json.dumps(
+        {"version": BASELINE_VERSION, "entries": entries},
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(findings))

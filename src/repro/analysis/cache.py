@@ -1,0 +1,163 @@
+"""On-disk incremental cache for the interprocedural analyzer.
+
+Two levels, both content-addressed:
+
+* **per-module records** — the parsed facts of one file (symbol table,
+  flow summaries, local findings, suppressions), keyed by the SHA-256
+  of the file's bytes plus the analysis version and the directory
+  profile it was analyzed under. A record never goes stale in place: a
+  changed file hashes to a different key, so invalidation is automatic
+  and exact.
+* **a project record** — the fully-merged findings of one analysis
+  run, keyed by a fingerprint over *every* module's ``(key, sha,
+  profile)`` triple. On an unchanged tree the warm path is: hash the
+  files, hit the project record, skip parsing, dataflow, and the
+  interprocedural fixpoint entirely. This is what makes warm runs ≥5×
+  faster than cold (asserted in ``benchmarks/bench_analysis.py``).
+
+Cross-module correctness falls out of the fingerprint: the
+interprocedural rules see the whole call graph, so their output is a
+function of *all* module records — one changed file misses the project
+record and re-runs the (cheap, in-memory) fixpoint over mostly-cached
+module records, which is exactly the invalidation the call graph
+demands.
+
+Writes are atomic (``os.replace`` of a same-directory temp file) so a
+crashed or parallel run can never leave a torn pickle behind; loads
+treat any unreadable entry as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: Bump when record layout or rule semantics change: every key
+#: embeds it, so stale caches die wholesale instead of half-applying.
+ANALYSIS_VERSION = "2026.08-interproc-1"
+
+#: Default cache directory name (git-ignored), created on first write.
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+
+def source_sha(data: bytes) -> str:
+    """Content hash of one file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_fingerprint(
+    triples: Sequence[Tuple[str, str, str]]
+) -> str:
+    """Fingerprint of the whole tree: every (module, sha, profile)."""
+    digest = hashlib.sha256(ANALYSIS_VERSION.encode("utf-8"))
+    for module, sha, profile in sorted(triples):
+        digest.update(f"{module}\x00{sha}\x00{profile}\x01".encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one analysis run."""
+
+    module_hits: int = 0
+    module_misses: int = 0
+    project_hit: bool = False
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "module_hits": self.module_hits,
+            "module_misses": self.module_misses,
+            "project_hit": self.project_hit,
+        }
+
+
+class AnalysisCache:
+    """Content-addressed pickle store under one directory."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = directory
+        self.stats = CacheStats()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    # -- keys --------------------------------------------------------------
+
+    def module_key(self, module: str, sha: str, profile: str) -> str:
+        digest = hashlib.sha256(
+            f"{ANALYSIS_VERSION}\x00{module}\x00{sha}\x00{profile}".encode(
+                "utf-8"
+            )
+        ).hexdigest()
+        return digest
+
+    def _module_path(self, key: str) -> str:
+        return os.path.join(self.directory, "modules", key[:2], key + ".pkl")
+
+    def _project_path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.directory, "project", fingerprint + ".pkl"
+        )
+
+    # -- low-level store ---------------------------------------------------
+
+    def _load(self, path: str) -> Optional[Any]:
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def _store(self, path: str, value: Any) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+    # -- module records ----------------------------------------------------
+
+    def load_module(
+        self, module: str, sha: str, profile: str
+    ) -> Optional[Any]:
+        record = self._load(
+            self._module_path(self.module_key(module, sha, profile))
+        )
+        if record is None:
+            self.stats.module_misses += 1
+        else:
+            self.stats.module_hits += 1
+        return record
+
+    def store_module(
+        self, module: str, sha: str, profile: str, record: Any
+    ) -> None:
+        self._store(
+            self._module_path(self.module_key(module, sha, profile)),
+            record,
+        )
+
+    # -- project record ----------------------------------------------------
+
+    def load_project(self, fingerprint: str) -> Optional[Any]:
+        record = self._load(self._project_path(fingerprint))
+        self.stats.project_hit = record is not None
+        return record
+
+    def store_project(self, fingerprint: str, record: Any) -> None:
+        self._store(self._project_path(fingerprint), record)

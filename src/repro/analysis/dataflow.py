@@ -1,0 +1,642 @@
+"""Forward dataflow / taint framework over the project call graph.
+
+The framework answers one repo-defining question interprocedurally:
+*can a value whose content depends on unsorted dict/set iteration order
+reach a serialization sink?* Byte-identity across the serial, parallel,
+streamed, and served paths is the repo's core invariant; mapping order
+is the classic way it silently breaks, and the breakage is usually
+*non-local* — the unsorted list is built in one function and serialized
+three calls later.
+
+Per function, an intra-procedural pass collapses local variables into a
+small flow graph over special nodes::
+
+    param:<i>           taint entering through parameter i
+    src:<k>             an order-taint source (unsorted .items()/.keys()/
+                        .values() iteration or materialisation)
+    call:<j>:arg:<i>    taint flowing into argument i of call j
+    call:<j>:ret        the value call j returns
+    ret                 the function's return value
+
+Edges are syntactic value flow: assignments, container stores
+(``out.append(v)``, ``out[k] = v``), comprehensions, returns.
+``sorted(...)`` and order-insensitive consumers (``len``, ``sum``,
+``min``, ``max``, ``set``, ``any``, ``all``...) sanitize. Scalar
+accumulation (``total += v``) is deliberately not tracked — summing is
+order-insensitive for the integer counters this repo accumulates, and
+float-ordering error is the ``float-equality`` rule's territory.
+
+The interprocedural engine then runs a fixpoint over per-function
+summaries: which parameters reach a sink (directly, or through another
+function's sink-reaching parameter), which parameters flow to the
+return value, and whose return values are serialized by some caller.
+External sinks seed the fixpoint (``json.dumps`` and friends); project
+wrappers like ``canonical_json`` or the checkpoint codecs become sinks
+*by discovery*, not by listing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.callgraph import CallGraph, ModuleSymbols, call_symbol
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: External callables whose arguments are serialized verbatim.
+EXTERNAL_SINKS: FrozenSet[str] = frozenset(
+    {
+        "json.dumps", "json.dump", "pickle.dumps", "pickle.dump",
+        "marshal.dumps", "marshal.dump",
+    }
+)
+
+#: Calls that erase order-dependence from their result.
+_SANITIZERS: FrozenSet[str] = frozenset({"sorted"})
+
+#: Calls whose result does not depend on argument order.
+_ORDER_INSENSITIVE: FrozenSet[str] = frozenset(
+    {
+        "len", "sum", "min", "max", "set", "frozenset", "any", "all",
+        "bool", "isinstance", "abs", "round", "id", "hash", "repr",
+        "print", "enumerate",
+    }
+)
+
+#: Method calls that store their arguments into the receiver.
+_CONTAINER_STORES: FrozenSet[str] = frozenset(
+    {"append", "add", "extend", "update", "insert", "setdefault"}
+)
+
+#: Mapping-view methods whose iteration order is the dict's.
+_VIEW_METHODS: FrozenSet[str] = frozenset({"items", "keys", "values"})
+
+
+@dataclass(frozen=True)
+class SourceSite:
+    """One order-taint source inside a function."""
+
+    id: int
+    line: int
+    column: int
+    text: str
+
+
+@dataclass(frozen=True)
+class FlowCall:
+    """One call participating in the flow graph."""
+
+    id: int
+    symbol: str
+    line: int
+    column: int
+    arg_count: int
+
+
+@dataclass
+class FlowSummary:
+    """The collapsed intra-procedural flow graph of one function."""
+
+    sources: Tuple[SourceSite, ...] = ()
+    calls: Tuple[FlowCall, ...] = ()
+    edges: Tuple[Tuple[str, str], ...] = ()
+    param_count: int = 0
+
+
+class _FlowBuilder:
+    """Builds a :class:`FlowSummary` for one function body.
+
+    Statements are re-processed until the variable environment reaches a
+    fixpoint (bounded), so flows through loop-carried variables are
+    caught without a real worklist.
+    """
+
+    def __init__(self, node: _FunctionNode, params: Sequence[str]) -> None:
+        self.node = node
+        self.params = tuple(params)
+        self.env: Dict[str, Set[str]] = {
+            name: {f"param:{index}"}
+            for index, name in enumerate(self.params)
+        }
+        self.edges: Set[Tuple[str, str]] = set()
+        self.sources: Dict[Tuple[int, int], SourceSite] = {}
+        self.calls: Dict[Tuple[int, int], FlowCall] = {}
+
+    def build(self) -> FlowSummary:
+        for _ in range(4):
+            before = {name: set(values) for name, values in self.env.items()}
+            for statement in self.node.body:
+                self._statement(statement)
+            if before == self.env:
+                break
+        return FlowSummary(
+            sources=tuple(
+                self.sources[key] for key in sorted(self.sources)
+            ),
+            calls=tuple(self.calls[key] for key in sorted(self.calls)),
+            edges=tuple(sorted(self.edges)),
+            param_count=len(self.params),
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _merge(self, name: str, origins: Set[str]) -> None:
+        if origins:
+            self.env.setdefault(name, set()).update(origins)
+
+    def _chain(self, node: ast.expr) -> Optional[str]:
+        return call_symbol(node) if isinstance(
+            node, (ast.Name, ast.Attribute)
+        ) else None
+
+    def _source_for(self, node: ast.Call) -> Optional[str]:
+        """A ``src:k`` node when *node* is an unsorted mapping view."""
+        function = node.func
+        if not isinstance(function, ast.Attribute):
+            return None
+        if function.attr not in _VIEW_METHODS:
+            return None
+        if node.args or node.keywords:
+            return None
+        key = (node.lineno, node.col_offset)
+        if key not in self.sources:
+            receiver = ast.unparse(function.value)
+            self.sources[key] = SourceSite(
+                id=len(self.sources),
+                line=node.lineno,
+                column=node.col_offset,
+                text=f"{receiver}.{function.attr}()",
+            )
+        return f"src:{self.sources[key].id}"
+
+    def _call_node(self, node: ast.Call, symbol: str) -> FlowCall:
+        key = (node.lineno, node.col_offset)
+        if key not in self.calls:
+            self.calls[key] = FlowCall(
+                id=len(self.calls),
+                symbol=symbol,
+                line=node.lineno,
+                column=node.col_offset,
+                arg_count=len(node.args) + len(node.keywords),
+            )
+        return self.calls[key]
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.expr]) -> Set[str]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain = self._chain(node if isinstance(node, ast.Attribute)
+                                else node.value)
+            origins: Set[str] = set()
+            if chain is not None and chain in self.env:
+                origins |= self.env[chain]
+            base: ast.expr = node
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                if isinstance(base, ast.Subscript):
+                    self._eval(base.slice)
+                base = base.value
+            origins |= self._eval(base)
+            return origins
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            out: Set[str] = set()
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return set()
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self._eval(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                if key is not None:
+                    out |= self._eval(key)
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            return self._eval_comprehension(node.generators, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(
+                node.generators, [node.key, node.value]
+            )
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self._eval(value.value)
+            return out
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            origins = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self._merge(node.target.id, origins)
+            return origins
+        return set()
+
+    def _eval_call(self, node: ast.Call) -> Set[str]:
+        source = self._source_for(node)
+        if source is not None:
+            # Still evaluate the receiver for side effects.
+            return {source}
+        symbol = call_symbol(node.func)
+        arg_values: List[Set[str]] = []
+        for argument in node.args:
+            arg_values.append(self._eval(argument))
+        for keyword in node.keywords:
+            arg_values.append(self._eval(keyword.value))
+        if symbol is None:
+            out: Set[str] = set()
+            self._eval(node.func)
+            for value in arg_values:
+                out |= value
+            return out
+        bare = symbol.rpartition(".")[2]
+        if symbol in _SANITIZERS or symbol in _ORDER_INSENSITIVE:
+            return set()
+        receiver_chain: Optional[str] = None
+        if isinstance(node.func, ast.Attribute):
+            receiver_chain = self._chain(node.func.value)
+        if bare in _CONTAINER_STORES and receiver_chain is not None:
+            stored: Set[str] = set()
+            for value in arg_values:
+                stored |= value
+            self._merge(receiver_chain, stored)
+            self._merge(receiver_chain.partition(".")[0], stored)
+            return set()
+        call = self._call_node(node, symbol)
+        for index, value in enumerate(arg_values):
+            for origin in value:
+                self.edges.add((origin, f"call:{call.id}:arg:{index}"))
+        # The receiver of a method call feeds the call too (joining a
+        # tainted list: ", ".join(parts) has parts as the receiver-arg).
+        if receiver_chain is not None and receiver_chain in self.env:
+            for origin in self.env[receiver_chain]:
+                self.edges.add((origin, f"call:{call.id}:arg:0"))
+        elif isinstance(node.func, ast.Attribute):
+            for origin in self._eval(node.func.value):
+                self.edges.add((origin, f"call:{call.id}:arg:0"))
+        return {f"call:{call.id}:ret"}
+
+    def _eval_comprehension(
+        self,
+        generators: Sequence[ast.comprehension],
+        elements: Sequence[ast.expr],
+    ) -> Set[str]:
+        iter_origins: Set[str] = set()
+        for generator in generators:
+            origins = self._eval(generator.iter)
+            iter_origins |= origins
+            self._bind_target(generator.target, origins)
+            for condition in generator.ifs:
+                self._eval(condition)
+        element_origins: Set[str] = set()
+        for element in elements:
+            element_origins |= self._eval(element)
+        return iter_origins | element_origins
+
+    # -- statements --------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, origins: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self._merge(target.id, origins)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, origins)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, origins)
+        elif isinstance(target, ast.Attribute):
+            chain = self._chain(target)
+            if chain is not None:
+                self._merge(chain, origins)
+                self._merge(chain.partition(".")[0], origins)
+        elif isinstance(target, ast.Subscript):
+            base_chain = self._chain(target.value)
+            if base_chain is not None:
+                self._merge(base_chain, origins)
+                self._merge(base_chain.partition(".")[0], origins)
+
+    def _statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            origins = self._eval(node.value)
+            for target in node.targets:
+                self._bind_target(target, origins)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind_target(node.target, self._eval(node.value))
+        elif isinstance(node, ast.AugAssign):
+            # Scalar accumulation (``total += v``) stays untracked; a
+            # sequence merge (``out += [..]`` / ``out += other``) where
+            # the RHS is itself a container expression does flow.
+            if isinstance(
+                node.value,
+                (ast.List, ast.Tuple, ast.ListComp, ast.Call, ast.BinOp),
+            ):
+                self._bind_target(node.target, self._eval(node.value))
+            else:
+                self._eval(node.value)
+        elif isinstance(node, ast.Return):
+            for origin in self._eval(node.value):
+                self.edges.add((origin, "ret"))
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            origins = self._eval(node.iter)
+            self._bind_target(node.target, origins)
+            for statement in node.body + node.orelse:
+                self._statement(statement)
+        elif isinstance(node, ast.While):
+            self._eval(node.test)
+            for statement in node.body + node.orelse:
+                self._statement(statement)
+        elif isinstance(node, ast.If):
+            self._eval(node.test)
+            for statement in node.body + node.orelse:
+                self._statement(statement)
+        elif isinstance(node, ast.Try):
+            for statement in node.body:
+                self._statement(statement)
+            for handler in node.handlers:
+                for statement in handler.body:
+                    self._statement(statement)
+            for statement in node.orelse + node.finalbody:
+                self._statement(statement)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                origins = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, origins)
+            for statement in node.body:
+                self._statement(statement)
+        elif isinstance(node, ast.Raise):
+            self._eval(node.exc)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            pass
+        # Nested defs/classes are separate symbols; skip them here.
+
+
+def build_flow_summary(
+    node: _FunctionNode, params: Sequence[str]
+) -> FlowSummary:
+    """The flow summary of one function (see module docstring)."""
+    return _FlowBuilder(node, params).build()
+
+
+def build_module_flows(
+    tree: ast.Module, symbols: ModuleSymbols
+) -> Dict[str, FlowSummary]:
+    """Flow summaries for every function in *tree*, keyed by qualname."""
+    flows: Dict[str, FlowSummary] = {}
+
+    def visit(body: Sequence[ast.stmt], class_name: Optional[str]) -> None:
+        for statement in body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if class_name is None:
+                    symbol = symbols.functions.get(statement.name)
+                else:
+                    cls = symbols.classes.get(class_name)
+                    symbol = (
+                        cls.methods.get(statement.name)
+                        if cls is not None else None
+                    )
+                if symbol is not None:
+                    flows[symbol.qualname] = build_flow_summary(
+                        statement, symbol.params
+                    )
+            elif isinstance(statement, ast.ClassDef):
+                visit(statement.body, statement.name)
+
+    visit(tree.body, None)
+    return flows
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One source whose order-taint reaches a serialization sink."""
+
+    qualname: str
+    module: str
+    line: int
+    column: int
+    text: str
+    sink: str
+
+
+class TaintEngine:
+    """The interprocedural fixpoint over flow summaries."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        flows: Mapping[str, FlowSummary],
+        external_sinks: FrozenSet[str] = EXTERNAL_SINKS,
+    ) -> None:
+        self.graph = graph
+        self.flows = dict(flows)
+        self.external_sinks = external_sinks
+        #: qualname → param index → sink witness description
+        self.sink_params: Dict[str, Dict[int, str]] = {}
+        #: qualname → params flowing to the return value
+        self.ret_params: Dict[str, Set[int]] = {}
+        #: qualname → witness when the return value reaches a sink
+        #: in some caller
+        self.ret_sink: Dict[str, str] = {}
+
+    # -- per-function graph evaluation -------------------------------------
+
+    def _call_target(
+        self, qualname: str, call: FlowCall
+    ) -> Tuple[str, str]:
+        """(kind, name) the flow call resolves to."""
+        resolved = self.graph.resolved.get(qualname, {})
+        target = resolved.get((call.line, call.column))
+        if target is None:
+            return ("external", call.symbol)
+        if target.kind == "constructor":
+            cls = self.graph.classes.get(target.name)
+            if cls is not None:
+                init = self.graph.lookup_method(cls, "__init__")
+                if init is not None:
+                    return ("constructor", init.qualname)
+            return ("external", call.symbol)
+        if target.kind == "project":
+            return ("project", target.name)
+        return ("external", target.name)
+
+    def _evaluate(
+        self, qualname: str
+    ) -> Tuple[Dict[str, str], Set[str]]:
+        """(nodes reaching a sink → witness, nodes reaching ``ret``)."""
+        summary = self.flows[qualname]
+        edges: List[Tuple[str, str]] = list(summary.edges)
+        sink_marks: Dict[str, str] = {}
+        for call in summary.calls:
+            kind, name = self._call_target(qualname, call)
+            if kind in ("project", "constructor"):
+                marks = self.sink_params.get(name, {})
+                passthrough = kind == "constructor"
+                returns = self.ret_params.get(name, set())
+                for index in range(call.arg_count):
+                    arg = f"call:{call.id}:arg:{index}"
+                    if index in marks:
+                        sink_marks[arg] = marks[index]
+                    if index in returns or passthrough:
+                        edges.append((arg, f"call:{call.id}:ret"))
+            else:
+                if name in self.external_sinks:
+                    for index in range(call.arg_count):
+                        sink_marks[f"call:{call.id}:arg:{index}"] = name
+                else:
+                    for index in range(call.arg_count):
+                        edges.append(
+                            (
+                                f"call:{call.id}:arg:{index}",
+                                f"call:{call.id}:ret",
+                            )
+                        )
+        forward: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            forward.setdefault(src, set()).add(dst)
+        # Reverse reachability from sink-marked nodes, carrying the
+        # nearest witness (deterministic: sorted worklist).
+        reverse: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            reverse.setdefault(dst, set()).add(src)
+        reaches_sink: Dict[str, str] = dict(sink_marks)
+        queue = sorted(sink_marks)
+        while queue:
+            current = queue.pop(0)
+            witness = reaches_sink[current]
+            for parent in sorted(reverse.get(current, ())):
+                if parent not in reaches_sink:
+                    reaches_sink[parent] = witness
+                    queue.append(parent)
+        reaches_ret: Set[str] = {"ret"}
+        queue = ["ret"]
+        while queue:
+            current = queue.pop(0)
+            for parent in sorted(reverse.get(current, ())):
+                if parent not in reaches_ret:
+                    reaches_ret.add(parent)
+                    queue.append(parent)
+        return reaches_sink, reaches_ret
+
+    @staticmethod
+    def _short(qualname: str) -> str:
+        parts = qualname.split(".")
+        return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+    def _compose(self, witness: str, via: str) -> str:
+        if witness.count(" via ") >= 3:
+            return witness
+        return f"{witness} via {self._short(via)}()"
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def run(self) -> List[TaintFinding]:
+        names = sorted(self.flows)
+        for _ in range(24):
+            changed = False
+            for qualname in names:
+                summary = self.flows[qualname]
+                reaches_sink, reaches_ret = self._evaluate(qualname)
+                marks = self.sink_params.setdefault(qualname, {})
+                returns = self.ret_params.setdefault(qualname, set())
+                for index in range(summary.param_count):
+                    node = f"param:{index}"
+                    if node in reaches_sink and index not in marks:
+                        marks[index] = self._compose(
+                            reaches_sink[node], qualname
+                        )
+                        changed = True
+                    if node in reaches_ret and index not in returns:
+                        returns.add(index)
+                        changed = True
+                # A callee's return value serialized here makes that
+                # callee's returns sink-bound.
+                for call in summary.calls:
+                    kind, name = self._call_target(qualname, call)
+                    if kind not in ("project", "constructor"):
+                        continue
+                    ret_node = f"call:{call.id}:ret"
+                    witness: Optional[str] = None
+                    if ret_node in reaches_sink:
+                        witness = reaches_sink[ret_node]
+                    elif ret_node in reaches_ret and qualname in (
+                        self.ret_sink
+                    ):
+                        witness = self.ret_sink[qualname]
+                    if witness is not None and name not in self.ret_sink:
+                        self.ret_sink[name] = self._compose(
+                            witness, qualname
+                        )
+                        changed = True
+            if not changed:
+                break
+        findings: List[TaintFinding] = []
+        for qualname in names:
+            summary = self.flows[qualname]
+            if not summary.sources:
+                continue
+            reaches_sink, reaches_ret = self._evaluate(qualname)
+            module = self.graph.functions[qualname].module if (
+                qualname in self.graph.functions
+            ) else ""
+            for source in summary.sources:
+                node = f"src:{source.id}"
+                sink: Optional[str] = None
+                if node in reaches_sink:
+                    sink = reaches_sink[node]
+                elif node in reaches_ret and qualname in self.ret_sink:
+                    sink = f"{self.ret_sink[qualname]} (through the " \
+                           f"return value)"
+                if sink is not None:
+                    findings.append(
+                        TaintFinding(
+                            qualname=qualname,
+                            module=module,
+                            line=source.line,
+                            column=source.column,
+                            text=source.text,
+                            sink=sink,
+                        )
+                    )
+        return findings

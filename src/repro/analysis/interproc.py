@@ -1,0 +1,598 @@
+"""The interprocedural rule family (call-graph + dataflow powered).
+
+These rules see the *project*, not a file: a symbol table and call
+graph (``repro/analysis/callgraph.py``) plus per-function flow
+summaries (``repro/analysis/dataflow.py``). Each encodes a failure
+mode that is invisible to any single-file pass:
+
+``canonicalization-taint``
+    Unsorted dict/set iteration whose value flows — through returns,
+    arguments, and container stores — into a serialization sink
+    (``json.dumps``, ``canonical_json``, the wire/checkpoint codecs,
+    discovered transitively). This replaces the *serialization-
+    adjacent* heuristic of ``unsorted-iteration`` with real
+    reachability: the unsorted list built three calls above the
+    encoder is caught at its source.
+
+``async-blocking``
+    A blocking call (``time.sleep``, socket ops, file I/O,
+    ``subprocess``) reachable from an ``async def`` in ``repro.serve``
+    without an executor hop. One blocked coroutine stalls every
+    connection on the loop — the self-protecting query service would
+    DoS itself. Functions dispatched via ``run_in_executor`` /
+    ``asyncio.to_thread`` are passed as references, never called, so
+    the hop is exempt by construction.
+
+``snapshot-mutation``
+    The serve plane's correctness rests on *immutable* snapshot
+    indexes swapped atomically: writes to a published ``*Index``
+    object outside its own methods, or to the swapper's published
+    slot outside the designated publish points, would hand readers a
+    torn day.
+
+``fork-unsafe-capture``
+    Objects holding locks, sockets, or open file handles must not
+    cross the fork boundary into ``ShardedExecutor.map_shards`` /
+    ``ParallelBackend.map_shards`` arguments: a forked lock can
+    deadlock the pool, a forked descriptor interleaves writes.
+    Classes become fork-unsafe transitively (a class holding a
+    fork-unsafe class is itself fork-unsafe).
+
+``exception-flow``
+    Typed errors raised on worker paths must survive the trip back
+    through the process pool: a custom multi-parameter ``__init__``
+    without a pool-safe ``__reduce__`` unpickles into a ``TypeError``
+    that *masks the real failure*. And typed faults caught on worker
+    paths must be accounted (FaultLog/quarantine/retry) before being
+    swallowed, or degraded runs stop being auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    ClassSymbol,
+    FunctionSymbol,
+)
+from repro.analysis.dataflow import FlowSummary, TaintEngine
+from repro.analysis.findings import Finding
+
+
+class ProjectModel:
+    """Everything a project rule can see."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        flows: Mapping[str, FlowSummary],
+        paths: Mapping[str, str],
+    ) -> None:
+        self.graph = graph
+        self.flows = dict(flows)
+        #: module key → real filesystem path (for findings)
+        self.paths = dict(paths)
+
+    def path_of(self, module: str) -> str:
+        return self.paths.get(module, module)
+
+
+class ProjectRule:
+    """One interprocedural check over a :class:`ProjectModel`."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        raise NotImplementedError
+
+    def _finding(
+        self,
+        project: ProjectModel,
+        module: str,
+        line: int,
+        column: int,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            path=project.path_of(module),
+            line=line,
+            column=column + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+class CanonicalizationTaintRule(ProjectRule):
+    id = "canonicalization-taint"
+    summary = (
+        "unsorted dict/set iteration whose value reaches a "
+        "serialization sink (interprocedural)"
+    )
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        engine = TaintEngine(project.graph, project.flows)
+        findings: List[Finding] = []
+        for taint in engine.run():
+            findings.append(
+                self._finding(
+                    project,
+                    taint.module,
+                    taint.line,
+                    taint.column,
+                    f"iteration order of {taint.text} flows into "
+                    f"serialization sink {taint.sink}; wrap the "
+                    f"iteration in sorted(...) or canonicalize before "
+                    f"serializing",
+                )
+            )
+        return findings
+
+
+#: Dotted external calls that block the event loop.
+BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "socket.gethostbyaddr",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "urllib.request.urlopen",
+        "open",
+        "input",
+    }
+)
+
+#: Method names that block on sockets/paths regardless of receiver.
+BLOCKING_METHODS: FrozenSet[str] = frozenset(
+    {
+        ".recv", ".recv_into", ".recvfrom", ".accept", ".sendall",
+        ".makefile", ".read_text", ".write_text", ".read_bytes",
+        ".write_bytes",
+    }
+)
+
+#: Packages whose async defs must never block the loop.
+ASYNC_PACKAGES: Tuple[str, ...] = ("repro/serve/",)
+
+
+class AsyncBlockingRule(ProjectRule):
+    id = "async-blocking"
+    summary = (
+        "blocking call reachable from an async def in repro.serve "
+        "without an executor hop"
+    )
+
+    def _blocking_symbol(self, site: CallSite) -> Optional[str]:
+        if site.symbol in BLOCKING_CALLS:
+            return site.symbol
+        if site.symbol.startswith("."):
+            return site.symbol if site.symbol in BLOCKING_METHODS else None
+        tail = "." + site.symbol.rpartition(".")[2]
+        if tail in BLOCKING_METHODS:
+            return site.symbol
+        return None
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        graph = project.graph
+        # Functions that block directly, with the blocking symbol.
+        blocking: Dict[str, str] = {}
+        for qualname in sorted(graph.functions):
+            function = graph.functions[qualname]
+            for site in function.calls:
+                symbol = self._blocking_symbol(site)
+                if symbol is not None:
+                    blocking[qualname] = f"{symbol}()"
+                    break
+        # Propagate along call edges (callee blocking → caller
+        # blocking), recording the chain for the message.
+        changed = True
+        while changed:
+            changed = False
+            for caller in sorted(graph.edges):
+                if caller in blocking:
+                    continue
+                for callee in sorted(graph.edges[caller]):
+                    if callee in blocking:
+                        witness = blocking[callee]
+                        short = callee.rsplit(".", 1)[-1]
+                        if witness.count(" <- ") < 4:
+                            witness = f"{witness} <- {short}()"
+                        blocking[caller] = witness
+                        changed = True
+                        break
+        findings: List[Finding] = []
+        for qualname in sorted(graph.functions):
+            function = graph.functions[qualname]
+            if not function.is_async:
+                continue
+            if not function.module.startswith(ASYNC_PACKAGES):
+                continue
+            if qualname not in blocking:
+                continue
+            # Anchor at the first call site that starts a blocking
+            # chain (direct or through a project callee).
+            site_line, site_col = function.line, function.column
+            detail = blocking[qualname]
+            for site in function.calls:
+                symbol = self._blocking_symbol(site)
+                if symbol is not None:
+                    site_line, site_col = site.line, site.column
+                    break
+                target = graph.resolved.get(qualname, {}).get(
+                    (site.line, site.column)
+                )
+                if (
+                    target is not None
+                    and target.kind == "project"
+                    and target.name in blocking
+                ):
+                    site_line, site_col = site.line, site.column
+                    break
+            findings.append(
+                self._finding(
+                    project,
+                    function.module,
+                    site_line,
+                    site_col,
+                    f"async def {function.name!r} reaches blocking "
+                    f"{detail}; one blocked coroutine stalls every "
+                    f"connection — hop through "
+                    f"loop.run_in_executor/asyncio.to_thread instead",
+                )
+            )
+        return findings
+
+
+#: Methods allowed to write the swapper's published slot / build an
+#: index.  Everything else mutating published state is a torn read
+#: waiting to happen.
+PUBLISH_METHODS: FrozenSet[str] = frozenset(
+    {"__init__", "rebuild", "publish", "build"}
+)
+
+
+class SnapshotMutationRule(ProjectRule):
+    id = "snapshot-mutation"
+    summary = (
+        "mutation of published snapshot/index state outside the "
+        "designated publish point"
+    )
+
+    SERVE_PACKAGE = "repro/serve/"
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        graph = project.graph
+        findings: List[Finding] = []
+        # Swapper classes: anything in repro.serve exposing
+        # ``current_index``; the slot it returns is the published ref.
+        slots: Dict[str, Set[str]] = {}
+        index_classes: Set[str] = set()
+        for qualname in sorted(graph.classes):
+            cls = graph.classes[qualname]
+            if not cls.module.startswith(self.SERVE_PACKAGE):
+                continue
+            if cls.name.endswith("Index"):
+                index_classes.add(qualname)
+            if "current_index" in cls.methods:
+                slot = self._published_slot(cls, project)
+                if slot is not None:
+                    slots[qualname] = {slot}
+        for qualname in sorted(slots):
+            cls = graph.classes[qualname]
+            for method_name in sorted(cls.methods):
+                if method_name in PUBLISH_METHODS:
+                    continue
+                method = cls.methods[method_name]
+                for write in method.attr_writes:
+                    if write.base == "self" and write.attr in (
+                        slots[qualname]
+                    ):
+                        findings.append(
+                            self._finding(
+                                project,
+                                cls.module,
+                                write.line,
+                                write.column,
+                                f"{cls.name}.{method_name} writes the "
+                                f"published snapshot slot "
+                                f"{write.attr!r} outside the publish "
+                                f"point ({'/'.join(sorted(PUBLISH_METHODS))}); "
+                                f"readers could observe a torn index",
+                            )
+                        )
+        # Writes to a *published* index object from outside its class.
+        for fqual in sorted(graph.functions):
+            function = graph.functions[fqual]
+            for write in function.attr_writes:
+                if write.base in ("self", "cls"):
+                    continue
+                declared = function.var_types.get(write.base)
+                if declared is None or declared not in index_classes:
+                    continue
+                cls = graph.classes[declared]
+                if function.class_name == cls.name and (
+                    function.module == cls.module
+                ):
+                    continue
+                findings.append(
+                    self._finding(
+                        project,
+                        function.module,
+                        write.line,
+                        write.column,
+                        f"mutation of {cls.name}.{write.attr} outside "
+                        f"{cls.name}'s own methods; snapshot indexes "
+                        f"are immutable once published — build a new "
+                        f"index and swap it atomically",
+                    )
+                )
+        return findings
+
+    def _published_slot(
+        self, cls: ClassSymbol, project: ProjectModel
+    ) -> Optional[str]:
+        """The ``self.<attr>`` slot the swapper publishes through."""
+        del project
+        for candidate in ("_index", "index", "_current", "current"):
+            if candidate in cls.attr_types or any(
+                write.attr == candidate
+                for writes in cls.attr_assigns.values()
+                for write in writes
+            ):
+                return candidate
+        return None
+
+
+#: External factories whose products must not cross a fork boundary.
+FORK_UNSAFE_FACTORIES: FrozenSet[str] = frozenset(
+    {
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Event", "threading.Semaphore",
+        "threading.BoundedSemaphore", "threading.Thread",
+        "socket.socket", "socket.create_connection",
+        "socket.create_server", "open", "io.open", "subprocess.Popen",
+        "multiprocessing.Lock", "multiprocessing.Queue",
+    }
+)
+
+#: Map entry points that ship their arguments across fork().
+FORK_ENTRY_METHODS: FrozenSet[str] = frozenset({"map_shards"})
+
+
+class ForkUnsafeCaptureRule(ProjectRule):
+    id = "fork-unsafe-capture"
+    summary = (
+        "object holding a socket/lock/open handle passed into a "
+        "fork-boundary map call"
+    )
+
+    def _unsafe_classes(self, graph: CallGraph) -> Dict[str, str]:
+        """class qualname → the attr chain that makes it fork-unsafe."""
+        unsafe: Dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(graph.classes):
+                if qualname in unsafe:
+                    continue
+                cls = graph.classes[qualname]
+                for attr in sorted(cls.attr_types):
+                    declared = cls.attr_types[attr]
+                    if declared in FORK_UNSAFE_FACTORIES:
+                        unsafe[qualname] = f"{attr}: {declared}"
+                        changed = True
+                        break
+                    if declared in unsafe:
+                        unsafe[qualname] = (
+                            f"{attr}: {declared.rsplit('.', 1)[-1]} "
+                            f"({unsafe[declared]})"
+                        )
+                        changed = True
+                        break
+        return unsafe
+
+    def _symbol_type(
+        self,
+        graph: CallGraph,
+        function: FunctionSymbol,
+        symbol: str,
+    ) -> Optional[str]:
+        """Declared type of an argument symbol in *function*'s scope."""
+        head, _, rest = symbol.partition(".")
+        if head in ("self", "cls") and function.class_name is not None:
+            table = graph.modules.get(function.module)
+            cls = (
+                table.classes.get(function.class_name)
+                if table is not None else None
+            )
+            if cls is not None and rest and "." not in rest:
+                return graph.attr_type(cls, rest)
+            if cls is not None and not rest:
+                return cls.qualname
+            return None
+        if rest:
+            return None
+        return function.var_types.get(head)
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        graph = project.graph
+        unsafe = self._unsafe_classes(graph)
+        findings: List[Finding] = []
+        for fqual in sorted(graph.functions):
+            function = graph.functions[fqual]
+            for site in function.calls:
+                tail = site.symbol.rpartition(".")[2]
+                if tail not in FORK_ENTRY_METHODS:
+                    continue
+                for symbol in site.arg_symbols:
+                    declared = self._symbol_type(graph, function, symbol)
+                    if declared is None:
+                        continue
+                    reason: Optional[str] = None
+                    if declared in unsafe:
+                        reason = unsafe[declared]
+                    elif declared in FORK_UNSAFE_FACTORIES:
+                        reason = declared
+                    if reason is not None:
+                        findings.append(
+                            self._finding(
+                                project,
+                                function.module,
+                                site.line,
+                                site.column,
+                                f"argument {symbol!r} of type "
+                                f"{declared.rsplit('.', 1)[-1]} crosses "
+                                f"the fork boundary into {tail}() while "
+                                f"holding {reason}; forked "
+                                f"locks/sockets/handles deadlock or "
+                                f"interleave — pass plain data and "
+                                f"rebuild handles in the worker",
+                            )
+                        )
+        return findings
+
+
+#: Packages whose raises may cross a process pool.
+WORKER_PACKAGES: Tuple[str, ...] = (
+    "repro/parallel/",
+    "repro/mapreduce/",
+    "repro/faults/",
+    "repro/stream/",
+)
+
+#: Handler body calls that count as fault accounting.
+ACCOUNTING_MARKERS: Tuple[str, ...] = (
+    "record", "quarantine", "fault", "log", "absorb", "retry", "mark",
+    "skip", "warn",
+)
+
+
+class ExceptionFlowRule(ProjectRule):
+    id = "exception-flow"
+    summary = (
+        "worker-path typed error without pool-safe __reduce__, or a "
+        "typed fault swallowed before FaultLog accounting"
+    )
+
+    def _needs_reduce(
+        self, graph: CallGraph, cls: ClassSymbol
+    ) -> Optional[str]:
+        """Why *cls* needs ``__reduce__``, or None when it is safe."""
+        if not graph.is_exception_class(cls):
+            return None
+        init = graph.lookup_method(cls, "__init__")
+        if init is None or len(init.params) <= 1:
+            return None
+        if graph.lookup_method(cls, "__reduce__") is not None:
+            return None
+        return (
+            f"__init__ takes ({', '.join(init.params)}) but pickling "
+            f"replays the constructor with args alone"
+        )
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        graph = project.graph
+        findings: List[Finding] = []
+        for fqual in sorted(graph.functions):
+            function = graph.functions[fqual]
+            if not function.module.startswith(WORKER_PACKAGES):
+                continue
+            table = graph.modules.get(function.module)
+            if table is None:
+                continue
+            for raise_site in function.raises:
+                cls = self._resolve_class(graph, table, raise_site.symbol)
+                if cls is None:
+                    continue
+                reason = self._needs_reduce(graph, cls)
+                if reason is not None:
+                    findings.append(
+                        self._finding(
+                            project,
+                            function.module,
+                            raise_site.line,
+                            raise_site.column,
+                            f"{cls.name} raised on a worker path "
+                            f"without a pool-safe __reduce__: {reason}; "
+                            f"the unpickle TypeError would mask the "
+                            f"real failure",
+                        )
+                    )
+            for handler in function.handlers:
+                if handler.has_raise:
+                    continue
+                caught_fault = False
+                for symbol in handler.type_symbols:
+                    cls = self._resolve_class(graph, table, symbol)
+                    if cls is not None and (
+                        cls.name == "FaultError"
+                        or graph.derives_from(cls, "FaultError")
+                    ):
+                        caught_fault = True
+                        break
+                if not caught_fault:
+                    continue
+                accounted = any(
+                    marker in call.lower()
+                    for call in handler.call_symbols
+                    for marker in ACCOUNTING_MARKERS
+                )
+                if not accounted:
+                    findings.append(
+                        self._finding(
+                            project,
+                            function.module,
+                            handler.line,
+                            handler.column,
+                            "typed fault swallowed without FaultLog "
+                            "accounting; record, quarantine, or retry "
+                            "before continuing so degraded runs stay "
+                            "auditable",
+                        )
+                    )
+        return findings
+
+    def _resolve_class(
+        self,
+        graph: CallGraph,
+        table: "object",
+        symbol: str,
+    ) -> Optional[ClassSymbol]:
+        from repro.analysis.callgraph import ModuleSymbols, _resolve_raw
+
+        assert isinstance(table, ModuleSymbols)
+        if symbol.startswith(".") or symbol.startswith(("self.", "cls.")):
+            return None
+        dotted = _resolve_raw(
+            symbol,
+            table.imports,
+            table.dotted,
+            set(table.functions) | set(table.classes),
+        )
+        return graph.classes.get(dotted)
+
+
+def project_rules() -> Tuple[ProjectRule, ...]:
+    """All interprocedural rules, in reporting order."""
+    return (
+        CanonicalizationTaintRule(),
+        AsyncBlockingRule(),
+        SnapshotMutationRule(),
+        ForkUnsafeCaptureRule(),
+        ExceptionFlowRule(),
+    )
+
+
+def project_rule_ids() -> List[str]:
+    return [rule.id for rule in project_rules()]

@@ -1,0 +1,446 @@
+"""Project-level analysis: records, profiles, cache, and the engine.
+
+This is the front door of the interprocedural analyzer. One run is::
+
+    collect files  →  hash  →  (cache)  →  per-module records
+                   →  call graph + flows  →  project rules  →  findings
+
+A **module record** is everything the engine needs from one file —
+symbol table, flow summaries, local-rule findings, suppression lines —
+as plain picklable data. Records are built in parallel across a
+process pool on cold runs and come back from the on-disk cache
+(:mod:`repro.analysis.cache`) byte-for-byte on warm ones; the ASTs
+themselves never outlive the builder.
+
+**Profiles** tune rules per directory: production sources take every
+rule; benchmarks may read the wall clock (timing *is* their job);
+tests may build and mutate snapshot indexes in setup code. Rule
+scoping stays canonical across profiles where it matters —
+canonicalization taint is enforced everywhere, because a benchmark or
+test that serializes unsorted mappings can still mask a real ordering
+bug.
+
+The analyzer's own fixture corpus (``tests/analysis/fixtures``) is
+excluded: those files are *deliberately* dirty.
+"""
+
+from __future__ import annotations
+
+import ast
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.cache import AnalysisCache, project_fingerprint, source_sha
+from repro.analysis.callgraph import (
+    CallGraph,
+    ModuleSymbols,
+    build_module_symbols,
+    dotted_of,
+)
+from repro.analysis.dataflow import FlowSummary, build_module_flows
+from repro.analysis.findings import (
+    Finding,
+    is_suppressed,
+    suppressed_rules,
+)
+from repro.analysis.interproc import ProjectModel, ProjectRule, project_rules
+from repro.analysis.rules import default_rules
+from repro.analysis.runner import (
+    PARSE_ERROR,
+    AnalysisResult,
+    _python_files,
+    logical_module,
+)
+
+#: Directory profiles and the *local* rule ids they exclude.
+PROFILE_LOCAL_EXCLUDES: Dict[str, FrozenSet[str]] = {
+    "src": frozenset(),
+    # Benchmarks measure wall-clock time on purpose.
+    "bench": frozenset({"wall-clock"}),
+    # Tests stage clocks and timelines deliberately.
+    "tests": frozenset({"wall-clock"}),
+}
+
+#: Directory profiles and the *project* rule ids they exclude.
+PROFILE_PROJECT_EXCLUDES: Dict[str, FrozenSet[str]] = {
+    "src": frozenset(),
+    "bench": frozenset({"snapshot-mutation"}),
+    # Test setup legitimately builds and pokes snapshot indexes.
+    "tests": frozenset({"snapshot-mutation"}),
+}
+
+#: Path fragments never analyzed (deliberately-dirty fixture corpora
+#: and the analyzer's own cache).
+EXCLUDED_FRAGMENTS: Tuple[str, ...] = (
+    "tests/analysis/fixtures",
+    ".repro-analysis-cache",
+)
+
+
+def profile_for(module: str) -> str:
+    """The directory profile of a module key."""
+    if module.startswith("benchmarks/") or module.startswith("bench_"):
+        return "bench"
+    if module.startswith(("tests/", "test_")) or "/tests/" in module:
+        return "tests"
+    return "src"
+
+
+def module_key(path: str, root: Optional[str] = None) -> str:
+    """Stable, unique module key for *path*.
+
+    Files inside a ``repro`` package keep their logical path
+    (``repro/stream/state.py``) so rule scoping matches the runner;
+    everything else keys by its root-relative path
+    (``tests/stream/test_engine.py``).
+    """
+    logical = logical_module(path)
+    if logical.startswith("repro/") or logical == "repro":
+        return logical
+    base = root if root is not None else os.getcwd()
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(base))
+    if relative.startswith(".."):
+        relative = os.path.normpath(path)
+    return relative.replace(os.sep, "/")
+
+
+@dataclass
+class ModuleRecord:
+    """Everything the engine keeps from one analyzed file."""
+
+    module: str
+    path: str
+    sha: str
+    profile: str
+    symbols: Optional[ModuleSymbols] = None
+    flows: Dict[str, FlowSummary] = field(default_factory=dict)
+    #: suppression-filtered local findings, *unfiltered by --rule*
+    local_findings: List[Finding] = field(default_factory=list)
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+
+
+def build_record(
+    source: str,
+    path: str,
+    module: str,
+    profile: str,
+    sha: Optional[str] = None,
+) -> ModuleRecord:
+    """Parse one file into its :class:`ModuleRecord`."""
+    record = ModuleRecord(
+        module=module,
+        path=path,
+        sha=sha if sha is not None else source_sha(
+            source.encode("utf-8")
+        ),
+        profile=profile,
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        record.local_findings.append(
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 0) or 1,
+                rule=PARSE_ERROR,
+                message=f"could not parse file: {error.msg}",
+            )
+        )
+        return record
+    record.symbols = build_module_symbols(tree, module, path)
+    record.flows = build_module_flows(tree, record.symbols)
+    record.suppressions = suppressed_rules(source)
+    excluded = PROFILE_LOCAL_EXCLUDES.get(profile, frozenset())
+    for rule in default_rules():
+        if rule.id in excluded or not rule.applies_to(module):
+            continue
+        for finding in rule.check(tree, module, path):
+            if not is_suppressed(finding, record.suppressions):
+                record.local_findings.append(finding)
+    record.local_findings.sort()
+    return record
+
+
+def _build_record_from_disk(
+    job: Tuple[str, str, str, str]
+) -> ModuleRecord:
+    """Pool worker: read and analyze one file (submission-ordered)."""
+    path, module, profile, sha = job
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return build_record(source, path, module, profile, sha=sha)
+
+
+@dataclass
+class ProjectResult(AnalysisResult):
+    """An :class:`AnalysisResult` plus engine-level accounting."""
+
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    modules: Tuple[str, ...] = ()
+
+
+class ProjectAnalyzer:
+    """The interprocedural engine over one or more directory roots."""
+
+    #: Cold-miss threshold below which the process pool is not worth
+    #: its fork cost.
+    POOL_THRESHOLD = 24
+
+    def __init__(
+        self,
+        cache: Optional[AnalysisCache] = None,
+        jobs: Optional[int] = None,
+        rules: Optional[Sequence[ProjectRule]] = None,
+        root: Optional[str] = None,
+    ) -> None:
+        self.cache = cache
+        self.jobs = jobs
+        self.project_rules: Tuple[ProjectRule, ...] = tuple(
+            project_rules() if rules is None else rules
+        )
+        self.root = root
+
+    # -- public API --------------------------------------------------------
+
+    def analyze_paths(
+        self,
+        paths: Sequence[str],
+        rule_filter: Optional[Set[str]] = None,
+        changed: Optional[Set[str]] = None,
+    ) -> ProjectResult:
+        """Analyze files/directories; see module docstring for phases.
+
+        *rule_filter* keeps only the named rule ids. *changed* is a set
+        of module keys: findings are restricted to modules call-graph-
+        reachable from them (the ``--changed`` fast path).
+        """
+        if self.cache is not None:
+            self.cache.reset_stats()
+        files = self._collect(paths)
+        triples = [
+            (module, sha, profile)
+            for module, (_, sha, profile) in sorted(files.items())
+        ]
+        fingerprint = project_fingerprint(triples)
+        # Full-warm shortcut: unchanged tree, unfiltered run.
+        if self.cache is not None and rule_filter is None and (
+            changed is None
+        ):
+            cached = self.cache.load_project(fingerprint)
+            if cached is not None:
+                cached.cache_stats = self.cache.stats.as_dict()
+                return cached
+        records = self._records(files)
+        result = self._assemble(records, rule_filter, changed)
+        if self.cache is not None:
+            result.cache_stats = self.cache.stats.as_dict()
+            if rule_filter is None and changed is None:
+                self.cache.store_project(fingerprint, result)
+        return result
+
+    def analyze_sources(
+        self,
+        sources: Mapping[str, str],
+        rule_filter: Optional[Set[str]] = None,
+    ) -> ProjectResult:
+        """In-memory analysis of ``{module key: source}`` mappings.
+
+        The test-suite entry point: module keys double as paths, so
+        fixtures can place themselves on scoped paths like
+        ``repro/serve/handlers.py`` without touching disk.
+        """
+        records = [
+            build_record(
+                source, module, module, profile_for(module)
+            )
+            for module, source in sorted(sources.items())
+        ]
+        return self._assemble(records, rule_filter, None)
+
+    # -- phases ------------------------------------------------------------
+
+    def _collect(
+        self, paths: Sequence[str]
+    ) -> Dict[str, Tuple[str, str, str]]:
+        """module key → (path, sha, profile) for every analyzable file."""
+        files: Dict[str, Tuple[str, str, str]] = {}
+        for path in paths:
+            # Fragment exclusions apply to files discovered *by
+            # walking*: pointing the analyzer straight at a fixture
+            # file or at the fixture directory itself is an explicit
+            # request and is honored (that is how the fixture tests
+            # and spot checks exercise the CLI).
+            root_normalized = path.replace(os.sep, "/")
+            waived = frozenset(
+                fragment
+                for fragment in EXCLUDED_FRAGMENTS
+                if fragment in root_normalized
+            )
+            explicit_file = os.path.isfile(path)
+            for file_path in _python_files(path):
+                normalized = file_path.replace(os.sep, "/")
+                if not explicit_file and any(
+                    fragment in normalized
+                    for fragment in EXCLUDED_FRAGMENTS
+                    if fragment not in waived
+                ):
+                    continue
+                module = module_key(file_path, self.root)
+                with open(file_path, "rb") as handle:
+                    sha = source_sha(handle.read())
+                files[module] = (file_path, sha, profile_for(module))
+        return files
+
+    def _records(
+        self, files: Dict[str, Tuple[str, str, str]]
+    ) -> List[ModuleRecord]:
+        records: Dict[str, ModuleRecord] = {}
+        misses: List[Tuple[str, str, str, str]] = []
+        for module in sorted(files):
+            path, sha, profile = files[module]
+            cached: Optional[ModuleRecord] = None
+            if self.cache is not None:
+                cached = self.cache.load_module(module, sha, profile)
+            if cached is not None:
+                records[module] = cached
+            else:
+                misses.append((path, module, profile, sha))
+        built = self._build_missing(misses)
+        for record in built:
+            records[record.module] = record
+            if self.cache is not None:
+                self.cache.store_module(
+                    record.module, record.sha, record.profile, record
+                )
+        return [records[module] for module in sorted(records)]
+
+    def _build_missing(
+        self, misses: List[Tuple[str, str, str, str]]
+    ) -> List[ModuleRecord]:
+        if not misses:
+            return []
+        jobs = self.jobs
+        if jobs is None:
+            jobs = min(os.cpu_count() or 1, 8)
+        if jobs <= 1 or len(misses) < self.POOL_THRESHOLD:
+            return [_build_record_from_disk(job) for job in misses]
+        # Submission-ordered map keeps record order (and therefore
+        # every downstream report) byte-identical to the serial path.
+        with multiprocessing.Pool(processes=jobs) as pool:
+            return pool.map(_build_record_from_disk, misses, chunksize=8)
+
+    def _assemble(
+        self,
+        records: List[ModuleRecord],
+        rule_filter: Optional[Set[str]],
+        changed: Optional[Set[str]],
+    ) -> ProjectResult:
+        tables = {
+            record.module: record.symbols
+            for record in records
+            if record.symbols is not None
+        }
+        graph = CallGraph(tables)
+        flows: Dict[str, FlowSummary] = {}
+        for record in records:
+            flows.update(record.flows)
+        paths = {record.module: record.path for record in records}
+        model = ProjectModel(graph, flows, paths)
+        by_path = {record.path: record for record in records}
+
+        local_ids: Set[str] = set()
+        for record in records:
+            excluded = PROFILE_LOCAL_EXCLUDES.get(
+                record.profile, frozenset()
+            )
+            local_ids.update(
+                rule.id for rule in default_rules()
+                if rule.id not in excluded
+            )
+        result = ProjectResult(
+            files_checked=len(records),
+            modules=tuple(sorted(paths)),
+        )
+        findings: List[Finding] = []
+        for record in records:
+            for finding in record.local_findings:
+                if rule_filter is not None and (
+                    finding.rule not in rule_filter
+                    and finding.rule != PARSE_ERROR
+                ):
+                    continue
+                findings.append(finding)
+        ran_project: List[str] = []
+        for rule in self.project_rules:
+            if rule_filter is not None and rule.id not in rule_filter:
+                continue
+            ran_project.append(rule.id)
+            for finding in rule.check_project(model):
+                record = by_path.get(finding.path)
+                if record is not None:
+                    if rule.id in PROFILE_PROJECT_EXCLUDES.get(
+                        record.profile, frozenset()
+                    ):
+                        continue
+                    if is_suppressed(finding, record.suppressions):
+                        continue
+                findings.append(finding)
+        if changed is not None:
+            keep = graph.reachable_modules(set(changed))
+            module_of = {
+                record.path: record.module for record in records
+            }
+            findings = [
+                finding for finding in findings
+                if module_of.get(finding.path, finding.path) in keep
+                or finding.rule == PARSE_ERROR
+            ]
+        result.findings = findings
+        ids = sorted(local_ids) + ran_project
+        if rule_filter is not None:
+            ids = [
+                rule_id for rule_id in ids
+                if rule_id in rule_filter or rule_id == PARSE_ERROR
+            ]
+        result.rules_run = tuple(ids)
+        result.finalize()
+        return result
+
+
+def all_rule_descriptions() -> List[Tuple[str, str]]:
+    """(id, summary) for every local and project rule, for reports."""
+    described: List[Tuple[str, str]] = [
+        (rule.id, rule.summary) for rule in default_rules()
+    ]
+    described.extend(
+        (rule.id, rule.summary) for rule in project_rules()
+    )
+    described.append((PARSE_ERROR, "file could not be parsed"))
+    return described
+
+
+__all__ = [
+    "ModuleRecord",
+    "ProjectAnalyzer",
+    "ProjectResult",
+    "all_rule_descriptions",
+    "build_record",
+    "dotted_of",
+    "module_key",
+    "profile_for",
+]

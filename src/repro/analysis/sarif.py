@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output for analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format) is what CI services
+and editors ingest natively — GitHub code scanning, VS Code SARIF
+viewers, and friends. One ``run`` with one ``tool.driver``; every rule
+that ran is declared under ``driver.rules`` (so consumers can render
+help text for rules with zero results), and every finding becomes a
+``result`` with a physical location.
+
+Output is deterministic: rules sort by id, results inherit the
+canonical ``(path, line, column, rule)`` ordering of
+:class:`repro.analysis.findings.Finding`, and the JSON is serialized
+with sorted keys — the reporter holds itself to the same
+canonical-ordering invariant the rules enforce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.runner import AnalysisResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-analyze"
+TOOL_URI = "docs/ANALYSIS.md"
+
+
+def _level_for(rule: str) -> str:
+    return "error" if rule == "parse-error" else "warning"
+
+
+def sarif_document(
+    result: AnalysisResult,
+    rule_descriptions: Sequence[Tuple[str, str]] = (),
+) -> Dict[str, Any]:
+    """The SARIF log as a plain dict (see :func:`render_sarif`)."""
+    known = dict(rule_descriptions)
+    for finding in result.findings:
+        known.setdefault(finding.rule, "")
+    for rule_id in result.rules_run:
+        known.setdefault(rule_id, "")
+    rules: List[Dict[str, Any]] = []
+    for rule_id in sorted(known):
+        descriptor: Dict[str, Any] = {"id": rule_id}
+        if known[rule_id]:
+            descriptor["shortDescription"] = {"text": known[rule_id]}
+        descriptor["helpUri"] = TOOL_URI
+        rules.append(descriptor)
+    index_of = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for finding in result.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": index_of[finding.rule],
+                "level": _level_for(finding.rule),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.column,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    result: AnalysisResult,
+    rule_descriptions: Sequence[Tuple[str, str]] = (),
+) -> str:
+    """Serialize *result* as a SARIF 2.1.0 JSON string."""
+    return json.dumps(
+        sarif_document(result, rule_descriptions),
+        indent=2,
+        sort_keys=True,
+    )

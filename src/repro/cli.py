@@ -20,6 +20,7 @@ deterministically from those, so output is reproducible.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -242,7 +243,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src)",
     )
     analyze.add_argument(
-        "--format", dest="output_format", choices=["text", "json"],
+        "--format", dest="output_format",
+        choices=["text", "json", "sarif"],
         default="text", help="report format (default text)",
     )
     analyze.add_argument(
@@ -252,6 +254,51 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--list-rules", action="store_true",
         help="list available rules and exit",
+    )
+    analyze.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    analyze.add_argument(
+        "--baseline", metavar="FILE",
+        help=(
+            "suppression baseline to apply (default: "
+            "analysis-baseline.json when present)"
+        ),
+    )
+    analyze.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    analyze.add_argument(
+        "--write-baseline", metavar="FILE",
+        help=(
+            "write current findings to FILE as a baseline (entries "
+            "need justifications filled in) and exit clean"
+        ),
+    )
+    analyze.add_argument(
+        "--changed", metavar="REF",
+        help=(
+            "restrict findings to modules call-graph-reachable from "
+            "files changed vs the given git ref"
+        ),
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk incremental cache",
+    )
+    analyze.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="incremental cache directory (default .repro-analysis-cache)",
+    )
+    analyze.add_argument(
+        "--jobs", type=int, metavar="N",
+        help="analysis worker processes (default: auto)",
+    )
+    analyze.add_argument(
+        "--stats", action="store_true",
+        help="print cache hit/miss statistics to stderr",
     )
 
     faults = commands.add_parser(
@@ -697,21 +744,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis import (
-        Analyzer,
-        default_rules,
-        render_json,
-        render_text,
-    )
+def _changed_module_keys(ref: str, root: str) -> "set":
+    """Module keys of files changed versus git *ref*."""
+    import subprocess
 
-    rules = default_rules()
+    from repro.analysis.project import module_key
+
+    completed = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        capture_output=True,
+        text=True,
+        cwd=root,
+        check=True,
+    )
+    keys = set()
+    for line in completed.stdout.splitlines():
+        name = line.strip()
+        if name.endswith(".py"):
+            keys.add(module_key(os.path.join(root, name), root))
+    return keys
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import render_json, render_text
+    from repro.analysis.baseline import (
+        BaselineError,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.cache import DEFAULT_CACHE_DIR, AnalysisCache
+    from repro.analysis.project import (
+        ProjectAnalyzer,
+        all_rule_descriptions,
+    )
+    from repro.analysis.sarif import render_sarif
+
+    descriptions = all_rule_descriptions()
     if args.list_rules:
-        for rule in rules:
-            print(f"{rule.id}: {rule.summary}")
+        for rule_id, summary in descriptions:
+            if rule_id != "parse-error":
+                print(f"{rule_id}: {summary}")
         return 0
+    rule_filter = None
     if args.rules:
-        known = {rule.id for rule in rules}
+        known = {rule_id for rule_id, _ in descriptions}
         unknown = [rule_id for rule_id in args.rules if rule_id not in known]
         if unknown:
             print(
@@ -720,17 +796,70 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        rules = tuple(rule for rule in rules if rule.id in set(args.rules))
-    analyzer = Analyzer(rules)
+        rule_filter = set(args.rules)
+    cache = None
+    if not args.no_cache:
+        cache = AnalysisCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    analyzer = ProjectAnalyzer(cache=cache, jobs=args.jobs)
+    changed = None
+    if args.changed:
+        try:
+            changed = _changed_module_keys(args.changed, os.getcwd())
+        except Exception as error:  # subprocess/git failures
+            print(
+                f"error: cannot diff against {args.changed!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
     try:
-        result = analyzer.analyze_paths(args.paths)
+        result = analyzer.analyze_paths(
+            args.paths, rule_filter=rule_filter, changed=changed
+        )
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.stats and result.cache_stats:
+        print(f"cache: {result.cache_stats}", file=sys.stderr)
+    if args.write_baseline:
+        write_baseline(result.findings, args.write_baseline)
+        print(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}; fill in the justifications"
+        )
+        return 0
+    stale = []
+    if not args.no_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None and os.path.exists(
+            "analysis-baseline.json"
+        ):
+            baseline_path = "analysis-baseline.json"
+        if baseline_path is not None:
+            try:
+                baseline = load_baseline(baseline_path)
+            except (BaselineError, OSError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            match = baseline.apply(result.findings)
+            result.findings = match.new_findings
+            stale = match.stale_entries
     if args.output_format == "json":
-        print(render_json(result))
+        report = render_json(result)
+    elif args.output_format == "sarif":
+        report = render_sarif(result, descriptions)
     else:
-        print(render_text(result))
+        report = render_text(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    for entry in stale:
+        print(
+            f"warning: stale baseline entry: {entry.rule} at "
+            f"{entry.path} no longer matches any finding",
+            file=sys.stderr,
+        )
     return 0 if result.clean else 1
 
 

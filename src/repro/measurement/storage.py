@@ -261,7 +261,7 @@ class ColumnStore:
             partition = self._partitions[key]
             encoded = {
                 column: _encode_column(values)
-                for column, values in partition.items()
+                for column, values in sorted(partition.items())
             }
             self._encoded[key] = encoded
         return encoded
@@ -300,7 +300,7 @@ class ColumnStore:
             partition_dir = os.path.join(directory, source, str(day))
             os.makedirs(partition_dir, exist_ok=True)
             encoded = self.encode_partition(source, day)
-            for column, blob in encoded.items():
+            for column, blob in sorted(encoded.items()):
                 path = os.path.join(partition_dir, f"{column}.col")
                 with open(path, "wb") as handle:
                     handle.write(blob)

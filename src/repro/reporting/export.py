@@ -33,10 +33,9 @@ def study_to_dict(results: StudyResults) -> Dict:
                 "end_level": series.end_level,
                 "anomalous_days": len(series.anomalous_days),
             }
-            for label, series in {
-                **results.growth_gtld,
-                **results.growth_cc,
-            }.items()
+            for label, series in sorted(
+                {**results.growth_gtld, **results.growth_cc}.items()
+            )
         },
         "any_use": {
             "combined": detection.any_use_combined,
@@ -47,10 +46,13 @@ def study_to_dict(results: StudyResults) -> Dict:
                 "total": series.total,
                 "by_ref": {
                     ref.value: values
-                    for ref, values in series.by_ref.items()
+                    for ref, values in sorted(
+                        series.by_ref.items(),
+                        key=lambda item: item[0].value,
+                    )
                 },
             }
-            for name, series in detection.providers.items()
+            for name, series in sorted(detection.providers.items())
         },
         "zone_sizes": results.zone_sizes,
         "namespace_distribution": results.namespace_distribution,
@@ -99,9 +101,9 @@ def study_to_dict(results: StudyResults) -> Dict:
                 "exposed_days": report.exposed_days,
                 "exposure_ratio": report.exposure_ratio,
             }
-            for provider, report in analyze_exposure(
-                results.detection_gtld
-            ).items()
+            for provider, report in sorted(
+                analyze_exposure(results.detection_gtld).items()
+            )
         },
     }
     if results.fault_log is not None:

@@ -1,0 +1,32 @@
+"""Fixture: blocking calls under ``async def``, analyzed under
+``repro/serve/fixture_handlers.py``. ``handle_reload`` blocks two
+frames down — only the call graph sees it."""
+
+import time
+
+
+def _read_config(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_limit(text: str) -> int:
+    return int(text.strip())
+
+
+async def handle_query(writer) -> None:
+    time.sleep(0.01)  # expect: async-blocking
+    writer.close()
+
+
+async def handle_reload(path: str) -> int:
+    text = _read_config(path)  # expect: async-blocking
+    return _parse_limit(text)
+
+
+async def handle_ok(loop, path: str) -> str:
+    return await loop.run_in_executor(None, _read_config, path)
+
+
+async def handle_pure(payload: dict) -> int:
+    return _parse_limit(payload.get("limit", "8"))

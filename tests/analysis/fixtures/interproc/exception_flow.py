@@ -1,0 +1,57 @@
+"""Fixture: exception flow across the pool boundary, analyzed under
+``repro/parallel/fixture_errors.py``. Worker-raised errors must
+survive pickling; caught faults must be accounted."""
+
+
+class FaultError(RuntimeError):
+    pass
+
+
+class ShardError(RuntimeError):
+    def __init__(self, shard, detail):
+        super().__init__(f"shard {shard}: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+
+class SafeShardError(RuntimeError):
+    def __init__(self, shard, detail):
+        super().__init__(f"shard {shard}: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.detail))
+
+
+class FaultLog:
+    def record_fault(self, error):
+        pass
+
+
+def explode(shard):
+    raise ShardError(shard, "boom")  # expect: exception-flow
+
+
+def explode_safely(shard):
+    raise SafeShardError(shard, "boom")
+
+
+def swallow(shards):
+    done = 0
+    for shard in shards:
+        try:
+            done += shard
+        except FaultError:  # expect: exception-flow
+            continue
+    return done
+
+
+def account(shards, log: FaultLog):
+    done = 0
+    for shard in shards:
+        try:
+            done += shard
+        except FaultError as error:
+            log.record_fault(error)
+    return done

@@ -1,0 +1,36 @@
+"""Fixture: snapshot/index mutation, analyzed under
+``repro/serve/fixture_swap.py``. Published state may only change at
+the designated publish points."""
+
+
+class QueryIndex:
+    def __init__(self, rows):
+        self.rows = dict(rows)
+
+    def lookup(self, key):
+        return self.rows.get(key)
+
+
+class DaySwapper:
+    def __init__(self):
+        self._index = QueryIndex(())
+
+    def current_index(self):
+        return self._index
+
+    def rebuild(self, rows):
+        self._index = QueryIndex(rows)
+
+    def poke(self, rows):
+        self._index = QueryIndex(rows)  # expect: snapshot-mutation
+
+
+def tamper(rows) -> dict:
+    index = QueryIndex(rows)
+    index.rows = {}  # expect: snapshot-mutation
+    return index.rows
+
+
+def read_only(rows) -> object:
+    index = QueryIndex(rows)
+    return index.lookup("example.nl")

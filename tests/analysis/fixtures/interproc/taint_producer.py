@@ -1,0 +1,24 @@
+"""Fixture: order-taint producers, analyzed under
+``repro/measurement/fixture_producer.py`` together with
+``taint_sink.py`` — the taint crosses the module boundary."""
+
+from typing import Dict, List
+
+
+def rows(counts: Dict[str, int]) -> List[str]:
+    out: List[str] = []
+    for name, value in counts.items():  # expect: canonicalization-taint
+        out.append(f"{name}={value}")
+    return out
+
+
+def rows_sorted(counts: Dict[str, int]) -> List[str]:
+    return [f"{k}={v}" for k, v in sorted(counts.items())]
+
+
+def total(counts: Dict[str, int]) -> int:
+    # Scalar accumulation over .values() is order-insensitive: clean.
+    amount = 0
+    for value in counts.values():
+        amount += value
+    return amount

@@ -1,0 +1,31 @@
+"""Fixture: serialization sinks, analyzed under
+``repro/reporting/fixture_sink.py``. ``canonical`` becomes a sink *by
+discovery* (its parameter reaches ``json.dumps``), so ``publish`` is
+flagged without ``canonical`` ever being listed as a sink."""
+
+import json
+from typing import Dict
+
+from repro.measurement.fixture_producer import rows, rows_sorted
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def encode(counts: Dict[str, int]) -> str:
+    return json.dumps(rows(counts))
+
+
+def encode_sorted(counts: Dict[str, int]) -> str:
+    return json.dumps(rows_sorted(counts))
+
+
+def publish(counts: Dict[str, int]) -> str:
+    keys = list(counts.keys())  # expect: canonicalization-taint
+    return canonical(keys)
+
+
+def publish_sizes(counts: Dict[str, int]) -> str:
+    # len() is order-insensitive: clean.
+    return canonical(len(counts))

@@ -1,0 +1,118 @@
+"""The suppression baseline: justification enforcement and ratcheting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+def _finding(rule="wall-clock", path="src/repro/a.py", message="m1"):
+    return Finding(
+        path=path, line=10, column=1, rule=rule, message=message
+    )
+
+
+def _entry(rule="wall-clock", path="src/repro/a.py", message="m1"):
+    return BaselineEntry(
+        rule=rule,
+        path=path,
+        message=message,
+        justification="sanctioned: timestamps are the module's input",
+    )
+
+
+def test_apply_splits_new_suppressed_stale():
+    baseline = Baseline([_entry(), _entry(rule="ghost-rule")])
+    match = baseline.apply(
+        [_finding(), _finding(rule="mutable-default", message="m2")]
+    )
+    assert [f.rule for f in match.new_findings] == ["mutable-default"]
+    assert [f.rule for f in match.suppressed] == ["wall-clock"]
+    assert [entry.rule for entry in match.stale_entries] == ["ghost-rule"]
+
+
+def test_match_ignores_line_drift():
+    baseline = Baseline([_entry()])
+    drifted = Finding(
+        path="src/repro/a.py", line=99, column=7,
+        rule="wall-clock", message="m1",
+    )
+    match = baseline.apply([drifted])
+    assert match.new_findings == []
+    assert match.suppressed == [drifted]
+
+
+def test_load_requires_justification(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": "wall-clock",
+                        "path": "src/repro/a.py",
+                        "message": "m1",
+                        "justification": "   ",
+                    }
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        load_baseline(str(path))
+
+
+def test_load_rejects_placeholder(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], str(path))
+    with pytest.raises(BaselineError, match="justification"):
+        load_baseline(str(path))
+
+
+def test_load_rejects_malformed(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("[]")
+    with pytest.raises(BaselineError, match="entries"):
+        load_baseline(str(path))
+    path.write_text("{nope")
+    with pytest.raises(BaselineError, match="JSON"):
+        load_baseline(str(path))
+
+
+def test_round_trip_after_justifying(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], str(path))
+    document = json.loads(path.read_text())
+    for entry in document["entries"]:
+        entry["justification"] = "reviewed 2026-08: inherent to API"
+    path.write_text(json.dumps(document))
+    baseline = load_baseline(str(path))
+    match = baseline.apply([_finding()])
+    assert match.new_findings == []
+    assert match.stale_entries == []
+
+
+def test_render_deduplicates_identical_keys():
+    rendered = render_baseline([_finding(), _finding()])
+    assert len(json.loads(rendered)["entries"]) == 1
+
+
+def test_shipped_baseline_is_loadable_and_justified():
+    from pathlib import Path
+
+    shipped = Path(__file__).parents[2] / "analysis-baseline.json"
+    baseline = load_baseline(str(shipped))
+    # Empty or fully justified — load_baseline enforces the latter.
+    assert isinstance(baseline.entries, tuple)

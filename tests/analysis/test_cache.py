@@ -1,0 +1,104 @@
+"""The incremental cache: warm hits, exact invalidation, equivalence."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.cache import AnalysisCache, project_fingerprint
+from repro.analysis.project import ProjectAnalyzer
+
+
+def _write_tree(root: Path) -> None:
+    package = root / "src" / "repro" / "demo"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "producer.py").write_text(
+        "def rows(d):\n"
+        "    return [k for k in d.keys()]\n"
+    )
+    (package / "consumer.py").write_text(
+        "import json\n"
+        "from repro.demo.producer import rows\n"
+        "def dump(d):\n"
+        "    return json.dumps(rows(d))\n"
+    )
+
+
+def _analyzer(root: Path) -> ProjectAnalyzer:
+    return ProjectAnalyzer(
+        cache=AnalysisCache(str(root / ".cache")),
+        jobs=1,
+        root=str(root),
+    )
+
+
+def test_warm_run_hits_project_cache(tmp_path):
+    _write_tree(tmp_path)
+    src = str(tmp_path / "src")
+    first = _analyzer(tmp_path)
+    cold = first.analyze_paths([src])
+    assert not first.cache.stats.project_hit
+    assert first.cache.stats.module_misses == 3
+    second = _analyzer(tmp_path)
+    warm = second.analyze_paths([src])
+    assert second.cache.stats.project_hit
+    assert warm.findings == cold.findings
+    assert warm.files_checked == cold.files_checked
+
+
+def test_one_changed_file_invalidates_exactly(tmp_path):
+    _write_tree(tmp_path)
+    src = str(tmp_path / "src")
+    _analyzer(tmp_path).analyze_paths([src])
+    # Fix the producer: the cross-module finding must disappear even
+    # though the consumer's bytes (and cached record) are unchanged.
+    (tmp_path / "src" / "repro" / "demo" / "producer.py").write_text(
+        "def rows(d):\n"
+        "    return [k for k in sorted(d.keys())]\n"
+    )
+    analyzer = _analyzer(tmp_path)
+    result = analyzer.analyze_paths([src])
+    assert not analyzer.cache.stats.project_hit
+    assert analyzer.cache.stats.module_hits == 2
+    assert analyzer.cache.stats.module_misses == 1
+    assert result.findings == []
+
+
+def test_cold_finding_survives_cache_round_trip(tmp_path):
+    _write_tree(tmp_path)
+    src = str(tmp_path / "src")
+    cold = _analyzer(tmp_path).analyze_paths([src])
+    assert [f.rule for f in cold.findings] == ["canonicalization-taint"]
+    warm = _analyzer(tmp_path).analyze_paths([src])
+    assert warm.findings == cold.findings
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    _write_tree(tmp_path)
+    src = str(tmp_path / "src")
+    _analyzer(tmp_path).analyze_paths([src])
+    for path in (tmp_path / ".cache").rglob("*.pkl"):
+        path.write_bytes(b"not a pickle")
+    analyzer = _analyzer(tmp_path)
+    result = analyzer.analyze_paths([src])
+    assert analyzer.cache.stats.module_misses == 3
+    assert [f.rule for f in result.findings] == ["canonicalization-taint"]
+
+
+def test_fingerprint_is_order_independent_and_content_sensitive():
+    base = [("a.py", "1" * 64, "src"), ("b.py", "2" * 64, "src")]
+    assert project_fingerprint(base) == project_fingerprint(
+        list(reversed(base))
+    )
+    changed = [("a.py", "f" * 64, "src"), ("b.py", "2" * 64, "src")]
+    assert project_fingerprint(base) != project_fingerprint(changed)
+    reprofiled = [("a.py", "1" * 64, "tests"), ("b.py", "2" * 64, "src")]
+    assert project_fingerprint(base) != project_fingerprint(reprofiled)
+
+
+def test_no_cache_analyzer_still_works(tmp_path):
+    _write_tree(tmp_path)
+    result = ProjectAnalyzer(jobs=1, root=str(tmp_path)).analyze_paths(
+        [str(tmp_path / "src")]
+    )
+    assert [f.rule for f in result.findings] == ["canonicalization-taint"]

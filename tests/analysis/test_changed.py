@@ -1,0 +1,113 @@
+"""``repro analyze --changed``: call-graph-scoped incremental runs."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.project import ProjectAnalyzer
+from repro.cli import main
+
+
+def _write_tree(root: Path) -> None:
+    package = root / "src" / "repro" / "demo"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "producer.py").write_text(
+        "def rows(d):\n"
+        "    return [k for k in d.keys()]\n"
+    )
+    (package / "consumer.py").write_text(
+        "import json\n"
+        "from repro.demo.producer import rows\n"
+        "def dump(d):\n"
+        "    return json.dumps(rows(d))\n"
+    )
+    (package / "island.py").write_text(
+        "def lonely(d):\n"
+        "    return [k for k in d.keys()]\n"
+    )
+
+
+def test_changed_filter_follows_call_graph(tmp_path):
+    _write_tree(tmp_path)
+    analyzer = ProjectAnalyzer(jobs=1, root=str(tmp_path))
+    src = str(tmp_path / "src")
+    # Changing the consumer keeps the producer's finding (the taint
+    # crosses between them), even though producer.py didn't change.
+    result = analyzer.analyze_paths(
+        [src], changed={"repro/demo/consumer.py"}
+    )
+    assert [f.rule for f in result.findings] == ["canonicalization-taint"]
+    # Changing only the disconnected island drops it.
+    result = analyzer.analyze_paths(
+        [src], changed={"repro/demo/island.py"}
+    )
+    assert result.findings == []
+
+
+def test_changed_filter_with_unknown_module(tmp_path):
+    _write_tree(tmp_path)
+    analyzer = ProjectAnalyzer(jobs=1, root=str(tmp_path))
+    result = analyzer.analyze_paths(
+        [str(tmp_path / "src")], changed={"repro/demo/deleted.py"}
+    )
+    assert result.findings == []
+
+
+def _git(root: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", *argv],
+        cwd=root,
+        check=True,
+        capture_output=True,
+        env={
+            **os.environ,
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+        },
+    )
+
+
+@pytest.mark.skipif(
+    subprocess.run(
+        ["git", "--version"], capture_output=True
+    ).returncode != 0,
+    reason="git unavailable",
+)
+def test_cli_changed_against_git_ref(tmp_path, capsys, monkeypatch):
+    _write_tree(tmp_path)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    # Nothing changed vs HEAD: analysis is scoped to nothing.
+    code = main(["analyze", "src", "--changed", "HEAD", "--no-cache"])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+    # Touch the consumer: the producer's cross-module finding returns.
+    consumer = tmp_path / "src" / "repro" / "demo" / "consumer.py"
+    consumer.write_text(consumer.read_text() + "\n# touched\n")
+    code = main(["analyze", "src", "--changed", "HEAD", "--no-cache"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "canonicalization-taint" in out
+    assert "producer.py" in out
+
+
+def test_cli_changed_bad_ref_is_an_error(tmp_path, capsys, monkeypatch):
+    _write_tree(tmp_path)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        ["analyze", "src", "--changed", "no-such-ref", "--no-cache"]
+    )
+    assert code == 2
+    assert "cannot diff" in capsys.readouterr().err

@@ -1,0 +1,156 @@
+"""The dataflow layer: flow summaries and the taint fixpoint."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow import build_flow_summary
+from repro.analysis.project import ProjectAnalyzer
+
+
+def _summary(source: str):
+    tree = ast.parse(source)
+    node = tree.body[0]
+    params = [argument.arg for argument in node.args.args]
+    return build_flow_summary(node, params)
+
+
+def _taint_lines(sources):
+    result = ProjectAnalyzer().analyze_sources(sources)
+    return sorted(
+        (f.path, f.line)
+        for f in result.findings
+        if f.rule == "canonicalization-taint"
+    )
+
+
+def test_source_registered_for_unsorted_views():
+    summary = _summary(
+        "def f(d):\n"
+        "    out = []\n"
+        "    for k, v in d.items():\n"
+        "        out.append(k)\n"
+        "    return out\n"
+    )
+    assert len(summary.sources) == 1
+    assert summary.sources[0].text == "d.items()"
+    # The source flows to the return value.
+    src = f"src:{summary.sources[0].id}"
+    assert (src, "ret") in summary.edges
+
+
+def test_sorted_sanitizes():
+    summary = _summary(
+        "def f(d):\n"
+        "    return [k for k in sorted(d.items())]\n"
+    )
+    src_edges = [
+        edge for edge in summary.edges if edge[0].startswith("src:")
+    ]
+    assert not src_edges
+
+
+def test_scalar_accumulation_untracked():
+    summary = _summary(
+        "def f(d):\n"
+        "    total = 0\n"
+        "    for v in d.values():\n"
+        "        total += v\n"
+        "    return total\n"
+    )
+    src = f"src:{summary.sources[0].id}"
+    assert (src, "ret") not in summary.edges
+
+
+def test_taint_direct_sink():
+    lines = _taint_lines(
+        {
+            "repro/demo/direct.py": (
+                "import json\n"
+                "def dump(d):\n"
+                "    return json.dumps(list(d.keys()))\n"
+            )
+        }
+    )
+    assert lines == [("repro/demo/direct.py", 3)]
+
+
+def test_taint_through_return_value():
+    lines = _taint_lines(
+        {
+            "repro/demo/producer.py": (
+                "def rows(d):\n"
+                "    return [k for k in d.keys()]\n"
+            ),
+            "repro/demo/consumer.py": (
+                "import json\n"
+                "from repro.demo.producer import rows\n"
+                "def dump(d):\n"
+                "    return json.dumps(rows(d))\n"
+            ),
+        }
+    )
+    assert lines == [("repro/demo/producer.py", 2)]
+
+
+def test_taint_through_discovered_project_sink():
+    lines = _taint_lines(
+        {
+            "repro/demo/codec.py": (
+                "import json\n"
+                "def canonical(payload):\n"
+                "    return json.dumps(payload, sort_keys=True)\n"
+            ),
+            "repro/demo/caller.py": (
+                "from repro.demo.codec import canonical\n"
+                "def publish(d):\n"
+                "    values = list(d.values())\n"
+                "    return canonical(values)\n"
+            ),
+        }
+    )
+    assert lines == [("repro/demo/caller.py", 3)]
+
+
+def test_taint_through_container_store():
+    lines = _taint_lines(
+        {
+            "repro/demo/store.py": (
+                "import json\n"
+                "def dump(d):\n"
+                "    out = []\n"
+                "    for k in d.keys():\n"
+                "        out.append(k)\n"
+                "    return json.dumps(out)\n"
+            )
+        }
+    )
+    assert lines == [("repro/demo/store.py", 4)]
+
+
+def test_sorted_interprocedural_is_clean():
+    lines = _taint_lines(
+        {
+            "repro/demo/cleaned.py": (
+                "import json\n"
+                "def rows(d):\n"
+                "    return [k for k in d.keys()]\n"
+                "def dump(d):\n"
+                "    return json.dumps(sorted(rows(d)))\n"
+            )
+        }
+    )
+    assert lines == []
+
+
+def test_order_insensitive_consumer_is_clean():
+    lines = _taint_lines(
+        {
+            "repro/demo/count.py": (
+                "import json\n"
+                "def dump(d):\n"
+                "    return json.dumps(len(d.keys()))\n"
+            )
+        }
+    )
+    assert lines == []

@@ -25,6 +25,8 @@ STRICT_TARGETS = (
     "src/repro/core/detection.py",
     "src/repro/batch",
     "src/repro/measurement",
+    "src/repro/serve",
+    "src/repro/analysis",
 )
 
 
