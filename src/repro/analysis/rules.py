@@ -50,13 +50,24 @@ depends on:
     shard-index order instead.
 
 ``row-boxing-in-hot-path``
-    The measurement and streaming layers move data as columnar
-    :class:`repro.batch.batch.ObservationBatch` objects; constructing a
-    ``DomainObservation`` per row inside a loop there reintroduces the
-    per-row boxing the batch plane exists to eliminate. Stay columnar
-    (or use ``batch.row(i)`` lazily); the sanctioned row-shaped
-    compatibility sites carry a ``repro: ignore[row-boxing-in-hot-path]``
-    suppression.
+    The measurement, streaming, and segment-store layers move data as
+    columnar :class:`repro.batch.batch.ObservationBatch` objects;
+    constructing a ``DomainObservation`` per row inside a loop there
+    reintroduces the per-row boxing the batch plane exists to
+    eliminate. Stay columnar (or use ``batch.row(i)`` lazily); the
+    sanctioned row-shaped compatibility sites carry a
+    ``repro: ignore[row-boxing-in-hot-path]`` suppression.
+
+``decode-in-segment-hot-path``
+    The v2 segment read path (:mod:`repro.store`) decodes whole column
+    pages through :func:`repro.store.codecs.decode_page` and translates
+    rows through the dictionary index list. Object-serialization
+    decoders there (``json.loads``, ``pickle.loads``, ``marshal``) — or
+    a ``for ... in range(rows)`` loop that parses each row individually
+    — reintroduce exactly the per-row decode cost the binary format
+    eliminated. The store manifest (``manifest.json``, read once per
+    store open) and the v1 conversion path are off the hot path and
+    exempt.
 """
 
 from __future__ import annotations
@@ -90,6 +101,7 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro/core/",
     "repro/stream/",
     "repro/serve/",
+    "repro/store/",
 )
 
 #: Statistics paths where float == / != comparisons are banned.
@@ -108,6 +120,7 @@ INGEST_PACKAGES: Tuple[str, ...] = (
     "repro/stream/",
     "repro/measurement/",
     "repro/mapreduce/",
+    "repro/store/",
 )
 
 _CLOCK_READS: FrozenSet[str] = frozenset(
@@ -326,7 +339,7 @@ class WallClockRule(Rule):
     id = "wall-clock"
     summary = (
         "wall-clock or module-global RNG use in deterministic packages "
-        "(repro.core/repro.stream/repro.serve)"
+        "(repro.core/repro.stream/repro.serve/repro.store)"
     )
 
     def applies_to(self, module: str) -> bool:
@@ -724,6 +737,7 @@ class RowBoxingRule(Rule):
     HOT_PACKAGES: Tuple[str, ...] = (
         "repro/measurement/",
         "repro/stream/",
+        "repro/store/",
     )
 
     def applies_to(self, module: str) -> bool:
@@ -792,6 +806,158 @@ class RowBoxingRule(Rule):
         return findings
 
 
+class SegmentDecodeRule(Rule):
+    id = "decode-in-segment-hot-path"
+    summary = (
+        "object-serialization decode or per-row parse loop on the "
+        "segment read path (repro.store)"
+    )
+
+    #: The segment store's read/write hot path.
+    HOT_PACKAGES: Tuple[str, ...] = ("repro/store/",)
+    #: Off the page hot path: the manifest is metadata (one JSON read
+    #: per store open) and migration converts the legacy v1 format.
+    EXEMPT_MODULES: FrozenSet[str] = frozenset(
+        {"repro/store/manifest.py", "repro/store/migrate.py"}
+    )
+    _BANNED_MODULES: FrozenSet[str] = frozenset(
+        {"json", "pickle", "marshal"}
+    )
+    _BANNED_CALLS: FrozenSet[str] = frozenset({"load", "loads"})
+    #: Names that identify a loop bound as a row count.
+    _ROW_COUNTS: FrozenSet[str] = frozenset(
+        {"rows", "row_count", "num_rows", "n_rows"}
+    )
+    #: Calls that parse bytes; one of these per row is the anti-pattern.
+    _PARSE_CALLS: FrozenSet[str] = frozenset(
+        {"decode", "unpack", "unpack_from", "loads", "load", "from_bytes"}
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return (
+            module.startswith(self.HOT_PACKAGES)
+            and module not in self.EXEMPT_MODULES
+        )
+
+    @classmethod
+    def _is_row_bound(cls, node: ast.expr) -> bool:
+        """Whether a ``range()`` argument names a row count."""
+        if isinstance(node, ast.Name):
+            return node.id in cls._ROW_COUNTS
+        if isinstance(node, ast.Attribute):
+            return node.attr in cls._ROW_COUNTS
+        return False
+
+    @classmethod
+    def _is_per_row_range(cls, iterable: ast.expr) -> bool:
+        return (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and any(cls._is_row_bound(arg) for arg in iterable.args)
+        )
+
+    @classmethod
+    def _parses_per_row(cls, body: Sequence[ast.AST]) -> bool:
+        for statement in body:
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                function = node.func
+                name = (
+                    function.attr
+                    if isinstance(function, ast.Attribute)
+                    else function.id
+                    if isinstance(function, ast.Name)
+                    else None
+                )
+                if name in cls._PARSE_CALLS:
+                    return True
+        return False
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED_MODULES:
+                        findings.append(
+                            self._finding(
+                                path,
+                                node,
+                                f"import of {root!r} on the segment read "
+                                f"path; pages are struct-framed binary "
+                                f"(repro.store.codecs), not serialized "
+                                f"objects",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in self._BANNED_MODULES:
+                    findings.append(
+                        self._finding(
+                            path,
+                            node,
+                            f"import from {root!r} on the segment read "
+                            f"path; pages are struct-framed binary "
+                            f"(repro.store.codecs), not serialized objects",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                function = node.func
+                if (
+                    isinstance(function, ast.Attribute)
+                    and isinstance(function.value, ast.Name)
+                    and function.value.id in self._BANNED_MODULES
+                    and function.attr in self._BANNED_CALLS
+                ):
+                    findings.append(
+                        self._finding(
+                            path,
+                            node,
+                            f"{function.value.id}.{function.attr}() decodes "
+                            f"serialized objects on the segment read path; "
+                            f"decode whole pages via "
+                            f"repro.store.codecs.decode_page and translate "
+                            f"rows through the index list",
+                        )
+                    )
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_per_row_range(node.iter) and self._parses_per_row(
+                    node.body
+                ):
+                    findings.append(self._per_row_finding(path, node.iter))
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                per_row = any(
+                    self._is_per_row_range(generator.iter)
+                    for generator in node.generators
+                )
+                elements: List[ast.AST] = (
+                    [node.key, node.value]
+                    if isinstance(node, ast.DictComp)
+                    else [node.elt]
+                )
+                if per_row and self._parses_per_row(elements):
+                    findings.append(self._per_row_finding(path, node))
+        return findings
+
+    def _per_row_finding(self, path: str, node: ast.AST) -> Finding:
+        return self._finding(
+            path,
+            node,
+            "per-row parse loop over range(rows) on the segment read "
+            "path; decode the whole page once "
+            "(repro.store.codecs.decode_page) and map rows through the "
+            "dictionary index list",
+        )
+
+
 def default_rules() -> Tuple[Rule, ...]:
     """All shipped rules, in reporting order."""
     return (
@@ -803,6 +969,7 @@ def default_rules() -> Tuple[Rule, ...]:
         SchemaDriftRule(),
         UnorderedFuturesRule(),
         RowBoxingRule(),
+        SegmentDecodeRule(),
     )
 
 

@@ -11,6 +11,7 @@ Commands::
     stream       tail the world day-by-day with the incremental engine
     serve        run the live adoption query service (docs/SERVING.md)
     analyze      run the determinism & invariant linter over source trees
+    store        migrate/compact/inspect on-disk observation stores
     faults       list fault-injection sites / print an example fault plan
 
 Every command accepts ``--scale`` and ``--seed``; the world is rebuilt
@@ -299,6 +300,46 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--stats", action="store_true",
         help="print cache hit/miss statistics to stderr",
+    )
+
+    store = commands.add_parser(
+        "store",
+        help="manage on-disk observation stores (docs/STORAGE.md)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    store_migrate = store_commands.add_parser(
+        "migrate",
+        help="convert a legacy v1 zlib-JSON store to the v2 segment format",
+    )
+    store_migrate.add_argument("source", help="v1 store directory")
+    store_migrate.add_argument("target", help="directory for the v2 store")
+    store_migrate.add_argument(
+        "--on-error", choices=["raise", "skip"], default="raise",
+        help="skip unreadable v1 partitions instead of failing (default raise)",
+    )
+    store_migrate.add_argument(
+        "--compact", type=int, default=None, metavar="FANOUT",
+        help="also compact the migrated store with this tier fanout",
+    )
+
+    store_compact = store_commands.add_parser(
+        "compact",
+        help="merge day segments into multi-day runs (tiered compaction)",
+    )
+    store_compact.add_argument("directory", help="v2 store directory")
+    store_compact.add_argument(
+        "--fanout", type=int, default=8,
+        help="segments per tier before merging into the next (default 8)",
+    )
+
+    store_stats = store_commands.add_parser(
+        "stats",
+        help="print per-partition and total on-disk statistics",
+    )
+    store_stats.add_argument("directory", help="v2 store directory")
+    store_stats.add_argument(
+        "--source", help="restrict the listing to one source",
     )
 
     faults = commands.add_parser(
@@ -863,6 +904,72 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import SegmentStore, StorageError
+    from repro.store.migrate import migrate_store
+
+    try:
+        if args.store_command == "migrate":
+            report = migrate_store(
+                args.source,
+                args.target,
+                on_error=args.on_error,
+                compact_fanout=args.compact,
+            )
+            print(
+                f"migrated {report.partitions} partitions "
+                f"({report.rows} rows) into {report.segments} segment(s): "
+                f"{report.source_bytes} -> {report.target_bytes} bytes"
+            )
+            for source, day, reason in report.skipped:
+                print(f";; skipped {source}/{day}: {reason}")
+            return 0
+        if args.store_command == "compact":
+            with SegmentStore(args.directory) as store:
+                written = store.compact(fanout=args.fanout)
+                stats = store.total_stats()
+            if not written:
+                print("nothing to compact")
+                return 0
+            print(f"compacted into {len(written)} segment(s):")
+            for path in written:
+                print(f"  {path}")
+            print(f"store now {stats.encoded_bytes} bytes on disk")
+            return 0
+        with SegmentStore(args.directory) as store:
+            keys = [
+                key for key in store.partitions()
+                if args.source is None or key[0] == args.source
+            ]
+            if args.source is not None and not keys:
+                print(
+                    f"error: no partitions for source {args.source!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"{'SOURCE':<8} {'DAY':>5} {'ROWS':>8} "
+                  f"{'POINTS':>9} {'BYTES':>10}")
+            for source, day in keys:
+                stats = store.partition_stats(source, day)
+                print(
+                    f"{source:<8} {day:>5} {stats.rows:>8} "
+                    f"{stats.data_points:>9} {stats.encoded_bytes:>10}"
+                )
+            total = store.total_stats(args.source)
+            generations = sorted(
+                {meta.generation for meta in store.manifest.segments}
+            )
+        print(
+            f"total: {total.rows} rows, {total.data_points} data points, "
+            f"{total.encoded_bytes} bytes "
+            f"(generations {', '.join(map(str, generations))})"
+        )
+        return 0
+    except StorageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec
 
@@ -898,6 +1005,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "serve": _cmd_serve,
     "analyze": _cmd_analyze,
+    "store": _cmd_store,
     "faults": _cmd_faults,
 }
 

@@ -42,6 +42,7 @@ from repro.measurement.snapshot import (
     ObservationSegment,
 )
 from repro.measurement.storage import ColumnStore
+from repro.store.protocols import ObservationStore
 from repro.world.timeline import CCTLD_START_DAY
 from repro.world.world import World
 
@@ -217,7 +218,7 @@ class AdoptionStudy:
         return detector.result()
 
     def detect_from_store(
-        self, store: ColumnStore, sources: Sequence[str]
+        self, store: ObservationStore, sources: Sequence[str]
     ) -> DetectionResult:
         """Whole-history columnar detection over landed partitions.
 

@@ -57,16 +57,24 @@ def corrupt_blob(blob: bytes, kind: str, salt: str = "") -> bytes:
 def corrupt_store_files(
     directory: str, injector: FaultInjector
 ) -> List[str]:
-    """Apply ``storage.segment_read`` faults to a saved ColumnStore tree.
+    """Apply ``storage.segment_read`` faults to a saved store tree.
 
-    Walks the manifest in order, fires once per partition (key
-    ``source/day``) and damages one deterministically-chosen column file
-    — or removes the whole partition directory for kind ``missing``.
+    Understands both store layouts. Walks the manifest in order and
+    fires once per partition (key ``source/day``):
+
+    * v2 segment stores: a firing partition damages its segment file
+      (or removes it for kind ``missing``) — the honest blast radius,
+      since partitions sharing a compacted run share its bytes;
+    * legacy v1 stores: damages one deterministically-chosen column
+      file, or removes the partition directory for ``missing``.
+
     Returns the paths affected.
     """
     manifest_path = os.path.join(directory, "manifest.json")
     with open(manifest_path) as handle:
         manifest = json.load(handle)
+    if isinstance(manifest, dict):
+        return _corrupt_v2_store(directory, manifest, injector)
     affected: List[str] = []
     for entry in manifest:
         source, day = entry["source"], int(entry["day"])
@@ -87,6 +95,34 @@ def corrupt_store_files(
         with open(path, "wb") as handle:
             handle.write(corrupt_blob(blob, event.kind, salt=key))
         affected.append(path)
+    return affected
+
+
+def _corrupt_v2_store(
+    directory: str, manifest: dict, injector: FaultInjector
+) -> List[str]:
+    affected: List[str] = []
+    for segment in manifest.get("segments", []):
+        path = os.path.join(directory, segment["file"])
+        for source, day, _rows in segment["partitions"]:
+            key = f"{source}/{day}"
+            event = injector.fire("storage.segment_read", key=key)
+            if event is None:
+                continue
+            if event.kind == "missing":
+                if os.path.exists(path):
+                    os.remove(path)
+                if path not in affected:
+                    affected.append(path)
+                continue
+            if not os.path.exists(path):
+                continue
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            with open(path, "wb") as handle:
+                handle.write(corrupt_blob(blob, event.kind, salt=key))
+            if path not in affected:
+                affected.append(path)
     return affected
 
 

@@ -3,10 +3,20 @@
 The real platform lands measurements in Parquet on a Hadoop cluster;
 Table 1 reports per-source data-point counts and compressed sizes. This
 store keeps observations in per-``(source, day)`` partitions as columns
-(one list per field), can encode a partition to a compact dictionary+RLE
-byte format (zlib-compressed, Parquet-in-spirit), tracks the resulting
-byte sizes so the Table 1 reproduction can report measured-vs-extrapolated
-storage, and can persist/load partitions as files on disk.
+(one list per field), encodes partitions in the v2 binary segment
+format (:mod:`repro.store` — dictionary pages, adaptive per-column
+codecs, CRC-32 checked), tracks the resulting on-disk byte sizes so the
+Table 1 reproduction reports measured-vs-extrapolated storage honestly,
+and persists/loads partitions as segment files behind a manifest.
+
+Disk layout (v2): ``<dir>/segments/g0-<seq>.rseg`` — one generation-0
+segment per partition — plus ``<dir>/manifest.json``. The legacy v1
+layout (zlib-JSON ``<source>/<day>/<column>.col`` files behind a
+list-shaped manifest) is still read transparently by :meth:`
+ColumnStore.load`; ``repro store migrate`` converts it in place. For
+big on-disk histories prefer :class:`repro.store.SegmentStore`, which
+reads the same segments lazily (mmap, pruned by the manifest) instead
+of materialising every partition up front.
 """
 
 from __future__ import annotations
@@ -14,7 +24,6 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from dataclasses import dataclass
 from typing import (
     Any,
     Dict,
@@ -32,6 +41,27 @@ from repro.measurement.snapshot import (
     DomainObservation,
     MEASUREMENTS_PER_DOMAIN_DAY,
 )
+from repro.store import codecs as _codecs
+from repro.store.errors import StorageError
+from repro.store.manifest import (
+    SegmentMeta,
+    StoreManifest,
+    load_manifest_payload,
+    manifest_format,
+)
+from repro.store.segment import (
+    SEGMENT_SUFFIX,
+    SegmentReader,
+    build_segment,
+    write_segment_bytes,
+)
+from repro.store.stats import PartitionStats
+
+__all__ = [
+    "ColumnStore",
+    "PartitionStats",
+    "StorageError",
+]
 
 _COLUMNS = (
     "domain",
@@ -46,22 +76,11 @@ _COLUMNS = (
 )
 
 
-class StorageError(Exception):
-    """A stored partition is missing, truncated, or fails its checksum.
-
-    Every load-path failure surfaces as this type — never a raw
-    ``zlib.error`` / ``JSONDecodeError`` / ``OSError`` leaking encoding
-    internals — so callers can degrade by policy (skip the partition,
-    quarantine its scope) instead of dying on a damaged segment.
-    """
-
-
 def _encode_column(values: Sequence[Any]) -> bytes:
-    """Dictionary+run-length encode one column, then deflate it.
+    """Legacy v1 column encoding: dictionary+RLE JSON head, deflated.
 
-    The format is a JSON head (dictionary and runs of dictionary indexes)
-    compressed with zlib — columnar in spirit: repeated values (mass actors
-    give identical rows) cost almost nothing, like Parquet dictionary pages.
+    Kept for the v1 read path, `save_legacy`, and migration tests; the
+    live format is the binary page codec in :mod:`repro.store.codecs`.
     """
     dictionary: Dict[str, int] = {}
     runs: List[List[int]] = []
@@ -87,23 +106,13 @@ def _decode_column(blob: bytes) -> List[Any]:
     return values
 
 
-@dataclass
-class PartitionStats:
-    """Size accounting for one stored partition."""
-
-    source: str
-    day: int
-    rows: int
-    data_points: int
-    encoded_bytes: int
-
-
 class ColumnStore:
     """In-memory columnar partitions of observations."""
 
     def __init__(self) -> None:
         self._partitions: Dict[Tuple[str, int], Dict[str, List[Any]]] = {}
         self._encoded: Dict[Tuple[str, int], Dict[str, bytes]] = {}
+        self._segments: Dict[Tuple[str, int], bytes] = {}
         #: (source, day, reason) for partitions dropped by a lenient load.
         self.skipped_partitions: List[Tuple[str, int, str]] = []
 
@@ -116,7 +125,7 @@ class ColumnStore:
         partition = self._partitions.setdefault(
             (source, day), {column: [] for column in _COLUMNS}
         )
-        self._encoded.pop((source, day), None)
+        self._invalidate(source, day)
         for observation in observations:
             partition["domain"].append(observation.domain)
             partition["tld"].append(observation.tld)
@@ -141,7 +150,7 @@ class ColumnStore:
         partition = self._partitions.setdefault(
             (source, day), {column: [] for column in _COLUMNS}
         )
-        self._encoded.pop((source, day), None)
+        self._invalidate(source, day)
         names = batch.names
         addresses = batch.addresses
         for index in range(len(batch)):
@@ -167,10 +176,21 @@ class ColumnStore:
             )
             partition["asns"].append(list(batch.asns[index]))
 
+    def _invalidate(self, source: str, day: int) -> None:
+        self._encoded.pop((source, day), None)
+        self._segments.pop((source, day), None)
+
     # -- reading --------------------------------------------------------------
 
     def partitions(self) -> List[Tuple[str, int]]:
         return sorted(self._partitions)
+
+    def partition_columns(self, source: str, day: int) -> Dict[str, List[Any]]:
+        """One partition's raw column lists (the storage shape)."""
+        partition = self._partitions.get((source, day))
+        if partition is None:
+            raise KeyError((source, day))
+        return partition
 
     def rows(self, source: str, day: int) -> Iterator[DomainObservation]:
         """Re-materialise the observations of one partition."""
@@ -254,15 +274,21 @@ class ColumnStore:
     # -- encoding and statistics --------------------------------------------------
 
     def encode_partition(self, source: str, day: int) -> Dict[str, bytes]:
-        """Columnar-encode one partition (cached)."""
+        """Columnar-encode one partition (cached).
+
+        Each column's blob is its v2 page — codec id byte followed by
+        the page bytes — a deterministic function of the column values.
+        """
         key = (source, day)
         encoded = self._encoded.get(key)
         if encoded is None:
             partition = self._partitions[key]
-            encoded = {
-                column: _encode_column(values)
-                for column, values in sorted(partition.items())
-            }
+            encoded = {}
+            for column, values in sorted(partition.items()):
+                codec, page = _codecs.encode_column(
+                    _codecs.COLUMN_KINDS[column], values
+                )
+                encoded[column] = bytes([codec]) + page
             self._encoded[key] = encoded
         return encoded
 
@@ -270,36 +296,81 @@ class ColumnStore:
         self, source: str, day: int
     ) -> Dict[str, List[Any]]:
         """Round-trip check helper: decode an encoded partition."""
-        return {
-            column: _decode_column(blob)
-            for column, blob in self.encode_partition(source, day).items()
-        }
+        decoded = {}
+        for column, blob in sorted(self.encode_partition(source, day).items()):
+            decoded[column] = _codecs.decode_column(
+                _codecs.COLUMN_KINDS[column], blob[0], blob[1:]
+            )
+        return decoded
+
+    def segment_bytes(self, source: str, day: int) -> bytes:
+        """The partition as one standalone v2 segment (cached) — the
+        exact bytes :meth:`save` lands on disk for it."""
+        key = (source, day)
+        data = self._segments.get(key)
+        if data is None:
+            data = build_segment([(source, day, self._partitions[key])])
+            self._segments[key] = data
+        return data
 
     def partition_stats(self, source: str, day: int) -> PartitionStats:
         rows = self.row_count(source, day)
-        encoded = self.encode_partition(source, day)
         return PartitionStats(
             source=source,
             day=day,
             rows=rows,
             data_points=rows * MEASUREMENTS_PER_DOMAIN_DAY,
-            encoded_bytes=sum(len(blob) for blob in encoded.values()),
+            encoded_bytes=len(self.segment_bytes(source, day)),
         )
 
     # -- disk persistence ---------------------------------------------------
 
     def save(self, directory: str) -> List[str]:
-        """Write every partition as encoded column files plus a manifest.
+        """Write every partition as a v2 segment plus a manifest.
 
-        Layout: ``<dir>/<source>/<day>/<column>.col`` (the zlib blobs) and
+        Layout: ``<dir>/segments/g0-<seq>.rseg`` — one generation-0
+        segment per partition, in sorted partition order — and
         ``<dir>/manifest.json``. Returns the file paths written.
+        """
+        written: List[str] = []
+        manifest = StoreManifest()
+        for sequence, (source, day) in enumerate(self.partitions()):
+            relative = os.path.join(
+                "segments", f"g0-{sequence:06d}{SEGMENT_SUFFIX}"
+            )
+            path = os.path.join(directory, relative)
+            data = self.segment_bytes(source, day)
+            write_segment_bytes(path, data)
+            written.append(path)
+            manifest.segments.append(
+                SegmentMeta.describe(
+                    file=relative,
+                    generation=0,
+                    size=len(data),
+                    partitions=[(source, day, self.row_count(source, day))],
+                )
+            )
+        os.makedirs(directory, exist_ok=True)
+        written.append(manifest.save(directory))
+        return written
+
+    def save_legacy(self, directory: str) -> List[str]:
+        """Write the deprecated v1 layout (zlib-JSON column files).
+
+        Kept so migration and dual-format loading stay testable against
+        real v1 stores; new code should use :meth:`save`.
         """
         written: List[str] = []
         manifest: List[Dict[str, object]] = []
         for source, day in self.partitions():
             partition_dir = os.path.join(directory, source, str(day))
             os.makedirs(partition_dir, exist_ok=True)
-            encoded = self.encode_partition(source, day)
+            encoded = {
+                column: _encode_column(values)
+                for column, values in sorted(
+                    self._partitions[(source, day)].items()
+                )
+            }
             for column, blob in sorted(encoded.items()):
                 path = os.path.join(partition_dir, f"{column}.col")
                 with open(path, "wb") as handle:
@@ -326,31 +397,80 @@ class ColumnStore:
 
     @classmethod
     def load(cls, directory: str, on_error: str = "raise") -> "ColumnStore":
-        """Rebuild a store from :meth:`save` output.
+        """Rebuild a store from :meth:`save` (or legacy v1) output.
 
-        Segment files are verified against the manifest's CRC-32
-        checksums (when present — older manifests lack them) and row
-        counts. A damaged partition raises :class:`StorageError`, or —
-        with ``on_error="skip"`` — is dropped whole and recorded in
+        Both manifest formats load transparently: v2 segment stores are
+        read through the checked segment reader, v1 stores through the
+        legacy zlib-JSON decoder with its manifest CRC-32 checks. A
+        damaged partition raises :class:`StorageError`, or — with
+        ``on_error="skip"`` — is dropped whole and recorded in
         :attr:`skipped_partitions`, so one rotten day costs one day of
         data, not the run.
         """
         if on_error not in ("raise", "skip"):
             raise ValueError("on_error must be 'raise' or 'skip'")
-        manifest_path = os.path.join(directory, "manifest.json")
+        payload = load_manifest_payload(directory)
+        if manifest_format(payload) == 1:
+            return cls._load_v1(directory, payload, on_error)
+        manifest = StoreManifest.from_dict(cast(Dict[str, Any], payload))
+        store = cls()
+        for meta in manifest.segments:
+            store._load_segment(directory, meta, on_error)
+        return store
+
+    def _load_segment(
+        self, directory: str, meta: SegmentMeta, on_error: str
+    ) -> None:
+        """Eagerly read and verify one v2 segment into partitions."""
+        path = os.path.join(directory, meta.file)
         try:
-            with open(manifest_path) as handle:
-                manifest = json.load(handle)
-        except OSError as exc:
-            raise StorageError(f"cannot read manifest: {exc}") from exc
-        except ValueError as exc:
-            raise StorageError(f"corrupt manifest: {exc}") from exc
+            reader = SegmentReader(path)
+        except StorageError as exc:
+            if on_error == "raise":
+                raise
+            for source, day, _rows in meta.partitions:
+                self.skipped_partitions.append((source, day, str(exc)))
+            return
+        declared = {
+            (source, day): rows for source, day, rows in meta.partitions
+        }
+        with reader:
+            for ref in reader.partitions:
+                try:
+                    expected = declared.get((ref.source, ref.day))
+                    if expected is not None and expected != ref.rows:
+                        raise StorageError(
+                            f"row count mismatch in {path}: "
+                            f"{ref.rows} != {expected}"
+                        )
+                    columns = {
+                        column: reader.column_cells(ref, column)
+                        for column in _COLUMNS
+                    }
+                except StorageError as exc:
+                    if on_error == "raise":
+                        raise
+                    self.skipped_partitions.append(
+                        (ref.source, ref.day, str(exc))
+                    )
+                    continue
+                partition = self._partitions.setdefault(
+                    (ref.source, ref.day),
+                    {column: [] for column in _COLUMNS},
+                )
+                for column in _COLUMNS:
+                    partition[column].extend(columns[column])
+
+    @classmethod
+    def _load_v1(
+        cls, directory: str, manifest: List[Any], on_error: str
+    ) -> "ColumnStore":
         store = cls()
         for entry in manifest:
             source = cast(str, entry["source"])
             day = int(cast(int, entry["day"]))
             try:
-                columns = cls._load_partition(directory, entry)
+                columns = cls._load_v1_partition(directory, entry)
             except (StorageError, OSError) as exc:
                 if on_error == "raise":
                     raise
@@ -362,10 +482,10 @@ class ColumnStore:
         return store
 
     @staticmethod
-    def _load_partition(
+    def _load_v1_partition(
         directory: str, entry: Dict[str, object]
     ) -> Dict[str, List[Any]]:
-        """Read and verify one manifest entry's column files."""
+        """Read and verify one legacy manifest entry's column files."""
         source = str(entry["source"])
         day = int(cast(int, entry["day"]))
         partition_dir = os.path.join(directory, source, str(day))

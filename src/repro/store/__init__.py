@@ -1,0 +1,48 @@
+"""The v2 segment store: binary column segments with an LSM flavor.
+
+``repro.store`` replaces the zlib-JSON partition files of the original
+:mod:`repro.measurement.storage` head with a real segment store:
+
+* :mod:`repro.store.codecs` — per-column page codecs (dictionary pages
+  with raw or run-length index streams, delta varints for int lists,
+  zlib-of-page fallback), chosen adaptively per column.
+* :mod:`repro.store.segment` — the versioned binary segment format
+  (struct-packed header and directory, per-column pages, CRC-32
+  footer), written via atomic rename and read through ``mmap`` so
+  column bytes slice zero-copy out of the page cache.
+* :mod:`repro.store.manifest` — the store manifest: per-segment
+  generation, day range, and source set, enabling partition pruning by
+  day window and source before any segment byte is touched.
+* :mod:`repro.store.store` — :class:`SegmentStore`, the on-disk
+  counterpart of :class:`repro.measurement.storage.ColumnStore`, with
+  tiered compaction of day segments into multi-day runs.
+* :mod:`repro.store.migrate` — v1 zlib-JSON → v2 segment conversion.
+
+See ``docs/STORAGE.md`` for the byte-level format specification.
+"""
+
+from repro.store.errors import StorageError
+from repro.store.manifest import SegmentMeta, StoreManifest, manifest_format
+from repro.store.protocols import ObservationStore
+from repro.store.segment import (
+    SEGMENT_SUFFIX,
+    SegmentReader,
+    build_segment,
+    write_segment,
+)
+from repro.store.stats import PartitionStats
+from repro.store.store import SegmentStore
+
+__all__ = [
+    "ObservationStore",
+    "PartitionStats",
+    "SEGMENT_SUFFIX",
+    "SegmentMeta",
+    "SegmentReader",
+    "SegmentStore",
+    "StorageError",
+    "StoreManifest",
+    "build_segment",
+    "manifest_format",
+    "write_segment",
+]

@@ -1,0 +1,14 @@
+"""The storage failure type shared by the v1 and v2 read paths."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """A stored partition is missing, truncated, or fails its checksum.
+
+    Every load-path failure surfaces as this type — never a raw
+    ``struct.error`` / ``zlib.error`` / ``JSONDecodeError`` / ``OSError``
+    leaking encoding internals — so callers can degrade by policy (skip
+    the partition, quarantine its scope) instead of dying on a damaged
+    segment.
+    """

@@ -1,0 +1,225 @@
+"""The v2 store manifest: segment metadata enabling partition pruning.
+
+``manifest.json`` (format 2) describes every live segment file — its
+compaction generation, day range, source set, and the exact partitions
+inside — so a reader can answer "which segments could hold com days
+40–60?" from the manifest alone and never open (or fault in a single
+page of) the cold ones. The v1 manifest was a plain JSON list of
+partition entries; :func:`manifest_format` tells the two apart so the
+dual-format load path can keep old stores readable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.store.errors import StorageError
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 2
+
+
+@dataclass
+class SegmentMeta:
+    """Manifest entry for one segment file."""
+
+    file: str
+    generation: int
+    day_min: int
+    day_max: int
+    sources: Tuple[str, ...]
+    rows: int
+    bytes: int
+    #: ``(source, day, rows)`` for every partition, in file order.
+    partitions: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    def covers(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> bool:
+        """Whether the segment can hold partitions in the window."""
+        if start is not None and self.day_max < start:
+            return False
+        if end is not None and self.day_min > end:
+            return False
+        if sources is not None and not set(sources) & set(self.sources):
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "generation": self.generation,
+            "day_min": self.day_min,
+            "day_max": self.day_max,
+            "sources": list(self.sources),
+            "rows": self.rows,
+            "bytes": self.bytes,
+            "partitions": [list(entry) for entry in self.partitions],
+        }
+
+    @classmethod
+    def from_dict(cls, entry: Dict[str, Any]) -> "SegmentMeta":
+        try:
+            return cls(
+                file=str(entry["file"]),
+                generation=int(entry["generation"]),
+                day_min=int(entry["day_min"]),
+                day_max=int(entry["day_max"]),
+                sources=tuple(str(s) for s in entry["sources"]),
+                rows=int(entry["rows"]),
+                bytes=int(entry["bytes"]),
+                partitions=[
+                    (str(source), int(day), int(rows))
+                    for source, day, rows in entry["partitions"]
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(
+                f"malformed manifest segment entry: {exc}"
+            ) from exc
+
+    @classmethod
+    def describe(
+        cls,
+        file: str,
+        generation: int,
+        size: int,
+        partitions: Sequence[Tuple[str, int, int]],
+    ) -> "SegmentMeta":
+        """Derive the min-max metadata from a partition list."""
+        if not partitions:
+            raise StorageError("segment must hold at least one partition")
+        days = [day for _, day, _ in partitions]
+        return cls(
+            file=file,
+            generation=generation,
+            day_min=min(days),
+            day_max=max(days),
+            sources=tuple(sorted({source for source, _, _ in partitions})),
+            rows=sum(rows for _, _, rows in partitions),
+            bytes=size,
+            partitions=list(partitions),
+        )
+
+
+def manifest_format(payload: Any) -> int:
+    """The manifest format of a decoded ``manifest.json`` payload:
+    1 for the legacy partition list, 2 for the segment manifest."""
+    if isinstance(payload, list):
+        return 1
+    if (
+        isinstance(payload, dict)
+        and payload.get("format") == MANIFEST_FORMAT
+    ):
+        return MANIFEST_FORMAT
+    raise StorageError("unrecognised manifest format")
+
+
+@dataclass
+class StoreManifest:
+    """The live segment set of one store directory."""
+
+    segments: List[SegmentMeta] = field(default_factory=list)
+
+    def select(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> List[SegmentMeta]:
+        """Segments that may hold partitions in the window — the
+        pruning step: everything else is never opened."""
+        return [
+            meta
+            for meta in self.segments
+            if meta.covers(sources=sources, start=start, end=end)
+        ]
+
+    def partitions(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> List[Tuple[str, int]]:
+        """Distinct ``(source, day)`` pairs in the window, sorted."""
+        wanted = set(sources) if sources is not None else None
+        found = {
+            (source, day)
+            for meta in self.select(sources=sources, start=start, end=end)
+            for source, day, _ in meta.partitions
+            if (wanted is None or source in wanted)
+            and (start is None or day >= start)
+            and (end is None or day <= end)
+        }
+        return sorted(found)
+
+    def row_count(self, source: str, day: int) -> int:
+        return sum(
+            rows
+            for meta in self.select(sources=(source,), start=day, end=day)
+            for entry_source, entry_day, rows in meta.partitions
+            if entry_source == source and entry_day == day
+        )
+
+    def next_sequence(self) -> int:
+        """The next free segment file sequence number."""
+        highest = -1
+        for meta in self.segments:
+            stem = os.path.basename(meta.file).split(".")[0]
+            tail = stem.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                highest = max(highest, int(tail))
+        return highest + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "segments": [meta.to_dict() for meta in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StoreManifest":
+        segments = payload.get("segments")
+        if not isinstance(segments, list):
+            raise StorageError("manifest 'segments' must be a list")
+        return cls(
+            segments=[SegmentMeta.from_dict(entry) for entry in segments]
+        )
+
+    def save(self, directory: str) -> str:
+        """Atomically write ``manifest.json``; returns its path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, MANIFEST_NAME)
+        temporary = path + ".tmp"
+        with open(temporary, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+        os.replace(temporary, path)
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "StoreManifest":
+        payload = load_manifest_payload(directory)
+        if manifest_format(payload) != MANIFEST_FORMAT:
+            raise StorageError(
+                f"{directory} holds a v1 store; run `repro store migrate` "
+                f"(or load it with ColumnStore.load, which reads both)"
+            )
+        return cls.from_dict(payload)
+
+
+def load_manifest_payload(directory: str) -> Any:
+    """The decoded ``manifest.json`` of *directory*, any format."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise StorageError(f"cannot read manifest: {exc}") from exc
+    except ValueError as exc:
+        raise StorageError(f"corrupt manifest: {exc}") from exc

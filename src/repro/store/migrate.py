@@ -1,0 +1,77 @@
+"""v1 → v2 store migration (the ``repro store migrate`` backend).
+
+A v1 store directory holds zlib-JSON column files behind a list-shaped
+manifest; migration loads it through the legacy decoder and lands every
+partition as a generation-0 v2 segment, optionally compacting the
+result into multi-day runs. The loader is the dual-format
+:meth:`repro.measurement.storage.ColumnStore.load`, so migrating an
+already-v2 store is a harmless rewrite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.store.store import SegmentStore
+
+
+@dataclass
+class MigrationReport:
+    """What a store migration did."""
+
+    partitions: int
+    rows: int
+    source_bytes: int
+    target_bytes: int
+    segments: int
+    skipped: List[Tuple[str, int, str]] = field(default_factory=list)
+
+
+def directory_bytes(directory: str) -> int:
+    """Total file bytes under *directory* (the honest on-disk size)."""
+    total = 0
+    for root, _dirs, files in os.walk(directory):
+        for name in files:
+            total += os.path.getsize(os.path.join(root, name))
+    return total
+
+
+def migrate_store(
+    source_dir: str,
+    target_dir: str,
+    on_error: str = "raise",
+    compact_fanout: Optional[int] = None,
+) -> MigrationReport:
+    """Convert the store at *source_dir* into v2 segments at *target_dir*.
+
+    With ``on_error="skip"`` damaged v1 partitions are dropped (and
+    reported) instead of failing the migration. *compact_fanout*, when
+    given, runs tiered compaction on the result so a long day-per-file
+    history lands as a few multi-day runs.
+    """
+    # Imported lazily: measurement.storage imports repro.store, and this
+    # module must stay importable from the package __init__.
+    from repro.measurement.storage import ColumnStore
+
+    legacy = ColumnStore.load(source_dir, on_error=on_error)
+    target = SegmentStore(target_dir, create=True)
+    rows = 0
+    for source, day in legacy.partitions():
+        target.append_columns(
+            source, day, legacy.partition_columns(source, day)
+        )
+        rows += legacy.row_count(source, day)
+    if compact_fanout is not None:
+        target.compact(fanout=compact_fanout)
+    report = MigrationReport(
+        partitions=len(legacy.partitions()),
+        rows=rows,
+        source_bytes=directory_bytes(source_dir),
+        target_bytes=directory_bytes(target_dir),
+        segments=len(target.manifest.segments),
+        skipped=list(legacy.skipped_partitions),
+    )
+    target.close()
+    return report

@@ -1,0 +1,375 @@
+"""The versioned binary segment format and its mmap reader.
+
+One segment file holds one or more ``(source, day)`` partitions, each
+stored as per-column dictionary pages (:mod:`repro.store.codecs`):
+
+.. code-block:: text
+
+    header     <4sHHII>   magic "RSG2", version, flags,
+                          partition count, directory length
+    directory  per partition:
+                 <H> source length, source bytes (utf-8),
+                 <I> day, <I> rows, <H> column count,
+                 per column:
+                   <H> name length, name bytes (utf-8),
+                   <B> cell kind, <B> codec id,
+                   <Q> page offset, <Q> page length, <I> page CRC-32
+    pages      the column pages, back to back
+    footer     <IQ4s>     directory CRC-32, total file length,
+                          magic "2GSR"
+
+All integers are little-endian. Page offsets are absolute file
+offsets, so a reader can map the file and slice any column's bytes
+zero-copy without touching the others — the directory (parsed once at
+open) plus the footer checks are the only eagerly-read bytes, and
+partition pruning at the manifest level means cold segments are never
+opened at all.
+
+Writing goes through a temporary sibling file and ``os.replace`` so a
+crash never leaves a half-written segment behind; any malformed byte
+on the read side raises :class:`~repro.store.errors.StorageError`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.store import codecs
+from repro.store.codecs import COLUMN_KINDS, Entry, _Cursor
+from repro.store.errors import StorageError
+
+MAGIC = b"RSG2"
+FOOTER_MAGIC = b"2GSR"
+VERSION = 2
+#: The on-disk extension of v2 segment files.
+SEGMENT_SUFFIX = ".rseg"
+
+_HEADER = struct.Struct("<4sHHII")
+_FOOTER = struct.Struct("<IQ4s")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+#: One partition's input shape for :func:`build_segment`.
+PartitionColumns = Mapping[str, Sequence[Any]]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Directory entry for one column page."""
+
+    name: str
+    kind: int
+    codec: int
+    offset: int
+    length: int
+    crc: int
+
+
+@dataclass
+class PartitionRef:
+    """Directory entry for one ``(source, day)`` partition."""
+
+    source: str
+    day: int
+    rows: int
+    columns: Dict[str, ColumnRef] = field(default_factory=dict)
+
+    @property
+    def page_bytes(self) -> int:
+        """The partition's column page bytes (its share of the file)."""
+        return sum(ref.length for ref in self.columns.values())
+
+
+def _column_kind(name: str) -> int:
+    kind = COLUMN_KINDS.get(name)
+    if kind is None:
+        raise StorageError(f"unknown column {name!r}")
+    return kind
+
+
+def build_segment(
+    partitions: Sequence[Tuple[str, int, PartitionColumns]],
+) -> bytes:
+    """Serialise partitions (in the given order) into segment bytes.
+
+    Column pages are laid out partition-major in sorted column-name
+    order; the output is a deterministic function of the input, so two
+    stores holding the same partitions produce byte-identical segments.
+    """
+    directory = bytearray()
+    pages: List[bytes] = []
+    page_plan: List[Tuple[bytearray, int]] = []
+    pages_size = 0
+    for source, day, columns in partitions:
+        source_bytes = source.encode("utf-8")
+        names = sorted(columns)
+        directory.extend(_U16.pack(len(source_bytes)))
+        directory.extend(source_bytes)
+        directory.extend(_U32.pack(day))
+        rows = len(columns[names[0]]) if names else 0
+        directory.extend(_U32.pack(rows))
+        directory.extend(_U16.pack(len(names)))
+        for name in names:
+            cells = columns[name]
+            if len(cells) != rows:
+                raise StorageError(
+                    f"ragged partition {source}/{day}: column {name!r} "
+                    f"has {len(cells)} rows, expected {rows}"
+                )
+            kind = _column_kind(name)
+            codec, page = codecs.encode_column(kind, cells)
+            name_bytes = name.encode("utf-8")
+            directory.extend(_U16.pack(len(name_bytes)))
+            directory.extend(name_bytes)
+            directory.append(kind)
+            directory.append(codec)
+            # Offsets are absolute; patched below once the directory
+            # length (and so the pages' base offset) is known.
+            page_plan.append((directory, len(directory)))
+            directory.extend(struct.pack("<QQ", 0, len(page)))
+            directory.extend(_U32.pack(zlib.crc32(page)))
+            pages.append(page)
+            pages_size += len(page)
+    base = _HEADER.size + len(directory)
+    offset = base
+    for (target, position), page in zip(page_plan, pages):
+        struct.pack_into("<Q", target, position, offset)
+        offset += len(page)
+    header = _HEADER.pack(
+        MAGIC, VERSION, 0, len(partitions), len(directory)
+    )
+    total = _HEADER.size + len(directory) + pages_size + _FOOTER.size
+    footer = _FOOTER.pack(zlib.crc32(bytes(directory)), total, FOOTER_MAGIC)
+    return b"".join([header, bytes(directory), *pages, footer])
+
+
+def write_segment_bytes(path: str, data: bytes) -> int:
+    """Atomically land pre-built segment bytes; returns the size.
+
+    The bytes go to a temporary sibling first and are renamed into
+    place, so readers never observe a torn segment.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    temporary = path + ".tmp"
+    with open(temporary, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+    return len(data)
+
+
+def write_segment(
+    path: str, partitions: Sequence[Tuple[str, int, PartitionColumns]]
+) -> int:
+    """Build and atomically write a segment file; returns its size."""
+    return write_segment_bytes(path, build_segment(partitions))
+
+
+def _parse_directory(
+    buffer: "memoryview", label: str
+) -> List[PartitionRef]:
+    try:
+        magic, version, _flags, partition_count, dir_length = (
+            _HEADER.unpack(buffer[: _HEADER.size])
+        )
+    except struct.error as exc:
+        raise StorageError(f"truncated segment header in {label}") from exc
+    if magic != MAGIC:
+        raise StorageError(f"bad segment magic in {label}")
+    if version != VERSION:
+        raise StorageError(
+            f"unsupported segment version {version} in {label}"
+        )
+    total = len(buffer)
+    if _HEADER.size + dir_length + _FOOTER.size > total:
+        raise StorageError(f"truncated segment directory in {label}")
+    try:
+        dir_crc, total_length, footer_magic = _FOOTER.unpack(
+            buffer[total - _FOOTER.size:]
+        )
+    except struct.error as exc:
+        raise StorageError(f"truncated segment footer in {label}") from exc
+    if footer_magic != FOOTER_MAGIC:
+        raise StorageError(f"bad footer magic in {label}")
+    if total_length != total:
+        raise StorageError(
+            f"segment length mismatch in {label}: "
+            f"{total} on disk, {total_length} recorded"
+        )
+    directory = bytes(buffer[_HEADER.size:_HEADER.size + dir_length])
+    if zlib.crc32(directory) != dir_crc:
+        raise StorageError(f"segment directory checksum mismatch in {label}")
+    pages_end = total - _FOOTER.size
+    cursor = _Cursor(directory)
+    partitions: List[PartitionRef] = []
+    try:
+        for _ in range(partition_count):
+            source = cursor.take(
+                int(_U16.unpack(cursor.take(2))[0])
+            ).decode("utf-8")
+            day = cursor.u32()
+            rows = cursor.u32()
+            column_count = int(_U16.unpack(cursor.take(2))[0])
+            partition = PartitionRef(source=source, day=day, rows=rows)
+            for _ in range(column_count):
+                name = cursor.take(
+                    int(_U16.unpack(cursor.take(2))[0])
+                ).decode("utf-8")
+                kind = cursor.u8()
+                codec = cursor.u8()
+                offset, length = struct.unpack("<QQ", cursor.take(16))
+                crc = cursor.u32()
+                if offset < _HEADER.size + dir_length or (
+                    offset + length > pages_end
+                ):
+                    raise StorageError(
+                        f"column page out of bounds in {label}"
+                    )
+                partition.columns[name] = ColumnRef(
+                    name=name, kind=kind, codec=codec,
+                    offset=offset, length=length, crc=crc,
+                )
+            partitions.append(partition)
+        if not cursor.done():
+            raise StorageError(f"trailing directory bytes in {label}")
+    except (struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise StorageError(f"corrupt segment directory in {label}") from exc
+    return partitions
+
+
+class SegmentReader:
+    """A parsed segment: directory in memory, pages read zero-copy.
+
+    Opening maps the file with :mod:`mmap` and verifies only the
+    header, footer, and directory checksum; column pages are sliced
+    (and CRC-checked) lazily, per read, straight out of the mapping.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._file: Optional[Any] = open(path, "rb")
+            self._mmap: Optional[mmap.mmap] = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (OSError, ValueError) as exc:
+            if getattr(self, "_file", None) is not None:
+                self._file.close()  # type: ignore[union-attr]
+            raise StorageError(
+                f"cannot open segment {path}: {exc}"
+            ) from exc
+        self._buffer: Optional[memoryview] = memoryview(self._mmap)
+        try:
+            self.partitions = _parse_directory(self._buffer, path)
+        except StorageError:
+            self.close()
+            raise
+        self.file_size = len(self._buffer) if self._buffer is not None else 0
+
+    @classmethod
+    def from_bytes(
+        cls, data: Union[bytes, bytearray], label: str = "<memory>"
+    ) -> "SegmentReader":
+        """A reader over in-memory segment bytes (no file, no mmap)."""
+        reader = cls.__new__(cls)
+        reader.path = label
+        reader._file = None
+        reader._mmap = None
+        reader._buffer = memoryview(bytes(data))
+        reader.partitions = _parse_directory(reader._buffer, label)
+        reader.file_size = len(reader._buffer)
+        return reader
+
+    # -- page access --------------------------------------------------------
+
+    def _page(self, ref: ColumnRef) -> bytes:
+        """One column's page body, CRC-checked and inflated if needed.
+
+        The page is sliced out of the mapping as a memoryview —
+        checksum and decompression read straight from the page cache —
+        and the view is released before returning (even on error), so
+        no exported pointer can outlive the reader and pin the map.
+        """
+        buffer = self._buffer
+        if buffer is None:
+            raise StorageError(f"segment {self.path} is closed")
+        view = buffer[ref.offset:ref.offset + ref.length]
+        try:
+            if zlib.crc32(view) != ref.crc:
+                raise StorageError(
+                    f"page checksum mismatch for column {ref.name!r} "
+                    f"in {self.path}"
+                )
+            if ref.codec & codecs.FLAG_ZLIB:
+                try:
+                    return zlib.decompress(view)
+                except zlib.error as exc:
+                    raise StorageError(
+                        f"corrupt deflated page for column {ref.name!r} "
+                        f"in {self.path}: {exc}"
+                    ) from exc
+            return bytes(view)
+        finally:
+            view.release()
+
+    def column_page(
+        self, partition: PartitionRef, name: str
+    ) -> Tuple[List[Entry], List[int]]:
+        """The ``(dictionary entries, row indexes)`` of one column —
+        the translate-once shape batch building interns from."""
+        ref = partition.columns.get(name)
+        if ref is None:
+            raise StorageError(
+                f"missing column {name!r} for {partition.source}/"
+                f"{partition.day} in {self.path}"
+            )
+        entries, indexes = codecs.decode_page(
+            ref.kind, ref.codec & ~codecs.FLAG_ZLIB, self._page(ref)
+        )
+        if len(indexes) != partition.rows:
+            raise StorageError(
+                f"row count mismatch for column {name!r} in {self.path}: "
+                f"{len(indexes)} != {partition.rows}"
+            )
+        return entries, indexes
+
+    def column_cells(self, partition: PartitionRef, name: str) -> List[Any]:
+        """One column materialised back to plain cell values."""
+        entries, indexes = self.column_page(partition, name)
+        if partition.columns[name].kind == codecs.KIND_STR:
+            return [entries[i] for i in indexes]
+        materialised = [list(entry) for entry in entries]
+        return [materialised[i] for i in indexes]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._buffer is not None:
+            self._buffer.release()
+            self._buffer = None
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # A stray exported view (e.g. held alive by an exception
+                # traceback) pins the map; dropping our reference lets
+                # the GC unmap it once the view dies.
+                pass
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,24 @@
+"""Partition size accounting shared by the v1 and v2 stores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PartitionStats:
+    """Size accounting for one stored partition.
+
+    ``encoded_bytes`` is the partition's actual on-disk footprint in the
+    v2 segment format — header, dictionary pages, directory entry, and
+    footer for a standalone segment; the partition's page bytes when it
+    shares a multi-partition compacted run — so the Table 1
+    measured-vs-extrapolated storage comparison reports what the store
+    really writes, not a legacy encoding.
+    """
+
+    source: str
+    day: int
+    rows: int
+    data_points: int
+    encoded_bytes: int

@@ -1,0 +1,574 @@
+""":class:`SegmentStore` — the on-disk, LSM-flavored observation store.
+
+The store is a directory: ``manifest.json`` plus ``segments/*.rseg``
+files (:mod:`repro.store.segment`). Appends write fresh generation-0
+segments and update the manifest atomically; :meth:`SegmentStore.compact`
+merges a generation's segments into one multi-day run of the next
+generation, so read amplification stays bounded as history grows while
+the manifest's per-segment day ranges keep partition pruning exact.
+
+Reads are lazy and zero-copy: opening the store parses only the
+manifest; opening a segment maps it and parses only its directory; and
+:meth:`SegmentStore.batch` interns each *distinct* dictionary entry
+once, mapping rows through the page's index stream — no JSON, no
+pickle, no per-row interning anywhere on the path from disk bytes to
+:class:`~repro.batch.batch.ObservationBatch` columns.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.batch.batch import BatchBuilder, ObservationBatch
+from repro.measurement.snapshot import (
+    DomainObservation,
+    MEASUREMENTS_PER_DOMAIN_DAY,
+)
+from repro.store import codecs
+from repro.store.codecs import COLUMN_ORDER
+from repro.store.errors import StorageError
+from repro.store.manifest import SegmentMeta, StoreManifest
+from repro.store.segment import (
+    SEGMENT_SUFFIX,
+    PartitionRef,
+    SegmentReader,
+    write_segment,
+)
+from repro.store.stats import PartitionStats
+
+#: Subdirectory of the store holding segment files.
+SEGMENTS_DIR = "segments"
+
+#: Columns as stored: plain Python cell lists, one list per column.
+Columns = Dict[str, List[Any]]
+
+
+def observation_columns(
+    observations: Sequence[DomainObservation],
+) -> Columns:
+    """Shred row-shaped observations into storage column lists."""
+    columns: Columns = {name: [] for name in COLUMN_ORDER}
+    for observation in observations:
+        columns["domain"].append(observation.domain)
+        columns["tld"].append(observation.tld)
+        columns["ns_names"].append(list(observation.ns_names))
+        columns["apex_addrs"].append(list(observation.apex_addrs))
+        columns["www_cnames"].append(list(observation.www_cnames))
+        columns["www_addrs"].append(list(observation.www_addrs))
+        columns["apex_addrs6"].append(list(observation.apex_addrs6))
+        columns["www_addrs6"].append(list(observation.www_addrs6))
+        columns["asns"].append(sorted(observation.asns))
+    return columns
+
+
+def batch_columns(batch: ObservationBatch) -> Columns:
+    """Shred a columnar batch into storage column lists.
+
+    Value-identical to ``observation_columns(batch.rows())`` without
+    boxing a row per observation: each distinct pool id is resolved to
+    its text once, rows map through plain list lookups.
+    """
+    names = batch.names
+    addresses = batch.addresses
+    name_texts = [names.value(i) for i in range(len(names))]
+    address_texts = [addresses.text(i) for i in range(len(addresses))]
+    return {
+        "domain": [name_texts[i] for i in batch.domains],
+        "tld": [name_texts[i] for i in batch.tlds],
+        "ns_names": [
+            [name_texts[i] for i in ids] for ids in batch.ns_names
+        ],
+        "apex_addrs": [
+            [address_texts[i] for i in ids] for ids in batch.apex_addrs
+        ],
+        "www_cnames": [
+            [name_texts[i] for i in ids] for ids in batch.www_cnames
+        ],
+        "www_addrs": [
+            [address_texts[i] for i in ids] for ids in batch.www_addrs
+        ],
+        "apex_addrs6": [
+            [address_texts[i] for i in ids] for ids in batch.apex_addrs6
+        ],
+        "www_addrs6": [
+            [address_texts[i] for i in ids] for ids in batch.www_addrs6
+        ],
+        "asns": [list(asns) for asns in batch.asns],
+    }
+
+
+class SegmentStore:
+    """A directory of binary column segments behind a manifest.
+
+    Exposes the same reading surface as
+    :class:`repro.measurement.storage.ColumnStore` — ``partitions()``,
+    ``rows()``, ``row_count()``, ``batch()``, ``batches()``,
+    ``partition_stats()``, ``total_stats()``, ``skipped_partitions`` —
+    so feeds and the study pipeline accept either store.
+
+    ``on_error="skip"`` makes reads lenient: a damaged segment costs
+    its own partitions (recorded in :attr:`skipped_partitions`), never
+    the run.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        on_error: str = "raise",
+        create: bool = False,
+    ) -> None:
+        if on_error not in ("raise", "skip"):
+            raise ValueError("on_error must be 'raise' or 'skip'")
+        self.directory = directory
+        self.on_error = on_error
+        #: (source, day, reason) for partitions dropped by lenient reads.
+        self.skipped_partitions: List[Tuple[str, int, str]] = []
+        self._readers: Dict[str, SegmentReader] = {}
+        self._bad_files: Set[str] = set()
+        manifest_path = os.path.join(directory, "manifest.json")
+        if os.path.exists(manifest_path):
+            self._manifest = StoreManifest.load(directory)
+        elif create:
+            self._manifest = StoreManifest()
+        else:
+            raise StorageError(
+                f"no manifest in {directory}; pass create=True to start "
+                f"an empty store"
+            )
+
+    # -- writing ------------------------------------------------------------
+
+    def append(
+        self, source: str, day: int, observations: Sequence[DomainObservation]
+    ) -> None:
+        """Write a day's observations as a fresh generation-0 segment."""
+        self._write_segment(
+            [(source, day, observation_columns(observations))], generation=0
+        )
+
+    def append_batch(
+        self, source: str, day: int, batch: ObservationBatch
+    ) -> None:
+        """Write a batch as a fresh generation-0 segment."""
+        self._write_segment(
+            [(source, day, batch_columns(batch))], generation=0
+        )
+
+    def append_columns(
+        self, source: str, day: int, columns: Columns
+    ) -> None:
+        """Write already-shredded column lists as a gen-0 segment (the
+        migration path — no row boxing, no re-interning)."""
+        missing = [name for name in COLUMN_ORDER if name not in columns]
+        if missing:
+            raise StorageError(
+                f"partition {source}/{day} is missing columns {missing}"
+            )
+        self._write_segment([(source, day, columns)], generation=0)
+
+    def append_partitions(
+        self,
+        partitions: Iterable[
+            Tuple[str, int, Sequence[DomainObservation]]
+        ],
+    ) -> None:
+        """Land many partitions as one gen-0 segment in one manifest
+        swap — the bulk-load path. Per-partition ``append`` pays one
+        fsync and one manifest rewrite per call, which is quadratic in
+        partition count over a whole-history load; this pays both
+        once."""
+        shredded = [
+            (source, day, observation_columns(observations))
+            for source, day, observations in partitions
+        ]
+        if shredded:
+            self._write_segment(shredded, generation=0)
+
+    def _write_segment(
+        self,
+        partitions: Sequence[Tuple[str, int, Columns]],
+        generation: int,
+        replacing: Optional[Set[str]] = None,
+    ) -> str:
+        """Write one segment and swap the manifest in a single step.
+
+        *replacing* names segment files superseded by the new one
+        (compaction); they leave the manifest in the same atomic
+        ``manifest.json`` replace that introduces the new segment, so a
+        crash can strand an unreferenced file but never a manifest that
+        double-counts a partition.
+        """
+        sequence = self._manifest.next_sequence()
+        relative = os.path.join(
+            SEGMENTS_DIR, f"g{generation}-{sequence:06d}{SEGMENT_SUFFIX}"
+        )
+        path = os.path.join(self.directory, relative)
+        size = write_segment(path, partitions)
+        meta = SegmentMeta.describe(
+            file=relative,
+            generation=generation,
+            size=size,
+            partitions=[
+                (source, day, len(columns["domain"]))
+                for source, day, columns in partitions
+            ],
+        )
+        if replacing:
+            self._manifest.segments = [
+                existing
+                for existing in self._manifest.segments
+                if existing.file not in replacing
+            ]
+        self._manifest.segments.append(meta)
+        self._manifest.save(self.directory)
+        return relative
+
+    # -- segment access -----------------------------------------------------
+
+    def _reader(self, meta: SegmentMeta) -> Optional[SegmentReader]:
+        """The (cached) reader for one segment, honouring ``on_error``."""
+        if meta.file in self._bad_files:
+            return None
+        reader = self._readers.get(meta.file)
+        if reader is not None:
+            return reader
+        path = os.path.join(self.directory, meta.file)
+        try:
+            reader = SegmentReader(path)
+        except StorageError as exc:
+            if self.on_error == "raise":
+                raise
+            self._bad_files.add(meta.file)
+            for source, day, _rows in meta.partitions:
+                self.skipped_partitions.append((source, day, str(exc)))
+            return None
+        self._readers[meta.file] = reader
+        return reader
+
+    def _partition_refs(
+        self, source: str, day: int
+    ) -> Iterator[Tuple[SegmentReader, PartitionRef]]:
+        """Every stored fragment of ``(source, day)``, manifest order."""
+        for meta in self._manifest.select(
+            sources=(source,), start=day, end=day
+        ):
+            if not any(
+                s == source and d == day for s, d, _ in meta.partitions
+            ):
+                continue
+            reader = self._reader(meta)
+            if reader is None:
+                continue
+            for ref in reader.partitions:
+                if ref.source == source and ref.day == day:
+                    yield reader, ref
+
+    # -- reading ------------------------------------------------------------
+
+    def partitions(self) -> List[Tuple[str, int]]:
+        return self._manifest.partitions()
+
+    def row_count(self, source: str, day: int) -> int:
+        return self._manifest.row_count(source, day)
+
+    def rows(self, source: str, day: int) -> Iterator[DomainObservation]:
+        """Re-materialise the observations of one partition."""
+        for reader, ref in self._partition_refs(source, day):
+            columns = self._read_columns(reader, ref, source, day)
+            if columns is None:
+                continue
+            for index in range(ref.rows):
+                # The row-shaped compatibility path; bulk consumers use
+                # batch()/batches() instead.
+                yield DomainObservation(  # repro: ignore[row-boxing-in-hot-path]
+                    day=day,
+                    domain=columns["domain"][index],
+                    tld=columns["tld"][index],
+                    ns_names=tuple(columns["ns_names"][index]),
+                    apex_addrs=tuple(columns["apex_addrs"][index]),
+                    www_cnames=tuple(columns["www_cnames"][index]),
+                    www_addrs=tuple(columns["www_addrs"][index]),
+                    apex_addrs6=tuple(columns["apex_addrs6"][index]),
+                    www_addrs6=tuple(columns["www_addrs6"][index]),
+                    asns=frozenset(columns["asns"][index]),
+                )
+
+    def _read_columns(
+        self, reader: SegmentReader, ref: PartitionRef, source: str, day: int
+    ) -> Optional[Columns]:
+        try:
+            return {
+                name: reader.column_cells(ref, name)
+                for name in COLUMN_ORDER
+            }
+        except StorageError as exc:
+            if self.on_error == "raise":
+                raise
+            self._bad_files.add(
+                os.path.relpath(reader.path, self.directory)
+            )
+            self.skipped_partitions.append((source, day, str(exc)))
+            return None
+
+    def batch(
+        self,
+        source: str,
+        day: int,
+        builder: Optional[BatchBuilder] = None,
+    ) -> ObservationBatch:
+        """One partition as a columnar batch, interned translate-once.
+
+        Each distinct dictionary entry is interned exactly once; rows
+        map through the page's index stream with plain list lookups —
+        the zero-copy hot path from segment bytes to batch columns.
+        """
+        out = (
+            builder if builder is not None else BatchBuilder()
+        ).new_batch()
+        for reader, ref in self._partition_refs(source, day):
+            self._extend_batch(out, reader, ref, source, day)
+        return out
+
+    def _extend_batch(
+        self,
+        out: ObservationBatch,
+        reader: SegmentReader,
+        ref: PartitionRef,
+        source: str,
+        day: int,
+    ) -> None:
+        names = out.names
+        addresses = out.addresses
+        try:
+            pages = {
+                name: reader.column_page(ref, name)
+                for name in COLUMN_ORDER
+            }
+        except StorageError as exc:
+            if self.on_error == "raise":
+                raise
+            self._bad_files.add(
+                os.path.relpath(reader.path, self.directory)
+            )
+            self.skipped_partitions.append((source, day, str(exc)))
+            return
+        translated: Dict[str, List[Any]] = {}
+        for name in ("domain", "tld"):
+            entries, indexes = pages[name]
+            ids = [names.intern(entry) for entry in entries]
+            translated[name] = [ids[i] for i in indexes]
+        for name in ("ns_names", "www_cnames"):
+            entries, indexes = pages[name]
+            tuples = [names.intern_tuple(entry) for entry in entries]
+            translated[name] = [tuples[i] for i in indexes]
+        for name in (
+            "apex_addrs", "www_addrs", "apex_addrs6", "www_addrs6"
+        ):
+            entries, indexes = pages[name]
+            tuples = [addresses.intern_tuple(entry) for entry in entries]
+            translated[name] = [tuples[i] for i in indexes]
+        asn_entries, asn_indexes = pages["asns"]
+        translated["asns"] = [asn_entries[i] for i in asn_indexes]
+        out.days.extend([day] * ref.rows)
+        out.domains.extend(translated["domain"])
+        out.tlds.extend(translated["tld"])
+        out.ns_names.extend(translated["ns_names"])
+        out.www_cnames.extend(translated["www_cnames"])
+        out.apex_addrs.extend(translated["apex_addrs"])
+        out.www_addrs.extend(translated["www_addrs"])
+        out.apex_addrs6.extend(translated["apex_addrs6"])
+        out.www_addrs6.extend(translated["www_addrs6"])
+        out.asns.extend(translated["asns"])
+
+    def batches(
+        self, builder: Optional[BatchBuilder] = None
+    ) -> Iterator[Tuple[str, int, ObservationBatch]]:
+        """Every partition as ``(source, day, batch)``, in sorted
+        partition order, sharing one pool pair across all yields."""
+        shared = builder if builder is not None else BatchBuilder()
+        for source, day in self.partitions():
+            yield source, day, self.batch(source, day, builder=shared)
+
+    # -- statistics ---------------------------------------------------------
+
+    def partition_stats(self, source: str, day: int) -> PartitionStats:
+        """On-disk size accounting for one partition.
+
+        ``encoded_bytes`` is the real segment footprint: the whole file
+        (header + pages + directory + footer) when the partition has
+        its own segment, its column pages' share when it lives inside a
+        multi-partition compacted run.
+        """
+        rows = 0
+        encoded = 0
+        for meta in self._manifest.select(
+            sources=(source,), start=day, end=day
+        ):
+            own = [
+                (s, d, r)
+                for s, d, r in meta.partitions
+                if s == source and d == day
+            ]
+            if not own:
+                continue
+            rows += sum(r for _, _, r in own)
+            if len(meta.partitions) == len(own):
+                encoded += meta.bytes
+            else:
+                reader = self._reader(meta)
+                if reader is None:
+                    continue
+                encoded += sum(
+                    ref.page_bytes
+                    for ref in reader.partitions
+                    if ref.source == source and ref.day == day
+                )
+        return PartitionStats(
+            source=source,
+            day=day,
+            rows=rows,
+            data_points=rows * MEASUREMENTS_PER_DOMAIN_DAY,
+            encoded_bytes=encoded,
+        )
+
+    def total_stats(self, source: Optional[str] = None) -> PartitionStats:
+        """Aggregate stats over all (or one source's) partitions."""
+        if source is None:
+            rows = sum(meta.rows for meta in self._manifest.segments)
+            encoded = sum(meta.bytes for meta in self._manifest.segments)
+            days = {
+                day
+                for meta in self._manifest.segments
+                for _, day, _ in meta.partitions
+            }
+            return PartitionStats(
+                source="total",
+                day=len(days),
+                rows=rows,
+                data_points=rows * MEASUREMENTS_PER_DOMAIN_DAY,
+                encoded_bytes=encoded,
+            )
+        rows = 0
+        encoded = 0
+        source_days: Set[int] = set()
+        for partition_source, day in self.partitions():
+            if partition_source != source:
+                continue
+            stats = self.partition_stats(source, day)
+            rows += stats.rows
+            encoded += stats.encoded_bytes
+            source_days.add(day)
+        return PartitionStats(
+            source=source,
+            day=len(source_days),
+            rows=rows,
+            data_points=rows * MEASUREMENTS_PER_DOMAIN_DAY,
+            encoded_bytes=encoded,
+        )
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self, fanout: int = 8) -> List[str]:
+        """Tiered compaction: merge any generation with ≥ *fanout*
+        segments into one multi-day run of the next generation.
+
+        Returns the relative paths of the segments written. Runs until
+        no tier is over the fanout, so a long append history collapses
+        into a handful of large sorted runs while the manifest's
+        day-range metadata keeps pruning exact.
+        """
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        written: List[str] = []
+        while True:
+            tiers: Dict[int, List[SegmentMeta]] = {}
+            for meta in self._manifest.segments:
+                tiers.setdefault(meta.generation, []).append(meta)
+            merged = None
+            for generation in sorted(tiers):
+                group = tiers[generation]
+                if len(group) >= fanout:
+                    merged = (generation, group)
+                    break
+            if merged is None:
+                return written
+            generation, group = merged
+            written.append(self._merge(group, generation + 1))
+
+    def _merge(
+        self, group: Sequence[SegmentMeta], generation: int
+    ) -> str:
+        """Merge *group* into one segment of *generation*."""
+        gathered: Dict[Tuple[str, int], Columns] = {}
+        for meta in group:
+            reader = self._readers.get(meta.file)
+            if reader is None:
+                reader = SegmentReader(
+                    os.path.join(self.directory, meta.file)
+                )
+                self._readers[meta.file] = reader
+            for ref in reader.partitions:
+                columns = {
+                    name: reader.column_cells(ref, name)
+                    for name in COLUMN_ORDER
+                }
+                existing = gathered.get((ref.source, ref.day))
+                if existing is None:
+                    gathered[(ref.source, ref.day)] = columns
+                else:
+                    for name in COLUMN_ORDER:
+                        existing[name].extend(columns[name])
+        ordered = [
+            (source, day, gathered[(source, day)])
+            for source, day in sorted(
+                gathered, key=lambda key: (key[1], key[0])
+            )
+        ]
+        removed = {meta.file for meta in group}
+        relative = self._write_segment(
+            ordered, generation=generation, replacing=removed
+        )
+        for file in sorted(removed):
+            reader = self._readers.pop(file, None)
+            if reader is not None:
+                reader.close()
+            try:
+                os.remove(os.path.join(self.directory, file))
+            except OSError:
+                pass
+        return relative
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def manifest(self) -> StoreManifest:
+        return self._manifest
+
+    def close(self) -> None:
+        for file in sorted(self._readers):
+            self._readers[file].close()
+        self._readers.clear()
+
+    def __enter__(self) -> "SegmentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "SegmentStore",
+    "batch_columns",
+    "observation_columns",
+]

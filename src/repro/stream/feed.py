@@ -41,7 +41,7 @@ from repro.faults.plan import FaultLog
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.measurement.scheduler import ALL_SOURCES, DayPartition
 from repro.measurement.snapshot import DomainObservation, ObservationSegment
-from repro.measurement.storage import ColumnStore
+from repro.store.protocols import ObservationStore
 from repro.world.timeline import CCTLD_START_DAY
 from repro.world.world import World
 
@@ -51,7 +51,13 @@ class FeedError(Exception):
 
 
 class StoreReplayFeed:
-    """Replays the partitions landed in a :class:`ColumnStore`.
+    """Replays the partitions landed in an observation store.
+
+    Accepts anything satisfying
+    :class:`~repro.store.protocols.ObservationStore` — the in-memory
+    :class:`~repro.measurement.storage.ColumnStore` or the on-disk
+    :class:`~repro.store.store.SegmentStore` (whose manifest pruning
+    and mmap reads keep replay memory flat in history length).
 
     By default partitions are produced columnar (``batches=True``): the
     store's columns intern straight into one shared
@@ -64,7 +70,7 @@ class StoreReplayFeed:
 
     def __init__(
         self,
-        store: ColumnStore,
+        store: ObservationStore,
         zone_sizes: Optional[Mapping[Tuple[str, int], int]] = None,
         batches: bool = True,
     ):

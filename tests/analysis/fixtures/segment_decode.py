@@ -1,0 +1,55 @@
+"""Fixture for the ``decode-in-segment-hot-path`` rule.
+
+Analyzed as a ``repro/store`` module (see CASES in ``test_rules.py``),
+where column pages are struct-framed binary and the read path must
+decode a whole page once, never per row and never through an
+object-serialization library.
+"""
+
+import json  # expect: decode-in-segment-hot-path
+import struct
+
+from pickle import loads  # expect: decode-in-segment-hot-path
+
+
+def page_cells_via_json(blob):
+    return json.loads(blob)  # expect: decode-in-segment-hot-path
+
+
+def page_cells_via_pickle(blob):
+    return loads(blob)
+
+
+def per_row_parse_loop(pages, row_count):
+    cells = []
+    for index in range(row_count):  # expect: decode-in-segment-hot-path
+        cells.append(pages[index].decode("utf-8"))
+    return cells
+
+
+def per_row_parse_comprehension(view, ref):
+    return [  # expect: decode-in-segment-hot-path
+        struct.unpack("<I", view[4 * i: 4 * i + 4])
+        for i in range(ref.rows)
+    ]
+
+
+def directory_parse_loop(cursor, column_count):
+    # Per-COLUMN parsing (a handful of directory entries per open) is
+    # the sanctioned shape; only per-ROW bounds are flagged.
+    return [
+        struct.unpack("<QQ", cursor.take(16))
+        for _ in range(column_count)
+    ]
+
+
+def translate_once(entries, indexes):
+    # The sanctioned hot-path shape: the page was decoded wholesale and
+    # rows map through the dictionary index list.
+    return [entries[i] for i in indexes]
+
+
+def row_lookup_loop(columns, rows):
+    # A range(rows) loop that only *reads* decoded cells is fine — the
+    # parsing already happened page-at-a-time.
+    return [columns["domain"][i] for i in range(rows)]

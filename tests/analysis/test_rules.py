@@ -32,6 +32,7 @@ CASES = [
     ("schema_drift.py", "repro/core/fixture_schema.py"),
     ("unordered_futures.py", "repro/parallel/fixture_futures.py"),
     ("row_boxing.py", "repro/measurement/fixture_row_boxing.py"),
+    ("segment_decode.py", "repro/store/fixture_segment_decode.py"),
 ]
 
 
@@ -125,6 +126,26 @@ def test_row_boxing_scoped_to_batch_first_packages():
     assert any(
         f.rule == "row-boxing-in-hot-path" for f in result.findings
     )
+
+
+def test_segment_decode_scoped_to_store_package():
+    source = (FIXTURES / "segment_decode.py").read_text()
+    # Outside repro/store the same code is fine — e.g. reporting may
+    # legitimately read JSON.
+    result = Analyzer().analyze_source(
+        source, "segment_decode.py", module="repro/reporting/fixture.py"
+    )
+    assert not any(
+        f.rule == "decode-in-segment-hot-path" for f in result.findings
+    )
+    # The manifest and migration modules are exempt metadata paths.
+    for exempt in ("repro/store/manifest.py", "repro/store/migrate.py"):
+        result = Analyzer().analyze_source(
+            source, "segment_decode.py", module=exempt
+        )
+        assert not any(
+            f.rule == "decode-in-segment-hot-path" for f in result.findings
+        )
 
 
 def test_parallel_executor_is_clean():

@@ -27,6 +27,7 @@ STRICT_TARGETS = (
     "src/repro/measurement",
     "src/repro/serve",
     "src/repro/analysis",
+    "src/repro/store",
 )
 
 

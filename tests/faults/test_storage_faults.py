@@ -81,18 +81,39 @@ class TestCorruptStoreFiles:
             ),
         )
 
-    def test_missing_removes_partition_dir(self, tmp_path):
+    def test_missing_removes_segment_file(self, tmp_path):
         store = populated_store()
         store.save(str(tmp_path))
+        affected = corrupt_store_files(
+            str(tmp_path), self.plan("missing", keys=("com/1",)).injector()
+        )
+        # Sorted partition order: ("com", 1) is the second segment.
+        assert affected == [
+            str(tmp_path / "segments" / "g0-000001.rseg")
+        ]
+        assert not os.path.exists(affected[0])
+
+    def test_bitflip_touches_one_segment_file(self, tmp_path):
+        store = populated_store()
+        store.save(str(tmp_path))
+        affected = corrupt_store_files(
+            str(tmp_path), self.plan("bitflip", keys=("nl/0",)).injector()
+        )
+        assert len(affected) == 1
+        assert affected[0].endswith(".rseg")
+
+    def test_legacy_missing_removes_partition_dir(self, tmp_path):
+        store = populated_store()
+        store.save_legacy(str(tmp_path))
         affected = corrupt_store_files(
             str(tmp_path), self.plan("missing", keys=("com/1",)).injector()
         )
         assert affected == [str(tmp_path / "com" / "1")]
         assert not os.path.exists(affected[0])
 
-    def test_bitflip_touches_one_column_file(self, tmp_path):
+    def test_legacy_bitflip_touches_one_column_file(self, tmp_path):
         store = populated_store()
-        store.save(str(tmp_path))
+        store.save_legacy(str(tmp_path))
         affected = corrupt_store_files(
             str(tmp_path), self.plan("bitflip", keys=("nl/0",)).injector()
         )
@@ -138,9 +159,25 @@ class TestHardenedLoad:
         with pytest.raises(StorageError, match="checksum mismatch"):
             ColumnStore.load(str(tmp_path))
 
+    @pytest.mark.parametrize("kind", ["truncate", "bitflip", "missing"])
+    def test_legacy_lenient_load_drops_only_damaged_partition(
+        self, tmp_path, kind
+    ):
+        store = populated_store()
+        store.save_legacy(str(tmp_path))
+        self.damage(tmp_path, kind, keys=("com/1",))
+        loaded = ColumnStore.load(str(tmp_path), on_error="skip")
+        assert [
+            (source, day)
+            for source, day, _reason in loaded.skipped_partitions
+        ] == [("com", 1)]
+        expected = rows_of(store)
+        expected.pop(("com", 1))
+        assert rows_of(loaded) == expected
+
     def test_legacy_manifest_without_checksums_loads(self, tmp_path):
         store = populated_store()
-        store.save(str(tmp_path))
+        store.save_legacy(str(tmp_path))
         manifest_path = tmp_path / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         for entry in manifest:

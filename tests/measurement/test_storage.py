@@ -96,7 +96,40 @@ class TestStore:
         store = ColumnStore()
         store.append("com", 7, [observation(0, day=7)])
         store.save(str(tmp_path))
+        assert os.path.exists(tmp_path / "segments" / "g0-000000.rseg")
+
+    def test_saved_legacy_layout(self, tmp_path):
+        import os
+
+        store = ColumnStore()
+        store.append("com", 7, [observation(0, day=7)])
+        store.save_legacy(str(tmp_path))
         assert os.path.exists(tmp_path / "com" / "7" / "domain.col")
+
+    def test_legacy_store_loads_transparently(self, tmp_path):
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(8)])
+        store.save_legacy(str(tmp_path))
+        loaded = ColumnStore.load(str(tmp_path))
+        assert list(loaded.rows("com", 0)) == list(store.rows("com", 0))
+
+    def test_stats_report_exact_segment_file_size(self, tmp_path):
+        import os
+
+        store = ColumnStore()
+        store.append("com", 0, [observation(i) for i in range(16)])
+        store.append("net", 2, [observation(i, day=2) for i in range(7)])
+        written = store.save(str(tmp_path))
+        sizes = {
+            path: os.path.getsize(path)
+            for path in written
+            if path.endswith(".rseg")
+        }
+        keyed = dict(zip(store.partitions(), sorted(sizes)))
+        for (source, day), path in keyed.items():
+            stats = store.partition_stats(source, day)
+            assert stats.encoded_bytes == sizes[path]
+        assert store.total_stats().encoded_bytes == sum(sizes.values())
 
     def test_loaded_stats_match(self, tmp_path):
         store = ColumnStore()

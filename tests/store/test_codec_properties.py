@@ -1,0 +1,178 @@
+"""Property suite for the column page codecs.
+
+Two invariants, over adversarial cell values and damaged bytes:
+
+* every encodable column round-trips exactly (including IPv6-only
+  partitions, empty CNAME lists, multi-origin ASN sets, non-ASCII
+  domains, NUL and astral-plane code points, and >64 KiB pages);
+* no damaged page ever escapes as ``struct.error`` / ``zlib.error`` /
+  any other untyped exception — the reader raises
+  :class:`~repro.store.errors.StorageError` or returns a decoded page,
+  nothing else.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import codecs
+from repro.store.codecs import (
+    KIND_INT_LIST,
+    KIND_STR,
+    KIND_STR_LIST,
+    decode_column,
+    decode_page,
+    encode_column,
+)
+from repro.store.errors import StorageError
+
+texts = st.text(
+    alphabet=st.characters(
+        min_codepoint=0, max_codepoint=0x10FFFF,
+        exclude_categories=("Cs",),  # codecs use surrogatepass anyway
+    ),
+    max_size=40,
+)
+ipv6 = st.from_regex(r"2001:db8(:[0-9a-f]{1,4}){1,6}", fullmatch=True)
+str_cells = st.lists(texts, max_size=60)
+str_list_cells = st.lists(st.lists(texts, max_size=6), max_size=40)
+ipv6_only_cells = st.lists(st.lists(ipv6, max_size=4), max_size=30)
+int_list_cells = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), max_size=8
+    ).map(sorted),
+    max_size=40,
+)
+
+
+class TestRoundtrip:
+    @given(cells=str_cells)
+    def test_str_columns(self, cells):
+        codec, page = encode_column(KIND_STR, cells)
+        assert decode_column(KIND_STR, codec, page) == cells
+
+    @given(cells=str_list_cells)
+    def test_str_list_columns(self, cells):
+        codec, page = encode_column(KIND_STR_LIST, cells)
+        assert decode_column(KIND_STR_LIST, codec, page) == cells
+
+    @given(cells=ipv6_only_cells)
+    def test_ipv6_only_columns(self, cells):
+        codec, page = encode_column(KIND_STR_LIST, cells)
+        assert decode_column(KIND_STR_LIST, codec, page) == cells
+
+    @given(cells=int_list_cells)
+    def test_int_list_columns(self, cells):
+        codec, page = encode_column(KIND_INT_LIST, cells)
+        assert decode_column(KIND_INT_LIST, codec, page) == cells
+
+    def test_empty_cname_partition(self):
+        cells = [[] for _ in range(1000)]
+        codec, page = encode_column(KIND_STR_LIST, cells)
+        assert decode_column(KIND_STR_LIST, codec, page) == cells
+
+    def test_multi_origin_asn_sets(self):
+        cells = [sorted({64500, 64501, 64502, 3356, 13335}) for _ in range(64)]
+        codec, page = encode_column(KIND_INT_LIST, cells)
+        assert decode_column(KIND_INT_LIST, codec, page) == cells
+
+    def test_nul_and_astral_codepoints(self):
+        cells = ["\x00", "a\x00b", "\U0010ffff", "δ.ελ", "xn--no"]
+        codec, page = encode_column(KIND_STR, cells)
+        assert decode_column(KIND_STR, codec, page) == cells
+
+    def test_large_all_distinct_column_over_64k(self):
+        cells = [f"domain-{i:07d}.example" for i in range(8000)]
+        codec, page = encode_column(KIND_STR, cells)
+        assert (
+            len(zlib.decompress(page))
+            if codec & codecs.FLAG_ZLIB
+            else len(page)
+        ) > 64 * 1024
+        assert decode_column(KIND_STR, codec, page) == cells
+
+    def test_wide_dictionary_uses_wider_indexes(self):
+        cells = [f"v{i}" for i in range(300)]
+        codec, page = encode_column(KIND_STR, cells)
+        assert decode_column(KIND_STR, codec, page) == cells
+
+    def test_repetition_picks_rle(self):
+        repeated = ["same"] * 5000
+        codec, page = encode_column(KIND_STR, repeated)
+        assert decode_column(KIND_STR, codec, page) == repeated
+        varied = [f"value-{i}" for i in range(5000)]
+        _, varied_page = encode_column(KIND_STR, varied)
+        assert len(page) < len(varied_page) / 50
+
+
+def sample_pages():
+    pages = []
+    for kind, cells in (
+        (KIND_STR, ["a.com", "b.com", "a.com", "δ.ελ"] * 7),
+        (KIND_STR_LIST, [["x", "y"], [], ["x"]] * 9),
+        (KIND_INT_LIST, [[64500, 64501], [], [1, 2, 3]] * 9),
+    ):
+        codec, page = encode_column(kind, cells)
+        pages.append((kind, codec, page, cells))
+    return pages
+
+
+PAGES = sample_pages()
+
+
+class TestCorruptionNeverEscapesTyped:
+    @given(
+        case=st.integers(min_value=0, max_value=len(PAGES) - 1),
+        cut=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_truncation(self, case, cut):
+        kind, codec, page, _ = PAGES[case]
+        try:
+            decode_page(kind, codec, page[: min(cut, len(page))])
+        except StorageError:
+            pass
+
+    @given(
+        case=st.integers(min_value=0, max_value=len(PAGES) - 1),
+        position=st.integers(min_value=0, max_value=4000),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_bitflip(self, case, position, bit):
+        kind, codec, page, cells = PAGES[case]
+        blob = bytearray(page)
+        blob[position % len(blob)] ^= 1 << bit
+        try:
+            decoded_codec = codec
+            entries, indexes = decode_page(
+                kind, decoded_codec, bytes(blob)
+            )
+            # A surviving decode must still be internally consistent.
+            for index in indexes:
+                assert index < len(entries)
+        except StorageError:
+            pass
+
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=300, deadline=None)
+    def test_random_bytes(self, blob):
+        for kind in (KIND_STR, KIND_STR_LIST, KIND_INT_LIST):
+            for codec in (0, 1, 2, 0x80, 0x81):
+                try:
+                    decode_page(kind, codec, blob)
+                except StorageError:
+                    pass
+
+    def test_wrong_kind_is_typed(self):
+        _, codec, page, _ = PAGES[0]
+        for kind in (KIND_STR_LIST, KIND_INT_LIST, 99):
+            with pytest.raises(StorageError):
+                decode_page(kind, codec, page)
+
+    def test_unknown_codec_is_typed(self):
+        kind, _, page, _ = PAGES[0]
+        with pytest.raises(StorageError):
+            decode_page(kind, 7, page)

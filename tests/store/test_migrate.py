@@ -1,0 +1,105 @@
+"""v1 → v2 store migration."""
+
+import os
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.inject import corrupt_store_files
+from repro.measurement.snapshot import DomainObservation
+from repro.measurement.storage import ColumnStore
+from repro.store import SegmentStore, StorageError
+from repro.store.migrate import directory_bytes, migrate_store
+
+
+def observation(domain, day, tld="com"):
+    return DomainObservation(
+        day=day,
+        domain=domain,
+        tld=tld,
+        ns_names=(f"ns1.{domain}.",),
+        apex_addrs=("192.0.2.7",),
+        www_cnames=("edge.prot.example.",),
+        www_addrs=("198.51.100.9",),
+        asns=frozenset({64500, 64501}),
+    )
+
+
+def populated_store(days=4):
+    store = ColumnStore()
+    for day in range(days):
+        store.append(
+            "com", day, [observation(f"a{i}.com", day) for i in range(5)]
+        )
+        store.append(
+            "nl",
+            day,
+            [observation(f"b{i}.nl", day, tld="nl") for i in range(2)],
+        )
+    return store
+
+
+def rows_of(store):
+    return {key: list(store.rows(*key)) for key in store.partitions()}
+
+
+class TestMigrate:
+    def test_v1_roundtrips_exactly(self, tmp_path):
+        store = populated_store()
+        v1 = tmp_path / "v1"
+        store.save_legacy(str(v1))
+        report = migrate_store(str(v1), str(tmp_path / "v2"))
+        with SegmentStore(str(tmp_path / "v2")) as migrated:
+            assert rows_of(migrated) == rows_of(store)
+        assert report.partitions == 8
+        assert report.rows == 4 * (5 + 2)
+        assert report.skipped == []
+
+    def test_report_byte_accounting(self, tmp_path):
+        store = populated_store()
+        v1, v2 = tmp_path / "v1", tmp_path / "v2"
+        store.save_legacy(str(v1))
+        report = migrate_store(str(v1), str(v2))
+        assert report.source_bytes == directory_bytes(str(v1))
+        assert report.target_bytes == directory_bytes(str(v2))
+        assert report.segments == len(os.listdir(v2 / "segments"))
+
+    def test_compact_fanout_merges_segments(self, tmp_path):
+        store = populated_store(days=6)
+        v1, v2 = tmp_path / "v1", tmp_path / "v2"
+        store.save_legacy(str(v1))
+        report = migrate_store(str(v1), str(v2), compact_fanout=4)
+        assert report.segments < 12
+        with SegmentStore(str(v2)) as migrated:
+            assert rows_of(migrated) == rows_of(store)
+
+    def test_skip_damaged_v1_partition(self, tmp_path):
+        store = populated_store()
+        v1, v2 = tmp_path / "v1", tmp_path / "v2"
+        store.save_legacy(str(v1))
+        plan = FaultPlan(
+            seed=5,
+            specs=(
+                FaultSpec(
+                    "storage.segment_read", "bitflip", keys=("com/2",)
+                ),
+            ),
+        )
+        corrupt_store_files(str(v1), plan.injector())
+        with pytest.raises(StorageError):
+            migrate_store(str(v1), str(tmp_path / "strict"))
+        report = migrate_store(str(v1), str(v2), on_error="skip")
+        assert [(s, d) for s, d, _ in report.skipped] == [("com", 2)]
+        with SegmentStore(str(v2)) as migrated:
+            expected = rows_of(store)
+            expected.pop(("com", 2))
+            assert rows_of(migrated) == expected
+
+    def test_v2_source_rewrites_harmlessly(self, tmp_path):
+        store = populated_store()
+        v2a, v2b = tmp_path / "a", tmp_path / "b"
+        store.save(str(v2a))
+        report = migrate_store(str(v2a), str(v2b))
+        assert report.partitions == 8
+        with SegmentStore(str(v2b)) as rewritten:
+            assert rows_of(rewritten) == rows_of(store)

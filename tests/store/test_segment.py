@@ -1,0 +1,196 @@
+"""The binary segment format: build, write, map, verify, fail typed."""
+
+import os
+
+import pytest
+
+from repro.store import StorageError, build_segment, write_segment
+from repro.store.segment import (
+    FOOTER_MAGIC,
+    MAGIC,
+    SegmentReader,
+)
+
+
+def partition_columns(rows, prefix="d", day=0):
+    return {
+        "domain": [f"{prefix}{i}.com" for i in range(rows)],
+        "tld": ["com"] * rows,
+        "ns_names": [["ns1.hostco.net", "ns2.hostco.net"] for _ in range(rows)],
+        "apex_addrs": [[f"10.0.0.{i % 250 + 1}"] for i in range(rows)],
+        "www_cnames": [[] for _ in range(rows)],
+        "www_addrs": [[f"10.0.1.{i % 250 + 1}"] for i in range(rows)],
+        "apex_addrs6": [["2001:db8::1"] for _ in range(rows)],
+        "www_addrs6": [[] for _ in range(rows)],
+        "asns": [[64500, 64501 + i % 3] for i in range(rows)],
+    }
+
+
+class TestBuild:
+    def test_roundtrip_single_partition(self):
+        columns = partition_columns(12)
+        data = build_segment([("com", 3, columns)])
+        with SegmentReader.from_bytes(data) as reader:
+            assert len(reader.partitions) == 1
+            ref = reader.partitions[0]
+            assert (ref.source, ref.day, ref.rows) == ("com", 3, 12)
+            for name, cells in columns.items():
+                assert reader.column_cells(ref, name) == cells
+
+    def test_roundtrip_multi_partition(self):
+        parts = [
+            ("com", 0, partition_columns(5)),
+            ("nl", 0, partition_columns(3, prefix="n")),
+            ("com", 1, partition_columns(4, day=1)),
+        ]
+        data = build_segment(parts)
+        with SegmentReader.from_bytes(data) as reader:
+            assert [
+                (p.source, p.day, p.rows) for p in reader.partitions
+            ] == [("com", 0, 5), ("nl", 0, 3), ("com", 1, 4)]
+            for (source, day, columns), ref in zip(parts, reader.partitions):
+                assert reader.column_cells(ref, "domain") == columns["domain"]
+
+    def test_deterministic_bytes(self):
+        parts = [("com", 0, partition_columns(20))]
+        assert build_segment(parts) == build_segment(parts)
+
+    def test_magic_framing(self):
+        data = build_segment([("com", 0, partition_columns(2))])
+        assert data[:4] == MAGIC
+        assert data[-4:] == FOOTER_MAGIC
+
+    def test_ragged_partition_rejected(self):
+        columns = partition_columns(4)
+        columns["tld"] = ["com"] * 3
+        with pytest.raises(StorageError, match="ragged"):
+            build_segment([("com", 0, columns)])
+
+    def test_unknown_column_rejected(self):
+        columns = partition_columns(2)
+        columns["bogus"] = [1, 2]
+        with pytest.raises(StorageError, match="unknown column"):
+            build_segment([("com", 0, columns)])
+
+
+class TestWrite:
+    def test_atomic_write_leaves_no_temp(self, tmp_path):
+        path = str(tmp_path / "segments" / "a.rseg")
+        size = write_segment(path, [("com", 0, partition_columns(6))])
+        assert os.path.getsize(path) == size
+        assert os.listdir(tmp_path / "segments") == ["a.rseg"]
+
+    def test_written_file_reads_back(self, tmp_path):
+        path = str(tmp_path / "a.rseg")
+        columns = partition_columns(9)
+        write_segment(path, [("net", 2, columns)])
+        with SegmentReader(path) as reader:
+            ref = reader.partitions[0]
+            assert reader.column_cells(ref, "asns") == columns["asns"]
+
+
+def damaged(data, mutate):
+    blob = bytearray(data)
+    mutate(blob)
+    return bytes(blob)
+
+
+class TestCorruption:
+    def segment(self):
+        return build_segment([("com", 0, partition_columns(8))])
+
+    def test_bad_magic(self):
+        data = damaged(self.segment(), lambda b: b.__setitem__(0, 0))
+        with pytest.raises(StorageError, match="magic"):
+            SegmentReader.from_bytes(data)
+
+    def test_bad_version(self):
+        data = damaged(self.segment(), lambda b: b.__setitem__(4, 0xEE))
+        with pytest.raises(StorageError, match="version"):
+            SegmentReader.from_bytes(data)
+
+    def test_bad_footer_magic(self):
+        data = damaged(
+            self.segment(), lambda b: b.__setitem__(len(b) - 1, 0)
+        )
+        with pytest.raises(StorageError, match="footer"):
+            SegmentReader.from_bytes(data)
+
+    def test_truncation(self):
+        data = self.segment()
+        with pytest.raises(StorageError):
+            SegmentReader.from_bytes(data[: len(data) // 2])
+
+    def test_every_prefix_raises_typed_error_only(self):
+        data = self.segment()
+        for cut in range(0, len(data), 97):
+            try:
+                reader = SegmentReader.from_bytes(data[:cut])
+            except StorageError:
+                continue
+            for ref in reader.partitions:  # pragma: no cover - defensive
+                for name in ref.columns:
+                    reader.column_cells(ref, name)
+
+    def test_directory_checksum(self):
+        # Flip a byte inside the directory region (after the header).
+        data = damaged(
+            self.segment(), lambda b: b.__setitem__(20, b[20] ^ 0x01)
+        )
+        with pytest.raises(StorageError, match="checksum"):
+            SegmentReader.from_bytes(data)
+
+    def test_page_checksum_lazy(self):
+        data = self.segment()
+        reader = SegmentReader.from_bytes(data)
+        ref = reader.partitions[0]
+        page_start = min(c.offset for c in ref.columns.values())
+        corrupt = damaged(
+            data, lambda b: b.__setitem__(page_start, b[page_start] ^ 0x01)
+        )
+        # The directory still parses: page damage surfaces on column read.
+        broken = SegmentReader.from_bytes(corrupt)
+        with pytest.raises(StorageError, match="checksum"):
+            for name in sorted(broken.partitions[0].columns):
+                broken.column_page(broken.partitions[0], name)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot open"):
+            SegmentReader(str(tmp_path / "nope.rseg"))
+
+
+class TestReaderLifecycle:
+    def test_closed_reader_refuses_reads(self):
+        reader = SegmentReader.from_bytes(
+            build_segment([("com", 0, partition_columns(2))])
+        )
+        ref = reader.partitions[0]
+        reader.close()
+        with pytest.raises(StorageError, match="closed"):
+            reader.column_cells(ref, "domain")
+
+    def test_close_after_failed_page_read(self, tmp_path):
+        # A StorageError raised mid-read (its traceback can pin a
+        # memoryview of the map) must not prevent closing the reader.
+        path = str(tmp_path / "a.rseg")
+        write_segment(path, [("com", 0, partition_columns(8))])
+        blob = bytearray(open(path, "rb").read())
+        reader = SegmentReader.from_bytes(bytes(blob))
+        page_start = min(
+            c.offset for c in reader.partitions[0].columns.values()
+        )
+        blob[page_start] ^= 1
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        broken = SegmentReader(path)
+        with pytest.raises(StorageError):
+            for name in sorted(broken.partitions[0].columns):
+                broken.column_page(broken.partitions[0], name)
+        broken.close()
+
+    def test_missing_column_is_typed(self):
+        reader = SegmentReader.from_bytes(
+            build_segment([("com", 0, partition_columns(2))])
+        )
+        with pytest.raises(StorageError, match="missing column"):
+            reader.column_page(reader.partitions[0], "nope")

@@ -1,0 +1,84 @@
+"""SegmentStore statistics: exact on-disk byte accounting."""
+
+import os
+
+from repro.measurement.snapshot import DomainObservation
+from repro.store import SegmentStore
+
+
+def observation(domain, day):
+    return DomainObservation(
+        day=day,
+        domain=domain,
+        tld="com",
+        ns_names=(f"ns1.{domain}.",),
+        apex_addrs=("192.0.2.1",),
+        asns=frozenset({64500}),
+    )
+
+
+def populated(tmp_path, days):
+    store = SegmentStore(str(tmp_path), create=True)
+    for day in range(days):
+        store.append(
+            "com", day, [observation(f"a{i}.com", day) for i in range(6)]
+        )
+    return store
+
+
+def segment_sizes(tmp_path):
+    segments = tmp_path / "segments"
+    return {
+        name: os.path.getsize(segments / name)
+        for name in os.listdir(segments)
+    }
+
+
+class TestPartitionStats:
+    def test_single_partition_segment_is_whole_file(self, tmp_path):
+        store = populated(tmp_path, days=3)
+        sizes = segment_sizes(tmp_path)
+        for (source, day), name in zip(
+            store.partitions(), sorted(sizes)
+        ):
+            stats = store.partition_stats(source, day)
+            assert stats.encoded_bytes == sizes[name]
+            assert stats.rows == 6
+        store.close()
+
+    def test_compacted_partitions_share_page_bytes(self, tmp_path):
+        store = populated(tmp_path, days=8)
+        store.compact(fanout=4)
+        sizes = segment_sizes(tmp_path)
+        assert len(sizes) == 1
+        (total_size,) = sizes.values()
+        per_partition = [
+            store.partition_stats("com", day).encoded_bytes
+            for day in range(8)
+        ]
+        assert all(size > 0 for size in per_partition)
+        # Shares cover the pages only; framing overhead stays outside.
+        assert sum(per_partition) <= total_size
+        store.close()
+
+    def test_total_stats_match_manifest_and_disk(self, tmp_path):
+        store = populated(tmp_path, days=5)
+        total = store.total_stats()
+        assert total.rows == 30
+        assert total.encoded_bytes == sum(
+            meta.bytes for meta in store.manifest.segments
+        )
+        assert total.encoded_bytes == sum(segment_sizes(tmp_path).values())
+        store.close()
+
+    def test_total_stats_filter_by_source(self, tmp_path):
+        store = populated(tmp_path, days=2)
+        store.append("nl", 0, [observation("b.nl", 0)])
+        assert store.total_stats("com").rows == 12
+        assert store.total_stats("nl").rows == 1
+        assert (
+            store.total_stats("com").encoded_bytes
+            + store.total_stats("nl").encoded_bytes
+            == store.total_stats().encoded_bytes
+        )
+        store.close()

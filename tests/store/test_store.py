@@ -1,0 +1,221 @@
+"""SegmentStore behaviour: appends, lazy reads, compaction, pruning."""
+
+import os
+
+import pytest
+
+from repro.batch.batch import BatchBuilder
+from repro.measurement.snapshot import DomainObservation
+from repro.measurement.storage import ColumnStore
+from repro.store import SegmentStore, StorageError
+from repro.stream.feed import StoreReplayFeed
+
+
+def observation(index, day=0, tld="com"):
+    return DomainObservation(
+        day=day,
+        domain=f"d{index}.{tld}",
+        tld=tld,
+        ns_names=("ns1.hostco-dns.com", "ns2.hostco-dns.com"),
+        apex_addrs=(f"10.0.{index % 4}.{index % 200 + 1}",),
+        www_cnames=("cdn.front.net",) if index % 3 == 0 else (),
+        www_addrs=(f"10.1.0.{index % 200 + 1}",),
+        asns=frozenset({64500 + index % 3, 64510}),
+    )
+
+
+def day_rows(day, count=6, tld="com"):
+    return [observation(i, day=day, tld=tld) for i in range(count)]
+
+
+def populated(tmp_path, days=3):
+    store = SegmentStore(str(tmp_path), create=True)
+    for day in range(days):
+        store.append("com", day, day_rows(day))
+        store.append("nl", day, day_rows(day, count=2, tld="nl"))
+    return store
+
+
+class TestAppendAndRead:
+    def test_rows_roundtrip(self, tmp_path):
+        store = populated(tmp_path)
+        assert list(store.rows("com", 1)) == day_rows(1)
+        assert store.row_count("nl", 2) == 2
+        store.close()
+
+    def test_partitions_sorted(self, tmp_path):
+        store = populated(tmp_path, days=2)
+        assert store.partitions() == [
+            ("com", 0), ("com", 1), ("nl", 0), ("nl", 1)
+        ]
+        store.close()
+
+    def test_reopen_sees_appends(self, tmp_path):
+        populated(tmp_path).close()
+        with SegmentStore(str(tmp_path)) as store:
+            assert store.row_count("com", 0) == 6
+
+    def test_missing_manifest_requires_create(self, tmp_path):
+        with pytest.raises(StorageError, match="create=True"):
+            SegmentStore(str(tmp_path / "empty"))
+
+    def test_invalid_on_error_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_error"):
+            SegmentStore(str(tmp_path), on_error="ignore", create=True)
+
+    def test_append_batch_matches_append(self, tmp_path):
+        rows = day_rows(0, count=8)
+        boxed = SegmentStore(str(tmp_path / "a"), create=True)
+        boxed.append("com", 0, rows)
+        column = ColumnStore()
+        column.append("com", 0, rows)
+        batched = SegmentStore(str(tmp_path / "b"), create=True)
+        batched.append_batch("com", 0, column.batch("com", 0))
+        assert list(batched.rows("com", 0)) == list(boxed.rows("com", 0))
+        boxed.close()
+        batched.close()
+
+    def test_append_columns_validates(self, tmp_path):
+        store = SegmentStore(str(tmp_path), create=True)
+        with pytest.raises(StorageError, match="missing columns"):
+            store.append_columns("com", 0, {"domain": ["a.com"]})
+        store.close()
+
+    def test_append_partitions_bulk_loads_one_segment(self, tmp_path):
+        bulk = SegmentStore(str(tmp_path / "bulk"), create=True)
+        bulk.append_partitions(
+            [
+                ("com", day, day_rows(day))
+                for day in range(5)
+            ]
+            + [("nl", 0, day_rows(0, count=2, tld="nl"))]
+        )
+        assert len(os.listdir(tmp_path / "bulk" / "segments")) == 1
+        assert bulk.partitions() == [
+            ("com", 0), ("com", 1), ("com", 2), ("com", 3), ("com", 4),
+            ("nl", 0),
+        ]
+        assert list(bulk.rows("com", 3)) == day_rows(3)
+        bulk.append_partitions([])
+        assert len(os.listdir(tmp_path / "bulk" / "segments")) == 1
+        bulk.close()
+
+    def test_duplicate_partition_appends_concatenate(self, tmp_path):
+        store = SegmentStore(str(tmp_path), create=True)
+        store.append("com", 0, day_rows(0, count=3))
+        store.append("com", 0, day_rows(0, count=2))
+        assert store.row_count("com", 0) == 5
+        assert len(list(store.rows("com", 0))) == 5
+        store.close()
+
+
+class TestBatch:
+    def test_batch_matches_column_store(self, tmp_path):
+        rows = day_rows(0, count=10)
+        segment_store = SegmentStore(str(tmp_path), create=True)
+        segment_store.append("com", 0, rows)
+        column_store = ColumnStore()
+        column_store.append("com", 0, rows)
+        ours = segment_store.batch("com", 0)
+        theirs = column_store.batch("com", 0)
+        assert len(ours) == len(theirs)
+        assert [ours.row(i) for i in range(len(ours))] == [
+            theirs.row(i) for i in range(len(theirs))
+        ]
+        segment_store.close()
+
+    def test_batches_share_builder(self, tmp_path):
+        store = populated(tmp_path, days=2)
+        builder = BatchBuilder()
+        seen = list(store.batches(builder=builder))
+        assert [(s, d) for s, d, _ in seen] == store.partitions()
+        assert all(batch.names is seen[0][2].names for _, _, batch in seen)
+        store.close()
+
+    def test_store_replay_feed_accepts_segment_store(self, tmp_path):
+        store = populated(tmp_path, days=2)
+        partitions = list(StoreReplayFeed(store).days())
+        assert [(p.source, p.day) for p in partitions] == [
+            ("com", 0), ("nl", 0), ("com", 1), ("nl", 1)
+        ]
+        assert list(partitions[0].observations) == day_rows(0)
+        store.close()
+
+
+class TestCompaction:
+    def test_compact_merges_generation(self, tmp_path):
+        store = populated(tmp_path, days=9)
+        before = {key: list(store.rows(*key)) for key in store.partitions()}
+        written = store.compact(fanout=4)
+        assert written
+        assert store.partitions() == sorted(before)
+        after = {key: list(store.rows(*key)) for key in store.partitions()}
+        assert after == before
+        store.close()
+
+    def test_compact_removes_source_segments(self, tmp_path):
+        store = populated(tmp_path, days=8)
+        segments_dir = tmp_path / "segments"
+        assert len(os.listdir(segments_dir)) == 16
+        store.compact(fanout=4)
+        on_disk = set(os.listdir(segments_dir))
+        referenced = {
+            os.path.basename(meta.file)
+            for meta in store.manifest.segments
+        }
+        assert on_disk == referenced
+        assert len(on_disk) < 16
+        store.close()
+
+    def test_compact_below_fanout_is_noop(self, tmp_path):
+        store = populated(tmp_path, days=2)
+        assert store.compact(fanout=8) == []
+        store.close()
+
+    def test_compacted_store_reopens(self, tmp_path):
+        store = populated(tmp_path, days=8)
+        store.compact(fanout=4)
+        store.close()
+        with SegmentStore(str(tmp_path)) as reopened:
+            assert reopened.row_count("com", 5) == 6
+            assert list(reopened.rows("nl", 7)) == day_rows(
+                7, count=2, tld="nl"
+            )
+
+    def test_manifest_prunes_by_day_and_source(self, tmp_path):
+        store = populated(tmp_path, days=8)
+        store.compact(fanout=4)
+        store.append("com", 20, day_rows(20))
+        manifest = store.manifest
+        fresh = manifest.select(sources=("com",), start=20, end=20)
+        assert len(fresh) == 1
+        assert fresh[0].generation == 0
+        old = manifest.select(sources=("com",), start=3, end=3)
+        assert all(meta.day_min <= 3 <= meta.day_max for meta in old)
+        assert not manifest.select(sources=("com",), start=50, end=50)
+        store.close()
+
+
+class TestLenientReads:
+    def test_damaged_segment_skips_its_partitions(self, tmp_path):
+        store = populated(tmp_path, days=3)
+        store.close()
+        target = sorted(
+            str(p) for p in (tmp_path / "segments").iterdir()
+        )[0]
+        blob = bytearray(open(target, "rb").read())
+        blob[len(blob) // 2] ^= 1
+        with open(target, "wb") as handle:
+            handle.write(bytes(blob))
+        with SegmentStore(str(tmp_path), on_error="skip") as lenient:
+            for source, day in lenient.partitions():
+                lenient.batch(source, day)
+            skipped = {
+                (source, day)
+                for source, day, _ in lenient.skipped_partitions
+            }
+            assert skipped == {("com", 0)}
+        with SegmentStore(str(tmp_path)) as strict:
+            with pytest.raises(StorageError):
+                for source, day in strict.partitions():
+                    strict.batch(source, day)
