@@ -28,6 +28,9 @@ def test_fig2_daily_dps_use(
         return detector.result()
 
     result = benchmark.pedantic(detect, rounds=3, iterations=1)
+    benchmark.extra_info["gtld_domains"] = len(gtld_names)
+    benchmark.extra_info["horizon_days"] = result.horizon
+    benchmark.extra_info["peak_any_use"] = max(result.any_use_combined)
     assert result.any_use_combined[0] > 0
     # The zones' anomalies are transversal (§4.1): the combined peak shows
     # in .com as well.

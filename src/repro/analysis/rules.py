@@ -102,6 +102,15 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro/stream/",
     "repro/serve/",
     "repro/store/",
+    "repro/sketch/",
+)
+
+#: Sketch paths where mutation methods must stay integer-exact.
+SKETCH_PACKAGES: Tuple[str, ...] = ("repro/sketch/",)
+
+#: Mutation-path method names covered by the float-accumulation rule.
+SKETCH_MUTATORS: FrozenSet[str] = frozenset(
+    {"update", "add", "observe", "merge", "offer"}
 )
 
 #: Statistics paths where float == / != comparisons are banned.
@@ -339,7 +348,7 @@ class WallClockRule(Rule):
     id = "wall-clock"
     summary = (
         "wall-clock or module-global RNG use in deterministic packages "
-        "(repro.core/repro.stream/repro.serve/repro.store)"
+        "(repro.core/repro.stream/repro.serve/repro.store/repro.sketch)"
     )
 
     def applies_to(self, module: str) -> bool:
@@ -425,6 +434,109 @@ class WallClockRule(Rule):
                     f"nondeterminism into a deterministic module",
                 )
             )
+
+
+class UnseededHashRule(Rule):
+    id = "unseeded-hash"
+    summary = (
+        "builtin hash() in deterministic packages; its per-process "
+        "string salt changes between runs"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(DETERMINISTIC_PACKAGES)
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        "builtin hash() is salted per process "
+                        "(PYTHONHASHSEED); use a keyed digest such as "
+                        "repro.sketch.hashing.hash64 instead",
+                    )
+                )
+        return findings
+
+
+class FloatAccumulationRule(Rule):
+    id = "float-accumulation"
+    summary = (
+        "float arithmetic on a sketch mutation path; summaries must "
+        "accumulate in exact integers and convert only in estimators"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(SKETCH_PACKAGES)
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in SKETCH_MUTATORS
+            ):
+                self._check_mutator(node, path, findings)
+        return findings
+
+    def _check_mutator(
+        self, function: _FunctionNode, path: str, findings: List[Finding]
+    ) -> None:
+        for node in ast.walk(function):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not function:
+                    continue
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, float)
+            ):
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"float literal {node.value!r} inside mutator "
+                        f"{function.name}(); accumulation order would "
+                        f"leak into the state — keep mutation integral",
+                    )
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.Div
+            ):
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"true division inside mutator {function.name}() "
+                        f"produces floats; use // or move the ratio into "
+                        f"an estimator method",
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                findings.append(
+                    self._finding(
+                        path,
+                        node,
+                        f"float() conversion inside mutator "
+                        f"{function.name}(); state written here must "
+                        f"stay exact — convert in estimators only",
+                    )
+                )
+        return None
 
 
 class FloatEqualityRule(Rule):
@@ -963,6 +1075,8 @@ def default_rules() -> Tuple[Rule, ...]:
     return (
         UnsortedIterationRule(),
         WallClockRule(),
+        UnseededHashRule(),
+        FloatAccumulationRule(),
         FloatEqualityRule(),
         SwallowedExceptionRule(),
         MutableDefaultRule(),

@@ -12,6 +12,7 @@ Commands::
     serve        run the live adoption query service (docs/SERVING.md)
     analyze      run the determinism & invariant linter over source trees
     store        migrate/compact/inspect on-disk observation stores
+    sketch       constant-memory streaming summaries (docs/SKETCHES.md)
     faults       list fault-injection sites / print an example fault plan
 
 Every command accepts ``--scale`` and ``--seed``; the world is rebuilt
@@ -342,6 +343,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--source", help="restrict the listing to one source",
     )
 
+    sketch = commands.add_parser(
+        "sketch",
+        help="constant-memory streaming summaries (docs/SKETCHES.md)",
+    )
+    sketch_commands = sketch.add_subparsers(
+        dest="sketch_command", required=True
+    )
+
+    sketch_stats = sketch_commands.add_parser(
+        "stats",
+        help="ingest the world and print per-scope sketch statistics",
+    )
+    _add_world_options(sketch_stats)
+    sketch_stats.add_argument(
+        "--days", type=int, default=None,
+        help="ingest through this calendar day (default: full horizon)",
+    )
+    sketch_stats.add_argument(
+        "--sources", default="com,net,org,nl,alexa",
+        help="comma-separated sources to ingest",
+    )
+
+    sketch_topk = sketch_commands.add_parser(
+        "topk",
+        help="ingest the world and print a heavy-hitter ranking",
+    )
+    _add_world_options(sketch_topk)
+    sketch_topk.add_argument(
+        "--days", type=int, default=None,
+        help="ingest through this calendar day (default: full horizon)",
+    )
+    sketch_topk.add_argument(
+        "--sources", default="com,net,org,nl,alexa",
+        help="comma-separated sources to ingest",
+    )
+    sketch_topk.add_argument(
+        "--stream", choices=["providers", "churn", "third-party"],
+        default="providers",
+        help="which ranking to print (default providers)",
+    )
+    sketch_topk.add_argument(
+        "--k", type=int, default=10,
+        help="number of entries to print (default 10)",
+    )
+    sketch_topk.add_argument(
+        "--scope", default=None,
+        help="restrict to one scope (default: every ingested scope)",
+    )
+
     faults = commands.add_parser(
         "faults",
         help="inspect the fault-injection harness (docs/ROBUSTNESS.md)",
@@ -645,6 +695,107 @@ def _print_stream_snapshots(api, engine, as_json: bool = False) -> None:
         print()
 
 
+def _sketch_engine(args: argparse.Namespace):
+    """Build the world and ingest it with the sketch plane enabled."""
+    from repro.measurement.scheduler import ALL_SOURCES, PartitionFeed
+    from repro.sketch import SketchConfig
+    from repro.stream import StreamEngine
+
+    sources = tuple(s for s in args.sources.split(",") if s)
+    unknown = set(sources) - set(ALL_SOURCES)
+    if unknown:
+        print(f"error: unknown sources {sorted(unknown)}", file=sys.stderr)
+        return None
+
+    world = _build_world(args)
+    feed = PartitionFeed(world, sources)
+    engine = StreamEngine(
+        world.horizon,
+        sources=sources,
+        windows=feed.windows(),
+        sketches=SketchConfig(),
+    )
+    start = min(window[0] for window in feed.windows().values())
+    end = world.horizon if args.days is None else min(args.days, world.horizon)
+    for partition in feed.days(start=start, end=end):
+        engine.ingest(partition, on_duplicate="skip")
+    return engine
+
+
+def _sketch_scopes(engine, wanted: Optional[str]):
+    plane = engine.sketches
+    assert plane is not None
+    names = [wanted] if wanted else sorted(plane.scopes)
+    for name in names:
+        yield name, plane.scope(name)
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import canonical_json
+
+    engine = _sketch_engine(args)
+    if engine is None:
+        return 1
+    plane = engine.sketches
+    wanted = getattr(args, "scope", None)
+    if wanted and wanted not in plane.scopes:
+        print(
+            f"error: unknown scope {wanted!r}; "
+            f"expected one of {sorted(plane.scopes)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.sketch_command == "stats":
+        for name, scope in _sketch_scopes(engine, None):
+            if not scope.rows_observed:
+                continue
+            print(canonical_json({
+                "scope": name,
+                "rows_observed": scope.rows_observed,
+                "matched_rows": scope.matched_rows,
+                "providers": scope.provider_names(),
+                "distinct_domains_estimate": round(
+                    scope.distinct_domains(), 1
+                ),
+                "distinct_relative_error": round(
+                    scope.domains.relative_error, 4
+                ),
+                "adoption_error_bound": round(
+                    scope.adoption_error_bound(), 1
+                ),
+                "topk_exact": scope.provider_topk.exact,
+            }))
+        print(canonical_json({
+            "plane_digest": plane.state_digest(),
+        }))
+        return 0
+    for name, scope in _sketch_scopes(engine, wanted):
+        if not scope.rows_observed:
+            continue
+        if args.stream == "churn":
+            entries = [
+                {"key": key, "estimate": joins}
+                for key, joins in scope.top_churn(args.k)
+            ]
+        else:
+            ranking = (
+                scope.top_providers(args.k)
+                if args.stream == "providers"
+                else scope.top_third_parties(args.k)
+            )
+            entries = [
+                {"key": key, "estimate": count, "error": error}
+                for key, count, error in ranking
+            ]
+        print(canonical_json({
+            "scope": name,
+            "stream": args.stream,
+            "k": args.k,
+            "ranking": entries,
+        }))
+    return 0
+
+
 def _build_serve_guard(args: argparse.Namespace):
     from repro.serve import (
         AdmissionGuard,
@@ -734,11 +885,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         SnapshotSwapper,
         ThreadedServer,
     )
+    from repro.sketch import SketchConfig
     from repro.stream import StreamEngine
 
     world = _build_world(args)
     feed = PartitionFeed(world, tuple(ALL_SOURCES))
-    engine = StreamEngine(world.horizon, windows=feed.windows())
+    engine = StreamEngine(
+        world.horizon, windows=feed.windows(), sketches=SketchConfig()
+    )
     swapper = SnapshotSwapper(engine)
     swapper.attach()
 
@@ -1006,6 +1160,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "analyze": _cmd_analyze,
     "store": _cmd_store,
+    "sketch": _cmd_sketch,
     "faults": _cmd_faults,
 }
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.classification import UsageClassifier
 from repro.core.detection import UseInterval
+from repro.sketch.plane import ScopeSketches
 from repro.stream.engine import StreamEngine
 from repro.stream.query import LiveSnapshot
 
@@ -59,6 +60,7 @@ def build_scope_index(
         if runs
     }
     detection = state.result()
+    plane = engine.sketches
     return ScopeIndex(
         scope=scope_name,
         day=day,
@@ -70,6 +72,13 @@ def build_scope_index(
         },
         intervals=intervals,
         usage=usage,
+        # A frozen copy of the scope's sketch set (the churn HLLs stay
+        # on the live plane — serve answers point/top-K estimates).
+        sketches=(
+            plane.scope(scope_name).copy(include_day_domains=False)
+            if plane is not None
+            else None
+        ),
     )
 
 
@@ -85,6 +94,7 @@ class ScopeIndex:
         provider_series: Dict[str, List[int]],
         intervals: Dict[Tuple[str, str], List[UseInterval]],
         usage: Dict[Tuple[str, str], str],
+        sketches: Optional[ScopeSketches] = None,
     ):
         self.scope = scope
         #: Latest fully ingested day (None before the first one).
@@ -96,6 +106,8 @@ class ScopeIndex:
         self.intervals = intervals
         #: (domain, provider) → UsageClass value (always-on/on-demand/…).
         self.usage = usage
+        #: The scope's frozen sketch set (None without a sketch plane).
+        self.sketches = sketches
         #: domain → sorted providers with any recorded use.
         self.domain_providers: Dict[str, List[str]] = {}
         for domain, provider in sorted(intervals):
@@ -286,6 +298,82 @@ class ServeIndex:
             "any_use": any_use,
             "providers": providers,
             "domains_seen": scope_index.domains_seen,
+        }
+
+    def sketch_guarantee(self, scope: str = "gtld") -> float:
+        """The absolute error bound on sketch provider counters.
+
+        The count-min ``εN`` bound of the ``provider␟day`` stream —
+        what the ``auto`` aggregate path compares against a requested
+        ``max_error`` before deciding sketch vs exact.
+        """
+        scope_index = self.scope(scope)
+        if scope_index.sketches is None:
+            raise ServeError(
+                f"scope {scope!r} has no sketch plane; "
+                f"serve the engine with sketches enabled"
+            )
+        return scope_index.sketches.adoption_error_bound()
+
+    def aggregate_sketch(
+        self,
+        scope: str = "gtld",
+        day: Optional[int] = None,
+        k: int = 10,
+    ) -> Dict[str, object]:
+        """The sketch-plane :meth:`aggregate`: O(1) in history length.
+
+        Answers from the frozen :class:`ScopeSketches` alone — point
+        count-min reads, top-K summaries, and HyperLogLog cardinality —
+        touching neither the interval maps nor segment history. Every
+        counter is an estimate: provider counts never under-count and
+        over-count by at most ``error_bound`` (at the sketch's
+        confidence), distinct counts carry the HLL relative error.
+        """
+        scope_index = self.scope(scope)
+        sketches = scope_index.sketches
+        if sketches is None:
+            raise ServeError(
+                f"scope {scope!r} has no sketch plane; "
+                f"serve the engine with sketches enabled"
+            )
+        if day is None:
+            day = scope_index.day
+        if day is not None and not 0 <= day < self.horizon:
+            raise ServeError(f"day {day} outside horizon {self.horizon}")
+        providers = {
+            provider: (
+                sketches.adoption_estimate(provider, day)
+                if day is not None
+                else 0
+            )
+            for provider in sketches.provider_names()
+        }
+        return {
+            "scope": scope,
+            "day": day,
+            "source": "sketch",
+            "providers": providers,
+            "provider_distinct": {
+                provider: int(round(sketches.provider_distinct(provider)))
+                for provider in sketches.provider_names()
+            },
+            "domains_seen_estimate": int(
+                round(sketches.distinct_domains())
+            ),
+            "top_providers": [
+                [key, count, error]
+                for key, count, error in sketches.top_providers(k)
+            ],
+            "top_third_parties": [
+                [key, count, error]
+                for key, count, error in sketches.top_third_parties(k)
+            ],
+            "error_bound": round(sketches.adoption_error_bound(), 3),
+            "distinct_relative_error": round(
+                sketches.domains.relative_error, 6
+            ),
+            "rows_observed": sketches.rows_observed,
         }
 
     def live_snapshot(self, scope: str = "gtld") -> LiveSnapshot:

@@ -179,3 +179,21 @@ def param_opt_int(
             BAD_PARAMS, f"param {name!r} must be an integer"
         )
     return value
+
+
+def param_opt_number(
+    params: Mapping[str, Any], name: str
+) -> Optional[float]:
+    """An optional non-negative number (int or float, never bool)."""
+    value = params.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            BAD_PARAMS, f"param {name!r} must be a number"
+        )
+    if value < 0:
+        raise ProtocolError(
+            BAD_PARAMS, f"param {name!r} must be non-negative"
+        )
+    return float(value)

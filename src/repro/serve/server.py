@@ -50,8 +50,12 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
     param_opt_int,
+    param_opt_number,
     param_str,
 )
+
+#: Where an ``aggregate`` answer may come from.
+AGGREGATE_SOURCES = ("exact", "sketch", "auto")
 
 
 def _counter_ticks() -> Callable[[], int]:
@@ -135,22 +139,7 @@ class ServeDispatcher:
                 param_str(request.params, "domain")
             )
         if request.op == "aggregate":
-            scope = param_str(request.params, "scope", "gtld")
-            day = param_opt_int(request.params, "day")
-            provider = request.params.get("provider")
-            if provider is None:
-                return index.aggregate(scope, day=day)
-            if not isinstance(provider, str):
-                raise ProtocolError(
-                    protocol.BAD_PARAMS,
-                    "param 'provider' must be a string",
-                )
-            return {
-                "scope": scope,
-                "day": day if day is not None else index.scope(scope).day,
-                "provider": provider,
-                "adoption": index.adoption(provider, day=day, scope=scope),
-            }
+            return self._aggregate(index, request)
         if request.op == "snapshot":
             scope = param_str(request.params, "scope", "")
             if scope:
@@ -163,6 +152,102 @@ class ServeDispatcher:
         raise ProtocolError(  # pragma: no cover - decode already rejects
             protocol.UNKNOWN_OP, f"unknown op {request.op!r}"
         )
+
+    def _aggregate(
+        self, index: ServeIndex, request: Request
+    ) -> Dict[str, object]:
+        """The ``aggregate`` op, routed exact / sketch / auto.
+
+        ``source=exact`` (the default) answers from the exact indexes
+        and is byte-identical to the pre-sketch protocol — the
+        equivalence suite pins that. ``source=sketch`` answers from the
+        frozen sketch plane in O(1) memory. ``source=auto`` prefers the
+        sketch plane but falls back to exact when the plane is absent
+        or when the requested ``max_error`` (an absolute count) is
+        tighter than the sketch's ``εN`` guarantee — the fallback
+        contract ``docs/SKETCHES.md`` documents.
+        """
+        scope = param_str(request.params, "scope", "gtld")
+        day = param_opt_int(request.params, "day")
+        source = param_str(request.params, "source", "exact")
+        if source not in AGGREGATE_SOURCES:
+            raise ProtocolError(
+                protocol.BAD_PARAMS,
+                f"param 'source' must be one of "
+                f"{', '.join(AGGREGATE_SOURCES)}",
+            )
+        max_error = param_opt_number(request.params, "max_error")
+        k = param_opt_int(request.params, "k")
+        provider = request.params.get("provider")
+        if provider is not None and not isinstance(provider, str):
+            raise ProtocolError(
+                protocol.BAD_PARAMS,
+                "param 'provider' must be a string",
+            )
+        if source == "auto":
+            fallback = None
+            try:
+                bound = index.sketch_guarantee(scope)
+            except ServeError:
+                fallback = "sketch plane unavailable"
+            else:
+                if max_error is not None and bound > max_error:
+                    fallback = (
+                        f"sketch error bound {bound:.1f} exceeds "
+                        f"max_error {max_error:g}"
+                    )
+            if fallback is None:
+                source = "sketch"
+            else:
+                result = self._aggregate_exact(
+                    index, scope, day, provider
+                )
+                result["source"] = "exact"
+                result["fallback"] = fallback
+                return result
+        if source == "sketch":
+            result = index.aggregate_sketch(
+                scope, day=day, k=k if k is not None else 10
+            )
+            if provider is not None:
+                sketches = index.scope(scope).sketches
+                assert sketches is not None  # aggregate_sketch checked
+                at_day = result["day"]
+                return {
+                    "scope": scope,
+                    "day": at_day,
+                    "source": "sketch",
+                    "provider": provider,
+                    "adoption_estimate": (
+                        sketches.adoption_estimate(provider, at_day)
+                        if isinstance(at_day, int)
+                        else 0
+                    ),
+                    "distinct_estimate": int(
+                        round(sketches.provider_distinct(provider))
+                    ),
+                    "error_bound": round(
+                        sketches.adoption_error_bound(), 3
+                    ),
+                }
+            return result
+        return self._aggregate_exact(index, scope, day, provider)
+
+    @staticmethod
+    def _aggregate_exact(
+        index: ServeIndex,
+        scope: str,
+        day: Optional[int],
+        provider: Optional[str],
+    ) -> Dict[str, object]:
+        if provider is None:
+            return index.aggregate(scope, day=day)
+        return {
+            "scope": scope,
+            "day": day if day is not None else index.scope(scope).day,
+            "provider": provider,
+            "adoption": index.adoption(provider, day=day, scope=scope),
+        }
 
     def _health(self, index: ServeIndex) -> Dict[str, object]:
         health: Dict[str, object] = {

@@ -56,6 +56,11 @@ from repro.core.peaks import PeakAnalysis, PeakStats
 from repro.core.references import RefType, SignatureCatalog
 from repro.measurement.scheduler import ALL_SOURCES, DayPartition
 from repro.measurement.snapshot import DomainObservation
+from repro.sketch.plane import (
+    SketchConfig,
+    SketchPlane,
+    provider_slds_of,
+)
 from repro.stream.state import ScopeState
 
 GTLD_SOURCES = ("com", "net", "org")
@@ -111,6 +116,7 @@ class StreamEngine:
         sources: Sequence[str] = ALL_SOURCES,
         windows: Optional[Mapping[str, Tuple[int, int]]] = None,
         growth: Optional[GrowthAnalysis] = None,
+        sketches: Optional[SketchConfig] = None,
     ):
         self.horizon = horizon
         # Configuration, not state: deliberately absent from checkpoints
@@ -134,6 +140,20 @@ class StreamEngine:
         self._cursors: Dict[str, SourceCursor] = {
             source: SourceCursor() for source in self.sources
         }
+        #: The optional streaming sketch plane (``repro.sketch``): one
+        #: constant-memory summary set per scope, updated per row on
+        #: both ingest paths and serialized with the engine — byte-
+        #: identity across serial/sharded/resumed runs is what the
+        #: sketch identity suite pins.
+        self._sketches: Optional[SketchPlane] = (
+            SketchPlane(
+                sketches,
+                self._scopes,
+                provider_slds_of(self.catalog),
+            )
+            if sketches is not None
+            else None
+        )
         #: Signature-match memo. A domain's observation is piecewise
         #: constant over time and matching only reads the NS names, the
         #: CNAME expansion and the origin ASNs, so the daily re-match of
@@ -304,6 +324,22 @@ class StreamEngine:
         cursor.zone_sizes[day] = partition.zone_size
         for domain, tld, matches in rows:
             scope.observe(domain, tld, day, matches)
+        if self._sketches is not None:
+            plane = self._sketches
+            sketch_scope = plane.scope(
+                SCOPE_OF_SOURCE[partition.source]
+            )
+            for (domain, tld, matches), observation in zip(
+                rows, partition.observations
+            ):
+                third = (
+                    ()
+                    if matches
+                    else plane.third_party_keys(
+                        observation.ns_names, observation.www_cnames
+                    )
+                )
+                sketch_scope.observe(domain, day, matches, third)
         self.partitions_applied += 1
 
     def _apply_batch(
@@ -352,6 +388,28 @@ class StreamEngine:
         cursor.zone_sizes[day] = partition.zone_size
         for domain, tld, matches in rows:
             scope.observe(domain, tld, day, matches)
+        if self._sketches is not None:
+            plane = self._sketches
+            sketch_scope = plane.scope(
+                SCOPE_OF_SOURCE[partition.source]
+            )
+            # Third-party keys depend only on the NS/CNAME texts, so
+            # the per-batch match key dedups their extraction exactly
+            # like the signature-match memo above.
+            third_by_key: Dict[MatchKey, Tuple[str, ...]] = {}
+            for index, (domain, tld, matches) in enumerate(rows):
+                if matches:
+                    sketch_scope.observe(domain, day, matches, ())
+                    continue
+                id_key = batch.match_key(index)
+                third = third_by_key.get(id_key)
+                if third is None:
+                    third = plane.third_party_keys(
+                        batch.ns_texts(index),
+                        batch.cname_texts(index),
+                    )
+                    third_by_key[id_key] = third
+                sketch_scope.observe(domain, day, matches, third)
         self.partitions_applied += 1
 
     def _apply_or_quarantine(self, partition: DayPartition) -> bool:
@@ -467,6 +525,11 @@ class StreamEngine:
 
     def scope(self, name: str = "gtld") -> ScopeState:
         return self._scopes[name]
+
+    @property
+    def sketches(self) -> Optional[SketchPlane]:
+        """The streaming sketch plane (None unless configured)."""
+        return self._sketches
 
     @property
     def scope_names(self) -> List[str]:
@@ -656,6 +719,11 @@ class StreamEngine:
             "partitions_applied": self.partitions_applied,
             "late_arrivals": self.late_arrivals,
             "partitions_dropped": self.partitions_dropped,
+            "sketches": (
+                self._sketches.to_dict()
+                if self._sketches is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -696,6 +764,12 @@ class StreamEngine:
         engine.late_arrivals = int(payload["late_arrivals"])
         engine.partitions_dropped = int(
             payload.get("partitions_dropped", 0)
+        )
+        sketches = payload.get("sketches")
+        engine._sketches = (
+            SketchPlane.from_dict(sketches)
+            if sketches is not None
+            else None
         )
         return engine
 

@@ -1,0 +1,28 @@
+"""Fixture: float arithmetic on sketch mutation paths."""
+
+
+class DriftySketch:
+    def __init__(self, width: int):
+        self.cells = [0] * width
+        self.total = 0
+        self.weight = 0
+
+    def update(self, index: int, count: int) -> None:
+        self.cells[index] += count * 1.5  # expect: float-accumulation
+        self.total += count
+
+    def observe(self, index: int, count: int) -> None:
+        share = count / len(self.cells)  # expect: float-accumulation
+        self.weight += int(share)
+
+    def merge(self, other: "DriftySketch") -> None:
+        self.total += float(other.total)  # expect: float-accumulation
+
+    def add(self, index: int) -> None:
+        # Integer-only mutation: no finding.
+        self.cells[index] += 1
+        self.total += 1
+
+    def estimate(self, index: int) -> float:
+        # Estimators may divide freely; the rule only covers mutators.
+        return self.cells[index] / max(1, self.total)

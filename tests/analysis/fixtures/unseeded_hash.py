@@ -1,0 +1,28 @@
+"""Fixture: builtin hash() in a deterministic package."""
+
+
+def bucket_of(key: str, width: int) -> int:
+    return hash(key) % width  # expect: unseeded-hash
+
+
+def pair_bucket(provider: str, day: int, width: int) -> int:
+    value = hash((provider, day))  # expect: unseeded-hash
+    return value % width
+
+
+def stable_bucket(key: str, width: int, digest64) -> int:
+    # A keyed digest is the sanctioned spelling: no finding.
+    return digest64(key) % width
+
+
+class Summary:
+    def __init__(self, width: int):
+        self.width = width
+        self.cells = [0] * width
+
+    def update(self, key: str) -> None:
+        self.cells[hash(key) % self.width] += 1  # expect: unseeded-hash
+
+    def __hash__(self) -> int:
+        # Defining __hash__ is fine; only calling the builtin is banned.
+        return id(self)

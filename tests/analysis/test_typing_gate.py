@@ -28,6 +28,7 @@ STRICT_TARGETS = (
     "src/repro/serve",
     "src/repro/analysis",
     "src/repro/store",
+    "src/repro/sketch",
 )
 
 

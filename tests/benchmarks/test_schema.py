@@ -1,0 +1,154 @@
+"""The benchmark-JSON schema gate (benchmarks/schema.py).
+
+CI uploads ``BENCH_*.json`` artifacts whose ``extra_info`` blocks are
+read downstream; the schema gate is what turns "a bench quietly stopped
+emitting extra_info" into a red CI step. These tests pin the validator
+itself, and a static sweep asserts every bench file CI uploads actually
+writes ``extra_info`` so the gate keeps passing for the right reason.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parents[2]
+BENCHMARKS = REPO / "benchmarks"
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_schema", BENCHMARKS / "schema.py"
+)
+schema = importlib.util.module_from_spec(_spec)
+assert _spec.loader is not None
+_spec.loader.exec_module(schema)
+
+
+def entry(name="bench_x.py::test_x", **overrides):
+    payload = {
+        "name": name,
+        "fullname": name,
+        "stats": {"mean": 0.5, "rounds": 2},
+        "extra_info": {"rows": 10},
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_valid_payload_passes():
+    names = schema.validate_payload({"benchmarks": [entry()]})
+    assert names == ["bench_x.py::test_x"]
+
+
+def test_missing_benchmarks_list_fails():
+    with pytest.raises(schema.SchemaError, match="benchmarks"):
+        schema.validate_payload({})
+    with pytest.raises(schema.SchemaError, match="benchmarks"):
+        schema.validate_payload({"benchmarks": []})
+
+
+def test_entry_without_name_fails():
+    bad = entry()
+    del bad["name"], bad["fullname"]
+    with pytest.raises(schema.SchemaError, match="name"):
+        schema.validate_payload({"benchmarks": [bad]})
+
+
+def test_entry_without_stats_fails():
+    with pytest.raises(schema.SchemaError, match="stats"):
+        schema.validate_payload(
+            {"benchmarks": [entry(stats={})]}
+        )
+
+
+def test_missing_extra_info_fails():
+    bad = entry()
+    del bad["extra_info"]
+    with pytest.raises(schema.SchemaError, match="extra_info"):
+        schema.validate_payload({"benchmarks": [bad]})
+
+
+def test_empty_extra_info_fails():
+    with pytest.raises(schema.SchemaError, match="extra_info"):
+        schema.validate_payload(
+            {"benchmarks": [entry(extra_info={})]}
+        )
+
+
+def test_validate_file_round_trip(tmp_path):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"benchmarks": [entry()]}))
+    assert schema.validate_file(str(good)) == ["bench_x.py::test_x"]
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(schema.SchemaError, match="unreadable"):
+        schema.validate_file(str(bad))
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"benchmarks": [entry()]}))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"benchmarks": [entry(extra_info={})]}))
+
+    assert schema.main([str(good)]) == 0
+    assert schema.main([str(good), str(bad)]) == 1
+    assert schema.main([]) == 2
+    err = capsys.readouterr().err
+    assert "FAIL" in err
+
+
+def _uploaded_bench_files():
+    """Bench modules CI runs with ``--benchmark-json`` for upload."""
+    workflow = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    return sorted(
+        set(re.findall(r"benchmarks/(bench_\w+\.py)", workflow))
+    )
+
+
+def test_ci_validates_every_uploaded_bench():
+    """Each BENCH_*.json CI produces is schema-checked before upload."""
+    workflow = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    produced = set(re.findall(r"--benchmark-json=(BENCH_\w+\.json)", workflow))
+    validated = set()
+    for line in workflow.splitlines():
+        if "benchmarks/schema.py" in line:
+            validated.update(re.findall(r"BENCH_\w+\.json", line))
+    assert produced, "CI no longer produces benchmark JSON?"
+    assert produced <= validated, (
+        f"uploaded bench JSON missing a schema gate: "
+        f"{sorted(produced - validated)}"
+    )
+
+
+def test_uploaded_benches_emit_extra_info():
+    """The gate must pass for the right reason: benches write extra_info."""
+    missing = [
+        name
+        for name in _uploaded_bench_files()
+        if "extra_info" not in (BENCHMARKS / name).read_text()
+    ]
+    assert not missing, (
+        f"CI-run bench modules never touch extra_info: {missing}"
+    )
+
+
+def test_real_bench_output_passes_gate(tmp_path):
+    """A minimal pytest-benchmark-shaped payload passes end to end."""
+    payload = {
+        "machine_info": {"python_version": sys.version.split()[0]},
+        "benchmarks": [
+            entry(
+                "benchmarks/bench_sketch.py::test_sketch",
+                extra_info={"rows": 174384, "speedup": 17.7},
+            )
+        ],
+    }
+    path = tmp_path / "BENCH_sketch.json"
+    path.write_text(json.dumps(payload))
+    assert schema.validate_file(str(path))

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.pipeline import AdoptionStudy
 from repro.serve.index import SnapshotSwapper
+from repro.sketch import SketchConfig
 from repro.stream.engine import StreamEngine
 from repro.stream.feed import SegmentReplayFeed
 from repro.world.scenario import ScenarioConfig, build_paper_world
@@ -44,7 +45,9 @@ def replay_feed(serve_world, batch_results):
 def served_stack(serve_world, replay_feed):
     """(engine, swapper) after a full-horizon replay with live swaps."""
     engine = StreamEngine(
-        serve_world.horizon, windows=replay_feed.windows()
+        serve_world.horizon,
+        windows=replay_feed.windows(),
+        sketches=SketchConfig(),
     )
     swapper = SnapshotSwapper(engine)
     swapper.attach()

@@ -1,0 +1,38 @@
+"""Shared fixtures for the sketch-plane suites.
+
+Mirrors ``tests/batch/test_identity.py``: three fixed worlds, the batch
+study as exact ground truth, and a landed :class:`ColumnStore` holding
+every daily partition — the history both the engine replay and the
+store rebuild fold into sketch planes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import AdoptionStudy
+from repro.measurement.storage import ColumnStore
+from repro.stream.feed import SegmentReplayFeed
+
+SCALE = 300000
+SEEDS = (3, 7, 11)
+#: Kill/resume split point: mid-study, with every scope active.
+KILL_DAY = 400
+
+
+@pytest.fixture(scope="session", params=SEEDS)
+def sketch_seeded(request):
+    """(world, study, results, landed store) for one fixed seed."""
+    from repro.world.scenario import ScenarioConfig, build_paper_world
+
+    world = build_paper_world(
+        ScenarioConfig(scale=SCALE, seed=request.param)
+    )
+    study = AdoptionStudy(world)
+    results = study.run()
+    assert any(results.detection_gtld.any_use_combined)
+    store = ColumnStore()
+    feed = SegmentReplayFeed(world, results.segments)
+    for part in feed.days():
+        store.append(part.source, part.day, list(part.observations))
+    return world, study, results, store

@@ -1,0 +1,236 @@
+"""Unit coverage for the plane itself: wiring, codecs, edge cases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.references import SignatureCatalog
+from repro.sketch import SketchConfig, SketchPlane
+from repro.sketch.cms import CountMinSketch, SketchMergeError
+from repro.sketch.hll import HyperLogLog
+from repro.sketch.plane import KEY_SEP, ScopeSketches, provider_slds_of
+from repro.sketch.topk import SpaceSaving
+from repro.stream.engine import StreamEngine
+
+
+def tiny_plane():
+    return SketchPlane(
+        SketchConfig(),
+        scope_names=("gtld", "nl"),
+        provider_slds=("cloudflare.net", "akamai.net"),
+    )
+
+
+def observe_some(plane):
+    scope = plane.scope("gtld")
+    scope.observe(
+        "shop.example", 3, {"CloudFlare": frozenset()}, ()
+    )
+    scope.observe(
+        "blog.example", 3,
+        {"CloudFlare": frozenset(), "Akamai": frozenset()}, (),
+    )
+    scope.observe(
+        "bare.example", 3, {}, ("ns:hostco.net",)
+    )
+    return scope
+
+
+class TestScopeSketches:
+    def test_observe_routes_matched_and_third_party(self):
+        plane = tiny_plane()
+        scope = observe_some(plane)
+        assert scope.rows_observed == 3
+        assert scope.matched_rows == 2
+        assert scope.provider_names() == ["Akamai", "CloudFlare"]
+        assert scope.adoption_estimate("CloudFlare", 3) >= 2
+        assert scope.adoption_estimate("Akamai", 3) >= 1
+        assert scope.top_third_parties(5)[0][0] == "ns:hostco.net"
+        assert scope.distinct_domains() == pytest.approx(3, abs=0.5)
+
+    def test_compound_keys_cannot_collide_across_days(self):
+        plane = tiny_plane()
+        scope = plane.scope("gtld")
+        scope.observe("a.example", 1, {"CloudFlare": frozenset()}, ())
+        scope.observe("b.example", 11, {"CloudFlare": frozenset()}, ())
+        assert KEY_SEP not in "CloudFlare"
+        assert scope.active_days("CloudFlare") == [1, 11]
+        assert scope.adoption_estimate("CloudFlare", 1) >= 1
+        assert scope.adoption_estimate("CloudFlare", 111) <= (
+            scope.adoption_error_bound()
+        )
+
+    def test_joins_series_counts_first_seen_once(self):
+        plane = tiny_plane()
+        scope = plane.scope("gtld")
+        for day in (5, 6, 7):
+            scope.observe(
+                "stay.example", day, {"CloudFlare": frozenset()}, ()
+            )
+        scope.observe(
+            "late.example", 7, {"CloudFlare": frozenset()}, ()
+        )
+        series = dict(scope.joins_series("CloudFlare"))
+        assert series[5] == 1
+        assert series[6] == 0
+        assert series[7] == 1
+        assert scope.churn_score("CloudFlare") == 1
+
+    def test_migration_anomalies_flag_spikes_only(self):
+        plane = tiny_plane()
+        scope = plane.scope("gtld")
+        # Background: one new domain per day; then a 30-domain day.
+        for day in range(10):
+            scope.observe(
+                f"bg-{day}.example", day,
+                {"CloudFlare": frozenset()}, (),
+            )
+        for index in range(30):
+            scope.observe(
+                f"wave-{index}.example", 10,
+                {"CloudFlare": frozenset()}, (),
+            )
+        anomalies = scope.migration_anomalies(
+            "CloudFlare", factor=4.0, floor=8
+        )
+        assert [day for day, _ in anomalies] == [10]
+        assert anomalies[0][1] >= 25
+        # The background alone shows nothing.
+        assert scope.migration_anomalies(
+            "CloudFlare", factor=4.0, floor=40
+        ) == []
+
+    def test_roundtrip_is_byte_identical(self):
+        plane = tiny_plane()
+        observe_some(plane)
+        payload = plane.to_dict()
+        clone = SketchPlane.from_dict(payload)
+        assert clone.to_dict() == payload
+        assert clone.state_digest() == plane.state_digest()
+        # JSON round-trip too: the checkpoint rides dump_state's JSON.
+        rehydrated = SketchPlane.from_dict(
+            json.loads(json.dumps(payload))
+        )
+        assert rehydrated.state_digest() == plane.state_digest()
+
+    def test_merge_requires_matching_config(self):
+        left = ScopeSketches(SketchConfig())
+        right = ScopeSketches(SketchConfig(seed=999))
+        with pytest.raises(SketchMergeError):
+            left.merge(right)
+
+    def test_plane_merge_requires_matching_scopes(self):
+        left = tiny_plane()
+        right = SketchPlane(
+            SketchConfig(), scope_names=("gtld",), provider_slds=()
+        )
+        with pytest.raises(SketchMergeError):
+            left.merge(right)
+
+    def test_copy_without_day_domains_drops_only_day_streams(self):
+        plane = tiny_plane()
+        scope = observe_some(plane)
+        view = scope.copy(include_day_domains=False)
+        assert view.rows_observed == scope.rows_observed
+        assert view.provider_day_domains == {}
+        assert view.adoption_estimate(
+            "CloudFlare", 3
+        ) == scope.adoption_estimate("CloudFlare", 3)
+
+
+class TestThirdPartyKeys:
+    def test_provider_slds_are_not_third_parties(self):
+        plane = tiny_plane()
+        keys = plane.third_party_keys(
+            ("ns1.cloudflare.net.", "ns1.hostco.net."),
+            ("edge.akamai.net.", "cdn.fastcdn.org."),
+        )
+        assert keys == ("cname:fastcdn.org", "ns:hostco.net")
+
+    def test_catalog_slds_extraction(self):
+        slds = provider_slds_of(SignatureCatalog.paper_table2())
+        assert "cloudflare.net" in slds
+
+    def test_keys_are_memoized(self):
+        plane = tiny_plane()
+        first = plane.third_party_keys(("ns1.hostco.net.",), ())
+        second = plane.third_party_keys(("ns1.hostco.net.",), ())
+        assert first is second
+
+
+class TestConfig:
+    def test_roundtrip(self):
+        config = SketchConfig(seed=99, cms_width=1024)
+        assert SketchConfig.from_dict(config.to_dict()) == config
+
+    def test_role_seeds_differ_by_role_and_seed(self):
+        config = SketchConfig(seed=1)
+        other = SketchConfig(seed=2)
+        assert config.role_seed("cms:provider-day") != config.role_seed(
+            "hll:domains"
+        )
+        assert config.role_seed("hll:domains") != other.role_seed(
+            "hll:domains"
+        )
+
+
+class TestCodecValidation:
+    def test_cms_rejects_wrong_shape(self):
+        payload = CountMinSketch(depth=2, width=8, seed=1).to_dict()
+        payload["rows"] = [[0] * 7, [0] * 8]
+        with pytest.raises(ValueError):
+            CountMinSketch.from_dict(payload)
+
+    def test_cms_rejects_wrong_kind(self):
+        payload = CountMinSketch(depth=2, width=8, seed=1).to_dict()
+        payload["kind"] = "bogus"
+        with pytest.raises(ValueError):
+            CountMinSketch.from_dict(payload)
+
+    def test_hll_rejects_wrong_register_count(self):
+        counter = HyperLogLog(precision=4, seed=1)
+        for index in range(40):
+            counter.add(f"k{index}")
+        payload = counter.to_dict()
+        assert payload["dense"] is not None
+        payload["dense"] = payload["dense"][:-1]
+        with pytest.raises(ValueError):
+            HyperLogLog.from_dict(payload)
+
+    def test_space_saving_roundtrip_keeps_evictions(self):
+        summary = SpaceSaving(capacity=2)
+        for name in ("a", "b", "c", "d"):
+            summary.update(name)
+        assert summary.evictions > 0 and not summary.exact
+        clone = SpaceSaving.from_dict(summary.to_dict())
+        assert clone.to_dict() == summary.to_dict()
+        assert not clone.exact
+
+
+class TestEngineIntegration:
+    def test_engine_without_plane_serializes_none(self):
+        engine = StreamEngine(10, sources=("com",))
+        payload = engine.to_dict()
+        assert payload["sketches"] is None
+        assert StreamEngine.from_dict(payload).sketches is None
+
+    def test_legacy_checkpoint_without_sketches_key_loads(self):
+        engine = StreamEngine(10, sources=("com",))
+        payload = engine.to_dict()
+        del payload["sketches"]
+        restored = StreamEngine.from_dict(payload)
+        assert restored.sketches is None
+
+    def test_engine_with_plane_roundtrips(self):
+        engine = StreamEngine(
+            10, sources=("com",), sketches=SketchConfig(seed=5)
+        )
+        assert engine.sketches is not None
+        restored = StreamEngine.from_dict(engine.to_dict())
+        assert restored.sketches is not None
+        assert (
+            restored.sketches.state_digest()
+            == engine.sketches.state_digest()
+        )

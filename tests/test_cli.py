@@ -301,3 +301,64 @@ class TestStore:
         code = main(["store", "stats", str(v1)])
         assert code == 1
         assert "repro store migrate" in capsys.readouterr().err
+
+
+class TestSketch:
+    TINY = ["--scale", "300000", "--seed", "7", "--days", "200"]
+
+    def test_stats_emits_canonical_scope_lines(self, capsys):
+        import json
+
+        code = main(["sketch", "stats"] + self.TINY)
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        assert "plane_digest" in lines[-1]
+        scopes = {line["scope"] for line in lines[:-1]}
+        assert "gtld" in scopes
+        for line in lines[:-1]:
+            assert line["rows_observed"] > 0
+            assert line["adoption_error_bound"] >= 0
+            assert line["topk_exact"] is True
+
+    def test_stats_digest_is_reproducible(self, capsys):
+        import json
+
+        main(["sketch", "stats"] + self.TINY)
+        first = capsys.readouterr().out
+        main(["sketch", "stats"] + self.TINY)
+        second = capsys.readouterr().out
+        assert first == second
+        digest = json.loads(first.splitlines()[-1])["plane_digest"]
+        assert len(digest) == 64
+
+    def test_topk_streams(self, capsys):
+        import json
+
+        for stream in ("providers", "churn", "third-party"):
+            code = main(
+                ["sketch", "topk", "--stream", stream, "--k", "3",
+                 "--scope", "gtld"] + self.TINY
+            )
+            assert code == 0
+            line = json.loads(capsys.readouterr().out.splitlines()[0])
+            assert line["stream"] == stream
+            assert len(line["ranking"]) <= 3
+            assert line["ranking"], f"{stream} ranking is empty"
+
+    def test_unknown_scope_fails(self, capsys):
+        code = main(
+            ["sketch", "topk", "--scope", "nope"] + self.TINY
+        )
+        assert code == 1
+        assert "unknown scope" in capsys.readouterr().err
+
+    def test_unknown_source_fails(self, capsys):
+        code = main(
+            ["sketch", "stats", "--sources", "com,bogus"] + self.TINY
+        )
+        assert code == 1
+        assert "unknown sources" in capsys.readouterr().err
