@@ -1,0 +1,77 @@
+"""ClusterBackend scheduling — stealing vs none on a skewed workload.
+
+The cluster backend's clock is logical (ticks priced by shard cost),
+so the interesting numbers are deterministic scheduler outcomes, not
+wall time: the makespan with work stealing on vs off for a workload
+whose expensive shards all land on one node, and the speculation
+count when a scripted leave kills a node mid-run. Wall time of the
+simulated run is benchmarked for trend tracking; the assertions ride
+on the tick arithmetic and hold on any machine.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cluster import ClusterBackend, ClusterSchedule
+
+_NODES = 4
+_SHARDS = 32
+#: Heavy-to-light cost ratio; round-robin placement parks every heavy
+#: shard (index % _NODES == 0) on node 0, the worst case stealing
+#: exists to fix.
+_HEAVY, _LIGHT = 60, 2
+
+_STEAL_FLOOR = 1.5
+
+
+def _skewed_shards():
+    return [
+        list(range(_HEAVY if index % _NODES == 0 else _LIGHT))
+        for index in range(_SHARDS)
+    ]
+
+
+def _fold(shard_index, payload):
+    return (shard_index, sum(payload))
+
+
+def _run(work_stealing, schedule=None):
+    cluster = ClusterBackend(
+        nodes=_NODES,
+        shard_count=_SHARDS,
+        work_stealing=work_stealing,
+        schedule=schedule,
+    )
+    results = cluster.map_shards(_fold, _skewed_shards())
+    return cluster, results
+
+
+def test_cluster_stealing_beats_no_stealing(benchmark):
+    lazy, lazy_results = _run(work_stealing=False)
+    eager, eager_results = benchmark.pedantic(
+        lambda: _run(work_stealing=True), rounds=3, iterations=1
+    )
+    assert eager_results == lazy_results
+
+    churned, churned_results = _run(
+        work_stealing=True,
+        schedule=ClusterSchedule.scripted((5, "leave", 0), (9, "join", 7)),
+    )
+    assert churned_results == lazy_results
+
+    ratio = lazy.makespan_ticks / eager.makespan_ticks
+    benchmark.extra_info["nodes"] = _NODES
+    benchmark.extra_info["shards"] = _SHARDS
+    benchmark.extra_info["makespan_no_stealing"] = lazy.makespan_ticks
+    benchmark.extra_info["makespan_stealing"] = eager.makespan_ticks
+    benchmark.extra_info["steal_ratio"] = round(ratio, 3)
+    benchmark.extra_info["shards_stolen"] = eager.shards_stolen
+    benchmark.extra_info["shards_speculated_under_churn"] = (
+        churned.shards_speculated
+    )
+    benchmark.extra_info["makespan_under_churn"] = churned.makespan_ticks
+    assert ratio >= _STEAL_FLOOR, (
+        f"stealing gained only {ratio:.2f}x on the skewed workload "
+        f"(no-stealing {lazy.makespan_ticks} ticks vs "
+        f"{eager.makespan_ticks})"
+    )
+    assert churned.shards_speculated > 0

@@ -27,7 +27,6 @@ excluded: those files are *deliberately* dirty.
 from __future__ import annotations
 
 import ast
-import multiprocessing
 import os
 from dataclasses import dataclass, field
 from typing import (
@@ -186,6 +185,13 @@ def _build_record_from_disk(
     return build_record(source, path, module, profile, sha=sha)
 
 
+def _build_record_chunk(
+    shard_index: int, jobs: Sequence[Tuple[str, str, str, str]]
+) -> List[ModuleRecord]:
+    """Backend shard task: one contiguous chunk of cache misses."""
+    return [_build_record_from_disk(job) for job in jobs]
+
+
 @dataclass
 class ProjectResult(AnalysisResult):
     """An :class:`AnalysisResult` plus engine-level accounting."""
@@ -339,10 +345,22 @@ class ProjectAnalyzer:
             jobs = min(os.cpu_count() or 1, 8)
         if jobs <= 1 or len(misses) < self.POOL_THRESHOLD:
             return [_build_record_from_disk(job) for job in misses]
-        # Submission-ordered map keeps record order (and therefore
-        # every downstream report) byte-identical to the serial path.
-        with multiprocessing.Pool(processes=jobs) as pool:
-            return pool.map(_build_record_from_disk, misses, chunksize=8)
+        # Contiguous chunks through the shared backend layer keep
+        # record order (and therefore every downstream report)
+        # byte-identical to the serial path.
+        from repro.parallel.backend import resolve_backend
+        from repro.parallel.sharding import chunk_records
+
+        chunks = [
+            chunk
+            for chunk in chunk_records(misses, jobs)
+            if chunk
+        ]
+        executor = resolve_backend(
+            "local", workers=jobs, shard_count=len(chunks)
+        )
+        built = executor.map_shards(_build_record_chunk, chunks)
+        return [record for chunk in built for record in chunk]
 
     def _assemble(
         self,

@@ -838,6 +838,57 @@ class UnorderedFuturesRule(Rule):
         return None
 
 
+class DirectPoolUseRule(Rule):
+    id = "direct-pool-use"
+    summary = (
+        "multiprocessing/concurrent.futures import outside "
+        "repro.parallel; sharded work must go through a Backend"
+    )
+
+    #: The only package allowed to talk to process pools directly.
+    BACKEND_PACKAGE = "repro/parallel/"
+    _POOL_MODULES: FrozenSet[str] = frozenset(
+        {"multiprocessing", "concurrent", "concurrent.futures"}
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("repro/") and not module.startswith(
+            self.BACKEND_PACKAGE
+        )
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._POOL_MODULES:
+                        findings.append(
+                            self._pool_finding(path, node, alias.name)
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                if root in self._POOL_MODULES:
+                    findings.append(
+                        self._pool_finding(path, node, node.module)
+                    )
+        return findings
+
+    def _pool_finding(
+        self, path: str, node: ast.AST, name: str
+    ) -> Finding:
+        return self._finding(
+            path,
+            node,
+            f"direct import of {name!r} outside repro.parallel; route "
+            f"sharded work through repro.parallel.backend.resolve_backend "
+            f"so every pass honours --backend/REPRO_BACKEND and keeps "
+            f"the byte-identity and fault-retry contracts",
+        )
+
+
 class RowBoxingRule(Rule):
     id = "row-boxing-in-hot-path"
     summary = (
@@ -1082,6 +1133,7 @@ def default_rules() -> Tuple[Rule, ...]:
         MutableDefaultRule(),
         SchemaDriftRule(),
         UnorderedFuturesRule(),
+        DirectPoolUseRule(),
         RowBoxingRule(),
         SegmentDecodeRule(),
     )

@@ -307,6 +307,27 @@ class ObservationBatch:
         part.asns = self.asns[start:stop]
         return part
 
+    def take(self, indexes: Sequence[int]) -> "ObservationBatch":
+        """The given rows, in order, as a sub-batch sharing our pools.
+
+        The row-selection counterpart of :meth:`slice` — a columnar
+        gather, no row boxing — used by sharded passes that keep only
+        their hash shard's rows of each partition (e.g. the manifest
+        slices of :mod:`repro.store.slices`).
+        """
+        part = ObservationBatch(names=self.names, addresses=self.addresses)
+        part.days = [self.days[i] for i in indexes]
+        part.domains = [self.domains[i] for i in indexes]
+        part.tlds = [self.tlds[i] for i in indexes]
+        part.ns_names = [self.ns_names[i] for i in indexes]
+        part.www_cnames = [self.www_cnames[i] for i in indexes]
+        part.apex_addrs = [self.apex_addrs[i] for i in indexes]
+        part.www_addrs = [self.www_addrs[i] for i in indexes]
+        part.apex_addrs6 = [self.apex_addrs6[i] for i in indexes]
+        part.www_addrs6 = [self.www_addrs6[i] for i in indexes]
+        part.asns = [self.asns[i] for i in indexes]
+        return part
+
     def compact(self) -> "ObservationBatch":
         """Re-intern into fresh pools holding only referenced values.
 

@@ -108,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of hash shards for --workers (default: 4 per worker)",
     )
     study.add_argument(
+        "--backend", default=None, metavar="NAME[:N]",
+        help=(
+            "execution backend for the sharded measurement phase "
+            "(serial, local, or cluster:N for N simulated nodes; "
+            "default: $REPRO_BACKEND, else local when --workers is set)"
+        ),
+    )
+    study.add_argument(
         "--fault-plan", metavar="PLAN.JSON",
         help=(
             "run under this fault plan (see 'repro faults'); injected "
@@ -429,12 +437,26 @@ def _cmd_study(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    backend = None
+    if getattr(args, "backend", None):
+        from repro.parallel.backend import BackendError, resolve_backend
+
+        try:
+            backend = resolve_backend(
+                args.backend,
+                workers=args.workers,
+                shard_count=args.shard_count,
+            )
+        except BackendError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     world = _build_world(args)
     study = AdoptionStudy(world, fault_plan=fault_plan)
     results = study.run(
-        parallel=args.workers is not None,
+        parallel=args.workers is not None or backend is not None,
         workers=args.workers,
         shard_count=args.shard_count,
+        backend=backend,
     )
     quarantined = results.quarantined_scopes
     renderers = {

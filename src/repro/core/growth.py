@@ -145,7 +145,10 @@ class GrowthAnalysis:
         self, series: Dict[str, Sequence[float]]
     ) -> Dict[str, GrowthSeries]:
         """Analyse several labelled series (e.g. adoption vs expansion)."""
+        # Label order is semantic here — figures assign glyphs by
+        # series position — and every caller passes a fixed literal
+        # mapping, so insertion order is deterministic by construction.
         return {
             label: self.analyze(label, values)
-            for label, values in series.items()
+            for label, values in series.items()  # repro: ignore[canonicalization-taint]
         }

@@ -19,7 +19,17 @@ every table and figure in the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.parallel.backend import BackendSpec
 
 from repro.batch.batch import BatchBuilder, ObservationBatch
 from repro.core.attribution import AnomalyAttributor, Attribution
@@ -218,7 +228,11 @@ class AdoptionStudy:
         return detector.result()
 
     def detect_from_store(
-        self, store: ObservationStore, sources: Sequence[str]
+        self,
+        store: ObservationStore,
+        sources: Sequence[str],
+        backend: Optional["BackendSpec"] = None,
+        shard_count: Optional[int] = None,
     ) -> DetectionResult:
         """Whole-history columnar detection over landed partitions.
 
@@ -231,7 +245,32 @@ class AdoptionStudy:
         result is value-identical to streaming the same partitions
         through a :class:`repro.stream.engine.StreamEngine` or running
         the per-domain segment detector over the equivalent segments.
+
+        With *backend* (a :class:`repro.parallel.backend.Backend`
+        instance or spec) the pass runs sharded instead: the store —
+        which must be a :class:`repro.store.store.SegmentStore` — hands
+        each worker a manifest slice (all partitions, one domain hash
+        shard) and per-shard results merge exactly, byte-identical to
+        the serial concatenation without ever materialising the whole
+        history in one batch.
         """
+        if backend is not None:
+            if not hasattr(store, "manifest_slices"):
+                raise TypeError(
+                    "backend-sharded detection needs a SegmentStore "
+                    "(manifest slices); this store cannot be sliced"
+                )
+            # Imported lazily: repro.parallel imports from this module.
+            from repro.parallel.detect import detect_from_slices
+
+            return detect_from_slices(
+                store,  # type: ignore[arg-type]
+                sources,
+                self.catalog,
+                self.world.horizon,
+                backend=backend,
+                shard_count=shard_count,
+            )
         detector = SegmentDetector(self.catalog, self.world.horizon)
         builder = BatchBuilder()
         wanted = set(sources)
@@ -251,24 +290,32 @@ class AdoptionStudy:
         parallel: bool = False,
         workers: Optional[int] = None,
         shard_count: Optional[int] = None,
+        backend: Optional["BackendSpec"] = None,
     ) -> StudyResults:
         """Run the full methodology.
 
-        With ``parallel=True`` the measurement + detection phase is
-        hash-sharded over a process pool (see :mod:`repro.parallel`);
-        the merged result — and hence the returned :class:`StudyResults`
-        — is byte-identical to a serial run for any worker/shard count.
+        With ``parallel=True`` (or any *backend*) the measurement +
+        detection phase is hash-sharded over an execution backend
+        (see :mod:`repro.parallel.backend`; *backend* accepts an
+        instance or a ``"name[:nodes]"`` spec, defaulting to
+        ``REPRO_BACKEND`` then the local fork pool); the merged result
+        — and hence the returned :class:`StudyResults` — is
+        byte-identical to a serial run for any backend, worker count,
+        and shard count.
         """
         world = self.world
         horizon = world.horizon
         window_start = CCTLD_START_DAY
 
-        if parallel:
+        if parallel or backend is not None:
             # Imported lazily: repro.parallel imports from this module.
             from repro.parallel.study import run_sharded_measurement
 
             measured = run_sharded_measurement(
-                self, workers=workers, shard_count=shard_count
+                self,
+                workers=workers,
+                shard_count=shard_count,
+                backend=backend,
             )
             segments = measured.segments
             detection_gtld = measured.detection_gtld
@@ -399,7 +446,10 @@ class AdoptionStudy:
             for tld in GTLDS
         }
         total = sum(averages.values())
-        return {tld: value / total for tld, value in averages.items()}
+        return {
+            tld: value / total
+            for tld, value in sorted(averages.items())
+        }
 
     def _dps_distribution(
         self, detection: DetectionResult
@@ -409,7 +459,10 @@ class AdoptionStudy:
             series = detection.any_use_by_tld.get(tld, [0])
             averages[tld] = sum(series) / max(1, len(series))
         total = sum(averages.values()) or 1.0
-        return {tld: value / total for tld, value in averages.items()}
+        return {
+            tld: value / total
+            for tld, value in sorted(averages.items())
+        }
 
     # -- Table 1 --------------------------------------------------------------------
 

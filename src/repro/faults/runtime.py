@@ -16,7 +16,9 @@ and worker processes each get their own module instance via fork.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Callable, Iterator, TypeVar
+
+R = TypeVar("R")
 
 _suppression_depth = 0
 
@@ -35,3 +37,29 @@ def fault_suppression() -> Iterator[None]:
         yield
     finally:
         _suppression_depth -= 1
+
+
+def shard_retryable(error: BaseException) -> bool:
+    """Whether a failed shard should be re-executed by its backend.
+
+    Errors that model a lost worker (a broken pool, an injected
+    :class:`~repro.faults.errors.WorkerCrash`) carry a
+    ``shard_retryable`` attribute; anything else is a real bug and must
+    propagate.
+    """
+    return bool(getattr(error, "shard_retryable", False))
+
+
+def rerun_shard(
+    task: Callable[[int, Any], R], index: int, shard: Any
+) -> R:
+    """Re-execute one lost shard with injection suppressed.
+
+    This is the crashed-shard recovery primitive shared by every
+    execution backend (:mod:`repro.parallel.backend`): the retry models
+    a fresh worker on a repaired path, so the same fault plan cannot
+    re-kill it, and because the result lands back at the shard's index
+    the merged output stays byte-identical.
+    """
+    with fault_suppression():
+        return task(index, shard)

@@ -1,0 +1,269 @@
+"""Pluggable execution backends behind every sharded pass.
+
+Every sharded pass in the repo — the study measurement phase, the
+MapReduce engine, the sketch rebuild, and whole-history detection from
+a landed store — fans shards out through one :class:`Backend` protocol
+instead of constructing a pool concretely. Three implementations ship:
+
+* :class:`SerialBackend` — the in-process loop, now an explicit
+  backend rather than an implicit ``workers=1`` special case;
+* :class:`LocalPoolBackend` — the fork process pool
+  (:class:`~repro.parallel.executor.ShardedExecutor`), bit-for-bit
+  compatible with the previous direct construction; on spawn-only
+  platforms (no ``fork`` start method) it degrades to the serial path
+  with a warning instead of shipping unpicklable initargs;
+* :class:`~repro.parallel.cluster.ClusterBackend` — a simulated
+  elastic multi-node cluster with deterministic placement, work
+  stealing, and speculative re-execution.
+
+All three share the determinism contract: results are collected in
+shard-index order and crashed shards are re-executed through
+:func:`repro.faults.runtime.rerun_shard`, so the merged output of any
+backend is byte-identical to a serial run.
+
+Selection goes through a registry: an explicit argument (a backend
+instance or a ``"name[:nodes]"`` spec) beats the ``REPRO_BACKEND``
+environment variable, which beats the default (``local``). The CLI's
+``--backend`` flag and every ``backend=`` parameter accept the same
+specs. See ``docs/PERFORMANCE.md`` § Execution backends.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.parallel.executor import (
+    SHARDS_PER_WORKER,
+    ShardedExecutor,
+    fork_available,
+    resolve_workers,
+    run_shards_serially,
+)
+
+#: Environment variable that selects the default backend spec.
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+#: The registry entry used when neither argument nor env chooses one.
+DEFAULT_BACKEND = "local"
+
+
+class BackendError(ValueError):
+    """An unknown backend name or a malformed backend spec."""
+
+
+class Backend(Protocol):
+    """What a sharded pass requires of its execution substrate."""
+
+    #: Parallelism the backend models (processes, simulated nodes, ...).
+    workers: int
+    #: Default shard count consumers split their work into.
+    shard_count: int
+
+    @property
+    def shards_retried(self) -> int:
+        """Shards re-executed after a retryable worker death."""
+        ...
+
+    def map_shards(
+        self,
+        task: Callable[[int, Any], Any],
+        shards: Sequence[Any],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[Any]:
+        """``[task(0, shards[0]), task(1, shards[1]), ...]`` in order."""
+        ...
+
+
+#: What ``backend=`` parameters accept: an instance, a ``"name[:N]"``
+#: spec, or None (env var, then the default).
+BackendSpec = Union[str, Backend]
+
+
+class SerialBackend:
+    """Explicit in-process execution — the determinism baseline.
+
+    Runs every shard in this process through the same loop (and the
+    same crashed-shard recovery) the pool's ``workers=1`` path uses;
+    every other backend is proven against its output.
+    """
+
+    name = "serial"
+
+    def __init__(self, shard_count: Optional[int] = None) -> None:
+        self.workers = 1
+        if shard_count is None:
+            shard_count = SHARDS_PER_WORKER
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+        self.shards_retried = 0
+
+    def map_shards(
+        self,
+        task: Callable[[int, Any], Any],
+        shards: Sequence[Any],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[Any]:
+        results, retried = run_shards_serially(
+            task, shards, initializer=initializer, initargs=initargs
+        )
+        self.shards_retried += retried
+        return results
+
+
+class LocalPoolBackend:
+    """The fork process pool, wrapped as a backend.
+
+    Bit-for-bit compatible with constructing
+    :class:`~repro.parallel.executor.ShardedExecutor` directly. On
+    platforms without the ``fork`` start method the pool's zero-copy
+    initargs contract cannot hold (closures and worlds would have to
+    pickle), so the backend warns and clamps to one worker — the
+    executor then takes its in-process serial path.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_count: Optional[int] = None,
+    ) -> None:
+        workers = resolve_workers(workers)
+        if workers > 1 and not fork_available():
+            warnings.warn(
+                "multiprocessing start method 'fork' is unavailable on "
+                "this platform; the local pool backend is falling back "
+                "to in-process serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+        self._executor = ShardedExecutor(
+            workers=workers, shard_count=shard_count
+        )
+        self.workers = self._executor.workers
+        self.shard_count = self._executor.shard_count
+
+    @property
+    def shards_retried(self) -> int:
+        return self._executor.shards_retried
+
+    def map_shards(
+        self,
+        task: Callable[[int, Any], Any],
+        shards: Sequence[Any],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[Any]:
+        return self._executor.map_shards(
+            task, shards, initializer=initializer, initargs=initargs
+        )
+
+
+#: A registry factory: ``(workers, shard_count, nodes) -> Backend``.
+BackendFactory = Callable[
+    [Optional[int], Optional[int], Optional[int]], Backend
+]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or replace) a backend factory under *name*."""
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> List[str]:
+    """Every registered backend name, sorted."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def _ensure_registered() -> None:
+    # The cluster backend lives in its own module so that importing
+    # this one stays light; pull it in before any registry lookup.
+    import repro.parallel.cluster  # noqa: F401
+
+
+def resolve_backend(
+    spec: Optional[BackendSpec] = None,
+    workers: Optional[int] = None,
+    shard_count: Optional[int] = None,
+) -> Backend:
+    """The backend for a sharded pass.
+
+    Precedence: an explicit *spec* (instance or ``"name[:nodes]"``
+    string) > the ``REPRO_BACKEND`` environment variable > the default
+    (``local``). *workers*/*shard_count* parameterize the factory;
+    they are ignored when *spec* is already a backend instance.
+    """
+    if spec is not None and not isinstance(spec, str):
+        return spec
+    if spec is None:
+        spec = os.environ.get(REPRO_BACKEND_ENV) or DEFAULT_BACKEND
+    name, _, argument = spec.partition(":")
+    name = name.strip()
+    _ensure_registered()
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(backend_names())
+        raise BackendError(
+            f"unknown backend {name!r} (choose from: {known}; "
+            f"'cluster:N' runs N simulated nodes)"
+        )
+    nodes: Optional[int] = None
+    if argument:
+        try:
+            nodes = int(argument)
+        except ValueError:
+            raise BackendError(
+                f"backend spec {spec!r}: {argument!r} is not an integer "
+                f"node count"
+            ) from None
+        if nodes < 1:
+            raise BackendError(
+                f"backend spec {spec!r}: node count must be >= 1"
+            )
+    return factory(workers, shard_count, nodes)
+
+
+def _make_serial(
+    workers: Optional[int],
+    shard_count: Optional[int],
+    nodes: Optional[int],
+) -> Backend:
+    if nodes is not None:
+        raise BackendError("the serial backend takes no ':N' argument")
+    return SerialBackend(shard_count=shard_count)
+
+
+def _make_local(
+    workers: Optional[int],
+    shard_count: Optional[int],
+    nodes: Optional[int],
+) -> Backend:
+    if nodes is not None:
+        raise BackendError(
+            "the local backend takes no ':N' argument; set workers "
+            "(--workers / REPRO_WORKERS) instead"
+        )
+    return LocalPoolBackend(workers=workers, shard_count=shard_count)
+
+
+register_backend("serial", _make_serial)
+register_backend("local", _make_local)

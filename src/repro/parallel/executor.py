@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
@@ -43,7 +44,7 @@ from typing import (
     cast,
 )
 
-from repro.faults.runtime import fault_suppression
+from repro.faults.runtime import rerun_shard, shard_retryable
 
 S = TypeVar("S")  # shard payload
 R = TypeVar("R")  # shard result
@@ -57,16 +58,51 @@ SHARDS_PER_WORKER = 4
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """The effective worker count (argument > env > cpu count)."""
+    """The effective worker count (argument > env > cpu count).
+
+    An explicit argument is validated strictly — passing ``workers=0``
+    is a caller bug. A malformed or non-positive ``REPRO_WORKERS``
+    value, however, is clamped to 1 with a warning: the variable is
+    read deep inside pool construction (possibly in a fork
+    initializer), where raising would kill the run over an environment
+    typo instead of degrading it to the serial path.
+    """
     if workers is None:
         env = os.environ.get(REPRO_WORKERS_ENV)
         if env is not None and env.strip():
-            workers = int(env)
+            try:
+                workers = int(env)
+            except ValueError:
+                warnings.warn(
+                    f"{REPRO_WORKERS_ENV}={env!r} is not an integer; "
+                    f"running with 1 worker",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                workers = 1
+            if workers < 1:
+                warnings.warn(
+                    f"{REPRO_WORKERS_ENV}={env!r} is not >= 1; "
+                    f"running with 1 worker",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                workers = 1
         else:
             workers = os.cpu_count() or 1
     if workers < 1:
         raise ValueError("workers must be >= 1")
     return workers
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    The pool's zero-copy initargs contract (and closure-built jobs)
+    needs ``fork``; spawn-only platforms fall back to the serial
+    backend instead (see :mod:`repro.parallel.backend`).
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -79,7 +115,34 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 
 def _shard_retryable(error: BaseException) -> bool:
     """Whether a failed shard should be re-executed in the parent."""
-    return bool(getattr(error, "shard_retryable", False))
+    return shard_retryable(error)
+
+
+def run_shards_serially(
+    task: Callable[[int, S], R],
+    shards: Sequence[S],
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> Tuple[List[R], int]:
+    """The in-process shard loop every backend's serial path shares.
+
+    Returns ``(results, retried)`` where *retried* counts shards whose
+    first execution raised a retryable error and were re-executed via
+    :func:`repro.faults.runtime.rerun_shard` (injection suppressed).
+    """
+    if initializer is not None:
+        initializer(*initargs)
+    results: List[R] = []
+    retried = 0
+    for index, shard in enumerate(shards):
+        try:
+            results.append(task(index, shard))
+        except Exception as error:
+            if not shard_retryable(error):
+                raise
+            retried += 1
+            results.append(rerun_shard(task, index, shard))
+    return results, retried
 
 
 class ShardedExecutor:
@@ -115,18 +178,10 @@ class ShardedExecutor:
         docstring); any other shard exception propagates unchanged.
         """
         if self.workers == 1 or len(shards) <= 1:
-            if initializer is not None:
-                initializer(*initargs)
-            results: List[R] = []
-            for index, shard in enumerate(shards):
-                try:
-                    results.append(task(index, shard))
-                except Exception as error:
-                    if not _shard_retryable(error):
-                        raise
-                    self.shards_retried += 1
-                    with fault_suppression():
-                        results.append(task(index, shard))
+            results, retried = run_shards_serially(
+                task, shards, initializer=initializer, initargs=initargs
+            )
+            self.shards_retried += retried
             return results
         pool_size = min(self.workers, len(shards))
         collected: List[Optional[R]] = []
@@ -162,8 +217,7 @@ class ShardedExecutor:
             # suppressed so the same plan cannot re-kill the retry.
             if initializer is not None:
                 initializer(*initargs)
-            with fault_suppression():
-                for index in failed:
-                    self.shards_retried += 1
-                    collected[index] = task(index, shards[index])
+            for index in failed:
+                self.shards_retried += 1
+                collected[index] = rerun_shard(task, index, shards[index])
         return cast(List[R], collected)

@@ -19,7 +19,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.batch.batch import ObservationBatch
 from repro.mapreduce.engine import Job, JobCounters, Shuffle, map_combine
-from repro.parallel.executor import ShardedExecutor
+from repro.parallel.backend import BackendSpec, resolve_backend
 from repro.parallel.sharding import chunk_batches, chunk_records
 
 #: Per-worker-process job state (set by the pool initializer).
@@ -42,20 +42,22 @@ def _map_chunk(
 
 
 class ParallelBackend:
-    """Runs the map+combine phase of a job over a process pool.
+    """Runs the map+combine phase of a job over an execution backend.
 
     For a fixed ``shard_count`` the chunking — and therefore every
     per-chunk shuffle, their merged concatenation, and the aggregated
-    counters — is independent of ``workers``.
+    counters — is independent of ``workers`` and of which backend
+    (pool, serial, simulated cluster) runs the chunks.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         shard_count: Optional[int] = None,
+        backend: Optional[BackendSpec] = None,
     ):
-        self._executor = ShardedExecutor(
-            workers=workers, shard_count=shard_count
+        self._executor = resolve_backend(
+            backend, workers=workers, shard_count=shard_count
         )
         self.workers = self._executor.workers
         self.shard_count = self._executor.shard_count

@@ -26,7 +26,7 @@ from repro.core.peaks import PeakAnalysis, PeakStats
 from repro.faults.errors import WorkerCrash
 from repro.faults.plan import FaultLog, FaultPlan
 from repro.measurement.snapshot import ObservationSegment
-from repro.parallel.executor import ShardedExecutor
+from repro.parallel.backend import BackendSpec, resolve_backend
 from repro.parallel.sharding import partition_names
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
@@ -120,13 +120,20 @@ def run_sharded_measurement(
     study: "AdoptionStudy",
     workers: Optional[int] = None,
     shard_count: Optional[int] = None,
+    backend: Optional[BackendSpec] = None,
 ) -> StudyMeasurement:
     """The parallel equivalent of the serial measurement phase.
 
-    Shards are merged in shard-index order; the result is byte-identical
-    to the serial path for any ``(workers, shard_count)``.
+    Execution goes through a :class:`repro.parallel.backend.Backend`
+    (*backend* spec/instance > ``REPRO_BACKEND`` > the local pool).
+    Shards are merged in shard-index order; the result is
+    byte-identical to the serial path for any backend and any
+    ``(workers, shard_count)``.
     """
-    executor = ShardedExecutor(workers=workers, shard_count=shard_count)
+    executor = resolve_backend(
+        backend, workers=workers, shard_count=shard_count
+    )
+    retried_before = executor.shards_retried
     domain_shards = partition_names(
         study.world.domains, executor.shard_count
     )
@@ -146,7 +153,7 @@ def run_sharded_measurement(
         for scope, reason in sorted(part.quarantined.items()):
             study.quarantine_scope(scope, reason)
         study.fault_log.absorb(part.fault_log)
-    for _ in range(executor.shards_retried):
+    for _ in range(executor.shards_retried - retried_before):
         study.fault_log.record_shard_retry()
 
     merged_segments: Dict[str, List[ObservationSegment]] = {}

@@ -27,7 +27,7 @@ from typing import (
 
 from repro.batch.batch import MatchKey, ObservationBatch
 from repro.core.references import RefType, SignatureCatalog
-from repro.parallel.executor import ShardedExecutor
+from repro.parallel.backend import BackendSpec, resolve_backend
 from repro.parallel.sharding import chunk_records
 from repro.sketch.plane import (
     SketchConfig,
@@ -164,15 +164,20 @@ def sketch_from_store_sharded(
     catalog: Optional[SignatureCatalog] = None,
     workers: Optional[int] = None,
     shard_count: Optional[int] = None,
+    backend: Optional[BackendSpec] = None,
 ) -> SketchPlane:
     """The sharded rebuild; byte-identical to :func:`sketch_from_store`.
 
-    Contiguous partition runs ship to workers; shard planes merge in
-    shard-index order through the exact merge hooks.
+    Contiguous partition runs ship to workers of the resolved
+    execution backend (*backend* > ``REPRO_BACKEND`` > local pool);
+    shard planes merge in shard-index order through the exact merge
+    hooks.
     """
     catalog = catalog or SignatureCatalog.paper_table2()
     config = config or SketchConfig()
-    executor = ShardedExecutor(workers=workers, shard_count=shard_count)
+    executor = resolve_backend(
+        backend, workers=workers, shard_count=shard_count
+    )
     chunks = chunk_records(
         store_partitions(store, sources), executor.shard_count
     )

@@ -30,10 +30,12 @@ from repro.store.segment import (
     build_segment,
     write_segment,
 )
+from repro.store.slices import ManifestSlice
 from repro.store.stats import PartitionStats
 from repro.store.store import SegmentStore
 
 __all__ = [
+    "ManifestSlice",
     "ObservationStore",
     "PartitionStats",
     "SEGMENT_SUFFIX",

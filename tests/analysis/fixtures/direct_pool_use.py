@@ -1,0 +1,37 @@
+"""Fixture: process-pool imports outside repro.parallel.
+
+Sharded work anywhere else in the tree must go through
+``repro.parallel.backend.resolve_backend`` so the pass honours
+``--backend``/``REPRO_BACKEND`` and keeps the byte-identity and
+fault-retry contracts. Direct pool imports bypass all of that.
+"""
+
+import multiprocessing  # expect: direct-pool-use
+import multiprocessing.pool  # expect: direct-pool-use
+import concurrent.futures  # expect: direct-pool-use
+from concurrent.futures import ProcessPoolExecutor  # expect: direct-pool-use
+from multiprocessing import Pool  # expect: direct-pool-use
+
+from repro.parallel.backend import resolve_backend  # fine: the front door
+
+
+def flagged_fan_out(jobs):
+    with Pool(processes=4) as pool:
+        return pool.map(len, jobs)
+
+
+def flagged_futures_fan_out(jobs):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(len, jobs))
+
+
+def sanctioned_fan_out(task, shards):
+    executor = resolve_backend("local", workers=4)
+    return executor.map_shards(task, shards)
+
+
+def uses_modules(jobs):
+    count = multiprocessing.cpu_count()
+    queue = multiprocessing.pool.ThreadPool
+    futures = concurrent.futures.Future
+    return count, queue, futures, jobs

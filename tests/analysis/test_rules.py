@@ -33,6 +33,7 @@ CASES = [
     ("mutable_default.py", "repro/reporting/fixture_mutable.py"),
     ("schema_drift.py", "repro/core/fixture_schema.py"),
     ("unordered_futures.py", "repro/parallel/fixture_futures.py"),
+    ("direct_pool_use.py", "repro/measurement/fixture_pool.py"),
     ("row_boxing.py", "repro/measurement/fixture_row_boxing.py"),
     ("segment_decode.py", "repro/store/fixture_segment_decode.py"),
 ]

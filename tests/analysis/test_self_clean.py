@@ -28,7 +28,7 @@ def test_src_tree_is_clean():
 
 def test_all_rules_ran():
     result = Analyzer().analyze_paths([str(SRC / "repro" / "analysis")])
-    assert len(result.rules_run) == 11
+    assert len(result.rules_run) == 12
 
 
 def test_tree_is_interprocedurally_clean_with_shipped_baseline():

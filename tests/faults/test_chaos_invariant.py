@@ -13,6 +13,8 @@ import pytest
 from repro.core.pipeline import AdoptionStudy
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.faults.report import SCOPE_EXPORT_KEYS, scope_digest, strip_scopes
+from repro.parallel.backend import LocalPoolBackend, SerialBackend
+from repro.parallel.cluster import ClusterBackend, ClusterSchedule
 from repro.reporting.export import study_to_dict
 from repro.world.scenario import ScenarioConfig, build_paper_world
 
@@ -108,6 +110,32 @@ class TestChaosInvariant:
         assert payload["quarantined"] == {}
         assert results.fault_log.is_clean()
         assert strip_scopes(payload, ()) == strip_scopes(clean_payload, ())
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            lambda: SerialBackend(shard_count=4),
+            lambda: LocalPoolBackend(workers=2, shard_count=4),
+            lambda: ClusterBackend(
+                nodes=2,
+                shard_count=4,
+                schedule=ClusterSchedule.scripted(
+                    (2, "leave", 0), (5, "join", 9)
+                ),
+            ),
+        ],
+        ids=["serial-backend", "pool-w2", "cluster-2-churn"],
+    )
+    def test_each_backend_upholds_the_invariant(
+        self, chaos_world, clean_payload, backend
+    ):
+        """One fixed-seed scenario per backend: a faulted cluster run
+        with mid-run worker loss stays byte-identical to the clean
+        serial run on every non-quarantined scope."""
+        results = AdoptionStudy(
+            chaos_world, fault_plan=chaos_plan(CHAOS_SEEDS[0])
+        ).run(parallel=True, backend=backend())
+        assert_invariant(results, clean_payload)
 
     @pytest.mark.parametrize("seed", CHAOS_SEEDS)
     def test_serial_and_parallel_agree_under_faults(

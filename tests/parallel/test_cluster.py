@@ -1,0 +1,204 @@
+"""ClusterBackend: deterministic scheduling under elastic membership.
+
+The byte-identity matrix in ``test_backend_identity.py`` proves the
+cluster backend on the real study; these tests pin the scheduler
+itself — placement, stealing, speculation, crash retry — and drive
+random join/leave schedules through hypothesis to show the *results*
+never see the schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.retry import RetryPolicy
+from repro.parallel.backend import SerialBackend
+from repro.parallel.cluster import (
+    ClusterBackend,
+    ClusterEvent,
+    ClusterSchedule,
+)
+
+
+def _describe(shard_index, payload):
+    return (shard_index, tuple(payload), sum(payload))
+
+
+class _Crash(Exception):
+    shard_retryable = True
+
+
+# Random membership churn: events at small ticks over a small node id
+# space, so leaves hit both queued and in-flight shards and joins
+# revive dead ids as often as they add fresh ones.
+schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=24),
+        st.sampled_from(["leave", "join"]),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=8,
+).map(lambda events: ClusterSchedule.scripted(*events))
+
+workloads = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=9), min_size=0, max_size=6
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestScheduleValidation:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="action"):
+            ClusterEvent(0, "reboot", 1)
+
+    def test_rejects_negative_tick_and_node(self):
+        with pytest.raises(ValueError):
+            ClusterEvent(-1, "leave", 0)
+        with pytest.raises(ValueError):
+            ClusterEvent(0, "join", -1)
+
+    def test_ordered_resolves_ties_leaves_first(self):
+        schedule = ClusterSchedule.scripted(
+            (3, "join", 7), (3, "leave", 1), (1, "join", 2)
+        )
+        assert [
+            (event.tick, event.action) for event in schedule.ordered()
+        ] == [(1, "join"), (3, "leave"), (3, "join")]
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterBackend(nodes=0)
+
+
+class TestDeterminism:
+    def test_repeated_runs_schedule_identically(self):
+        shards = [[1] * cost for cost in (5, 1, 2, 1, 3, 1)]
+        traces = []
+        for _ in range(2):
+            cluster = ClusterBackend(nodes=3, shard_count=6)
+            cluster.map_shards(_describe, shards)
+            traces.append(
+                (cluster.completions, cluster.makespan_ticks)
+            )
+        assert traces[0] == traces[1]
+
+    def test_results_land_in_shard_index_order(self):
+        shards = [[index] for index in range(8)]
+        cluster = ClusterBackend(nodes=3, shard_count=8)
+        assert cluster.map_shards(_describe, shards) == [
+            _describe(index, payload)
+            for index, payload in enumerate(shards)
+        ]
+
+    def test_stealing_shortens_skewed_makespan(self):
+        # Round-robin parks every expensive shard on node 0; only
+        # stealing lets nodes 1..3 relieve it.
+        shards = [
+            [1] * (9 if index % 4 == 0 else 1) for index in range(12)
+        ]
+        lazy = ClusterBackend(nodes=4, shard_count=12, work_stealing=False)
+        eager = ClusterBackend(nodes=4, shard_count=12, work_stealing=True)
+        assert lazy.map_shards(_describe, shards) == eager.map_shards(
+            _describe, shards
+        )
+        assert eager.shards_stolen > 0
+        assert eager.makespan_ticks < lazy.makespan_ticks
+
+    def test_lost_in_flight_shard_is_speculated(self):
+        shards = [[1, 1, 1, 1]] * 4
+        cluster = ClusterBackend(
+            nodes=2,
+            shard_count=4,
+            schedule=ClusterSchedule.scripted((2, "leave", 0)),
+        )
+        results = cluster.map_shards(_describe, shards)
+        assert results == [
+            _describe(index, payload)
+            for index, payload in enumerate(shards)
+        ]
+        assert cluster.shards_speculated >= 1
+
+    def test_all_nodes_leaving_spins_up_recovery_node(self):
+        cluster = ClusterBackend(
+            nodes=2,
+            shard_count=4,
+            schedule=ClusterSchedule.scripted(
+                (1, "leave", 0), (1, "leave", 1)
+            ),
+        )
+        payload = [7, 7, 7]  # three ticks: both leaves land mid-flight
+        results = cluster.map_shards(_describe, [payload] * 4)
+        assert results == [
+            _describe(index, payload) for index in range(4)
+        ]
+        # The recovery node id never collides with scripted ids.
+        recovery_nodes = {node for _, node, _ in cluster.completions}
+        assert recovery_nodes and min(recovery_nodes) >= 2
+
+
+class TestCrashRecovery:
+    def test_retryable_crash_reruns_suppressed(self):
+        runs = {}
+
+        def flaky(shard_index, payload):
+            runs[shard_index] = runs.get(shard_index, 0) + 1
+            if shard_index == 2 and runs[shard_index] == 1:
+                raise _Crash("injected")
+            return shard_index
+
+        cluster = ClusterBackend(nodes=2, shard_count=4)
+        assert cluster.map_shards(flaky, [[1]] * 4) == [0, 1, 2, 3]
+        assert cluster.shards_retried == 1
+        assert runs[2] == 2
+
+    def test_crash_budget_is_bounded_by_retry_policy(self):
+        def doomed(shard_index, payload):
+            raise _Crash("persistent")
+
+        cluster = ClusterBackend(
+            nodes=1,
+            shard_count=2,
+            retry_policy=RetryPolicy(attempts=3),
+        )
+        with pytest.raises(_Crash):
+            cluster.map_shards(doomed, [[1], [2]])
+        assert cluster.shards_retried == 2
+
+    def test_non_retryable_crash_escalates_immediately(self):
+        def broken(shard_index, payload):
+            raise KeyError("bug")
+
+        cluster = ClusterBackend(nodes=2, shard_count=4)
+        with pytest.raises(KeyError):
+            cluster.map_shards(broken, [[1]] * 4)
+        assert cluster.shards_retried == 0
+
+
+class TestScheduleInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=schedules, shards=workloads, nodes=st.integers(2, 5))
+    def test_any_schedule_matches_serial(self, schedule, shards, nodes):
+        serial = SerialBackend(shard_count=len(shards)).map_shards(
+            _describe, shards
+        )
+        cluster = ClusterBackend(
+            nodes=nodes, shard_count=len(shards), schedule=schedule
+        )
+        assert cluster.map_shards(_describe, shards) == serial
+
+    @settings(max_examples=30, deadline=None)
+    @given(schedule=schedules, shards=workloads)
+    def test_any_schedule_replays_identically(self, schedule, shards):
+        traces = []
+        for _ in range(2):
+            cluster = ClusterBackend(
+                nodes=3, shard_count=len(shards), schedule=schedule
+            )
+            results = cluster.map_shards(_describe, shards)
+            traces.append((results, cluster.completions))
+        assert traces[0] == traces[1]

@@ -55,6 +55,21 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(0)
 
+    def test_env_garbage_clamps_to_one_with_warning(self, monkeypatch):
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "garbage")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert resolve_workers() == 1
+
+    def test_env_zero_clamps_to_one_with_warning(self, monkeypatch):
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "0")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert resolve_workers() == 1
+
+    def test_env_negative_clamps_to_one_with_warning(self, monkeypatch):
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "-3")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert resolve_workers() == 1
+
     def test_shard_count_defaults_to_multiple_of_workers(self):
         executor = ShardedExecutor(workers=3)
         assert executor.shard_count == 3 * SHARDS_PER_WORKER

@@ -114,3 +114,17 @@ def test_backend_resolves_executor_defaults():
     backend = ParallelBackend(workers=3)
     assert backend.workers == 3
     assert backend.shard_count == 12
+
+
+@pytest.mark.parametrize("spec", ["serial", "cluster:2"])
+@pytest.mark.parametrize("job_name", sorted(JOBS))
+def test_outputs_identical_through_execution_backends(
+    records, serial_runs, job_name, spec
+):
+    """map_combine honours --backend-style specs end to end."""
+    engine = MapReduceEngine(
+        partitions=8,
+        backend=ParallelBackend(shard_count=6, backend=spec),
+    )
+    outputs = engine.run(JOBS[job_name](), records)
+    assert outputs == serial_runs[job_name][0]

@@ -120,6 +120,28 @@ class TestStudy:
         assert (tmp_path / "fig4.txt").exists()
         assert (tmp_path / "series.json").exists()
 
+    def test_cluster_backend_runs_study(self, capsys):
+        code = main(
+            ["study", "--artifact", "fig5", "--backend", "cluster:2"]
+            + SCALE
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DPS adoption grew" in out
+
+    def test_unknown_backend_exits_2(self, capsys):
+        code = main(["study", "--backend", "bogus"] + SCALE)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown backend 'bogus'" in captured.err
+        assert "cluster" in captured.err
+
+    def test_malformed_backend_nodes_exits_2(self, capsys):
+        code = main(["study", "--backend", "cluster:lots"] + SCALE)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not an integer" in captured.err
+
 
 class TestMeasure:
     def test_measure_writes_partition(self, capsys, tmp_path):
